@@ -1,0 +1,102 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Tables 1-4, Figures 2-4 and 7-13) plus the Section 3.1.3
+// design-tradeoff ablations, printing each as plain text alongside the
+// paper's reference numbers.
+//
+// Usage:
+//
+//	experiments [-quick] [-launch-runs N] [-app-runs N] [-binder-iters N] [-only LIST]
+//
+// -only selects a comma-separated subset, e.g. -only table4,figure7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced sweep sizes")
+	launchRuns := flag.Int("launch-runs", 0, "launches per config for Figures 7-9 (default 100, paper >100)")
+	appRuns := flag.Int("app-runs", 0, "executions per app for Figures 10-12 (default 10, as the paper)")
+	binderIters := flag.Int("binder-iters", 0, "IPC calls for Figure 13 (default 100000, as the paper)")
+	only := flag.String("only", "", "comma-separated experiments to run (e.g. table4,figure7); empty = all")
+	flag.Parse()
+
+	params := experiments.Default()
+	if *quick {
+		params = experiments.Quick()
+	}
+	if *launchRuns > 0 {
+		params.LaunchRuns = *launchRuns
+	}
+	if *appRuns > 0 {
+		params.AppRuns = *appRuns
+	}
+	if *binderIters > 0 {
+		params.BinderIters = *binderIters
+	}
+
+	s := experiments.New(params)
+	type exp struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	all := []exp{
+		{"table1", func() (fmt.Stringer, error) { return s.Table1() }},
+		{"figure2", func() (fmt.Stringer, error) { return s.Figure2() }},
+		{"figure3", func() (fmt.Stringer, error) { return s.Figure3() }},
+		{"table2", func() (fmt.Stringer, error) { return s.Table2() }},
+		{"figure4", func() (fmt.Stringer, error) { return s.Figure4() }},
+		{"table3", func() (fmt.Stringer, error) { return s.Table3() }},
+		{"table4", func() (fmt.Stringer, error) { return s.Table4() }},
+		{"figure7", func() (fmt.Stringer, error) { return s.Figure7() }},
+		{"figure8", func() (fmt.Stringer, error) { return s.Figure8() }},
+		{"figure9", func() (fmt.Stringer, error) { return s.Figure9() }},
+		{"figure10", func() (fmt.Stringer, error) { return s.Figure10() }},
+		{"figure11", func() (fmt.Stringer, error) { return s.Figure11() }},
+		{"figure12", func() (fmt.Stringer, error) { return s.Figure12() }},
+		{"ptecopies", func() (fmt.Stringer, error) { return s.PTECopies() }},
+		{"figure13", func() (fmt.Stringer, error) { return s.Figure13() }},
+		{"ablation-stack", func() (fmt.Stringer, error) { return s.StackSharingAblation() }},
+		{"ablation-refcopy", func() (fmt.Stringer, error) { return s.CopyReferencedAblation() }},
+		{"ablation-l1wp", func() (fmt.Stringer, error) { return s.L1WriteProtectAblation() }},
+		{"ablation-largepages", func() (fmt.Stringer, error) { return s.LargePageStudy() }},
+		{"future-domainmatch", func() (fmt.Stringer, error) { return s.DomainMatchStudy() }},
+		{"future-grouping", func() (fmt.Stringer, error) { return s.SchedulerGrouping() }},
+		{"scalability", func() (fmt.Stringer, error) { return s.Scalability() }},
+		{"cache-pollution", func() (fmt.Stringer, error) { return s.CachePollution() }},
+		{"smp", func() (fmt.Stringer, error) { return s.SMP() }},
+		{"chrome-family", func() (fmt.Stringer, error) { return s.ChromeFamily() }},
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(strings.ToLower(n))] = true
+		}
+	}
+
+	fmt.Printf("Shared Address Translation Revisited (EuroSys 2016) — experiment harness\n")
+	fmt.Printf("params: launch-runs=%d app-runs=%d binder-iters=%d\n\n",
+		params.LaunchRuns, params.AppRuns, params.BinderIters)
+
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.name] {
+			continue
+		}
+		start := time.Now()
+		r, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(r.String())
+		fmt.Printf("[%s regenerated in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+}

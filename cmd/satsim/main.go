@@ -1,0 +1,117 @@
+// Command satsim runs one shared-address-translation scenario: it boots
+// an Android system under a chosen kernel configuration and library
+// layout, launches one application from the suite, runs it to completion,
+// and prints the memory-management counters the paper's evaluation reads
+// (fork cost, page faults, PTPs, TLB and cache stalls).
+//
+// Usage:
+//
+//	satsim [-kernel stock|copied|shared|shared-tlb] [-layout original|2mb]
+//	       [-app NAME] [-runs N] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	kernel := flag.String("kernel", "shared-tlb", "kernel config: stock, copied, shared, shared-tlb")
+	layout := flag.String("layout", "original", "library layout: original or 2mb")
+	app := flag.String("app", "Email", "application to run (see -list)")
+	runs := flag.Int("runs", 1, "number of consecutive executions (warm starts after the first)")
+	list := flag.Bool("list", false, "list the application suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.Suite() {
+			fmt.Printf("%-18s user %.1f%%  cold %d  warm %d PTEs\n",
+				s.Name, s.UserPct, s.ColdPTEs, s.WarmPTEs)
+		}
+		return
+	}
+	if err := run(*kernel, *layout, *app, *runs); err != nil {
+		fmt.Fprintln(os.Stderr, "satsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kernelName, layoutName, appName string, runs int) error {
+	var cfg core.Config
+	switch kernelName {
+	case "stock":
+		cfg = core.Stock()
+	case "copied":
+		cfg = core.CopiedPTEs()
+	case "shared":
+		cfg = core.SharedPTP()
+	case "shared-tlb":
+		cfg = core.SharedPTPTLB()
+	default:
+		return fmt.Errorf("unknown kernel %q", kernelName)
+	}
+	var layout android.Layout
+	switch layoutName {
+	case "original":
+		layout = android.LayoutOriginal
+	case "2mb":
+		layout = android.Layout2MB
+	default:
+		return fmt.Errorf("unknown layout %q", layoutName)
+	}
+	spec, err := workload.SpecByName(appName)
+	if err != nil {
+		return err
+	}
+
+	u := workload.DefaultUniverse()
+	sys, err := android.Boot(cfg, layout, u)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("booted %s kernel, %s layout; zygote populated %d PTEs\n",
+		cfg.Name(), layout, sys.Zygote.MM.PT.PopulatedPTEs())
+
+	prof := workload.BuildProfile(u, spec)
+	t := stats.NewTable(fmt.Sprintf("%s: %d execution(s)", spec.Name, runs),
+		"Run", "Fork cycles", "PTPs@fork", "Shared@fork", "PTEs copied",
+		"File faults", "PTPs total", "Shared PTPs", "Cycles (x10^6)")
+	for r := 0; r < runs; r++ {
+		appInst, _, err := sys.LaunchApp(prof, int64(r))
+		if err != nil {
+			return err
+		}
+		rs, err := appInst.Run()
+		if err != nil {
+			return err
+		}
+		fs := appInst.Proc.ForkStats
+		t.AddRow(fmt.Sprintf("%d", r+1),
+			fmt.Sprintf("%d", fs.Cycles),
+			fmt.Sprintf("%d", fs.PTPsAllocated),
+			fmt.Sprintf("%d", fs.PTPsShared),
+			fmt.Sprintf("%d", rs.PTEsCopied),
+			fmt.Sprintf("%d", rs.FileFaults),
+			fmt.Sprintf("%d", rs.PTPsAllocated),
+			fmt.Sprintf("%d", rs.PTPsShared),
+			stats.F(float64(rs.Cycles)/1e6))
+		sys.Kernel.Exit(appInst.Proc)
+	}
+	fmt.Println(t.String())
+
+	ss := sys.Kernel.SharingStats()
+	fmt.Printf("system-wide: %d PTP references, %d shared, %d distinct frames\n",
+		ss.TotalPTPs, ss.SharedPTPs, ss.DistinctPTPs)
+	kc := sys.Kernel.Counters
+	fmt.Printf("kernel counters: %d forks, %d PTEs copied at fork, %d PTPs shared at fork,\n"+
+		"  %d unshare ops, %d PTEs copied on unshare, %d PTEs write-protected\n",
+		kc.Forks, kc.PTEsCopiedAtFork, kc.PTPsSharedAtFork,
+		kc.UnshareOps, kc.PTEsCopiedOnUnshare, kc.WriteProtectedPTEs)
+	return nil
+}

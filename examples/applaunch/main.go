@@ -1,0 +1,69 @@
+// Application launch study: launches the HelloWorld example application
+// under the six kernel/layout configurations of Figures 7-9 and reports
+// launch time, L1 instruction-cache stalls, file-backed page faults, and
+// page-table pages allocated during the launch window.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+const runsPerConfig = 20
+
+func main() {
+	universe := workload.DefaultUniverse()
+	spec := workload.HelloWorldSpec()
+
+	configs := []struct {
+		kernel core.Config
+		layout android.Layout
+	}{
+		{core.Stock(), android.LayoutOriginal},
+		{core.SharedPTP(), android.LayoutOriginal},
+		{core.SharedPTPTLB(), android.LayoutOriginal},
+		{core.Stock(), android.Layout2MB},
+		{core.SharedPTP(), android.Layout2MB},
+		{core.SharedPTPTLB(), android.Layout2MB},
+	}
+
+	t := stats.NewTable(fmt.Sprintf("HelloWorld launch, %d runs per configuration", runsPerConfig),
+		"Kernel / layout", "Median cycles (x10^6)", "Icache stalls (x10^6)", "File faults", "PTPs")
+	for _, c := range configs {
+		sys, err := android.Boot(c.kernel, c.layout, universe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof := workload.BuildProfile(universe, spec)
+		var cycles, stalls, faults, ptps []float64
+		for run := 0; run < runsPerConfig; run++ {
+			app, ls, err := sys.LaunchApp(prof, int64(run))
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles = append(cycles, float64(ls.Cycles))
+			stalls = append(stalls, float64(ls.ICacheStalls))
+			faults = append(faults, float64(ls.FileFaults))
+			ptps = append(ptps, float64(ls.PTPsAllocated))
+			sys.Kernel.Exit(app.Proc)
+		}
+		label := c.kernel.Name()
+		if c.layout == android.Layout2MB {
+			label += " (2MB)"
+		}
+		t.AddRow(label,
+			stats.F(stats.Summarize(cycles).Median/1e6),
+			stats.F(stats.Summarize(stalls).Median/1e6),
+			stats.F(stats.Mean(faults)),
+			stats.F(stats.Mean(ptps)))
+	}
+	fmt.Println(t.String())
+	fmt.Println("Compare with the paper: 7% launch speedup with the original library")
+	fmt.Println("layout and 10% with 2MB-aligned code/data segments; file faults drop")
+	fmt.Println("from ~1,900 to ~110 and PTP allocations fall by about two thirds.")
+}

@@ -1,0 +1,96 @@
+// Footprint study: reproduces the motivation analysis of Section 2.3 for
+// a pair of applications — the instruction-footprint breakdown by region
+// category (Figure 2), the shared-code commonality between the two apps
+// (Table 2), and the 64KB large-page sparsity of the zygote-preloaded
+// code they execute (Figure 4) — using page-fault traces and smaps, as
+// the paper's methodology does.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/android"
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func main() {
+	universe := workload.DefaultUniverse()
+	sys, err := android.Boot(core.Stock(), android.LayoutOriginal, universe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ft := &trace.FaultTrace{}
+	ft.Attach(sys.Kernel)
+
+	type appData struct {
+		name   string
+		pages  []arch.VirtAddr
+		shared []arch.VirtAddr
+		keys   []uint64
+		smaps  []vm.Smaps
+	}
+	var apps []appData
+	for _, name := range []string{"Adobe Reader", "Android Browser"} {
+		spec, err := workload.SpecByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof := workload.BuildProfile(universe, spec)
+		app, _, err := sys.LaunchApp(prof, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := app.Run(); err != nil {
+			log.Fatal(err)
+		}
+		smaps := app.Proc.MM.SmapsDump()
+		pages := ft.ExecPages(app.Proc.PID)
+		apps = append(apps, appData{
+			name:   name,
+			pages:  pages,
+			shared: trace.SharedCodePages(smaps, pages, true),
+			keys:   trace.SharedCodeKeys(smaps, pages, true),
+			smaps:  smaps,
+		})
+		sys.Kernel.Exit(app.Proc)
+	}
+
+	// Figure 2 style: breakdown of the accessed instruction pages.
+	t := stats.NewTable("Instruction footprint by category (pages)",
+		"App", "private", "zygote dynlib", "zygote java", "app_process", "other dynlib", "total")
+	for _, a := range apps {
+		b := trace.FootprintBreakdown(a.smaps, a.pages)
+		t.AddRow(a.name,
+			fmt.Sprintf("%d", b[vm.CatPrivateCode]),
+			fmt.Sprintf("%d", b[vm.CatZygoteDynLib]),
+			fmt.Sprintf("%d", b[vm.CatZygoteJavaLib]),
+			fmt.Sprintf("%d", b[vm.CatZygoteBinary]),
+			fmt.Sprintf("%d", b[vm.CatOtherDynLib]),
+			fmt.Sprintf("%d", len(a.pages)))
+	}
+	fmt.Println(t.String())
+
+	// Table 2 style: commonality between the two applications.
+	ab := trace.IntersectionPct(apps[0].keys, apps[1].keys, len(apps[0].pages))
+	ba := trace.IntersectionPct(apps[1].keys, apps[0].keys, len(apps[1].pages))
+	fmt.Printf("zygote-preloaded code common to both apps: %.1f%% of %s's footprint, %.1f%% of %s's\n\n",
+		ab, apps[0].name, ba, apps[1].name)
+
+	// Figure 4 style: how sparsely would 64KB pages be used?
+	for _, a := range apps {
+		sp := trace.Sparsity(a.shared)
+		fmt.Printf("%s: %d zygote-preloaded code pages touch %d 64KB chunks;\n",
+			a.name, sp.Pages4KB, sp.Chunks64KB)
+		fmt.Printf("  P(>9 of 16 4KB pages untouched) = %.0f%%; 64KB pages would use %.2fx the memory\n",
+			100*sp.CDF.Tail(10), sp.WasteFactor())
+	}
+	fmt.Println("\nThe paper finds 92.8% of the footprint is shared code, ~38% pairwise")
+	fmt.Println("commonality, and 2.6x memory waste from 64KB pages — large pages are")
+	fmt.Println("not a substitute for sharing the translations themselves.")
+}

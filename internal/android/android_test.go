@@ -1,0 +1,302 @@
+package android
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// One shared universe for the whole test file; building it is cheap but
+// not free.
+var testUniverse = workload.DefaultUniverse()
+
+func bootSys(t *testing.T, cfg core.Config, layout Layout) *System {
+	t.Helper()
+	sys, err := Boot(cfg, layout, testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestBootPopulatesZygote(t *testing.T) {
+	sys := bootSys(t, core.Stock(), LayoutOriginal)
+	z := sys.Zygote
+	if !z.IsZygote {
+		t.Fatal("zygote flag not set")
+	}
+	// The zygote populated its boot-time footprint: the instruction PTEs
+	// of the preload set plus its dirtied data.
+	populated := z.MM.PT.PopulatedPTEs()
+	if populated < workload.ZygoteTouchedPTEs {
+		t.Errorf("zygote populated %d PTEs, want >= %d", populated, workload.ZygoteTouchedPTEs)
+	}
+	// The dirty (fork-copied) portion should be near the paper's 3,900.
+	dirty := 0
+	for _, s := range z.MM.SmapsDump() {
+		_ = s
+	}
+	k := bootStockForkPTEs(t, sys)
+	if k < 3000 || k > 5000 {
+		t.Errorf("stock fork would copy %d PTEs, want ~3,900 (Table 4)", k)
+	}
+	dirtyCheck := k
+	_ = dirty
+	t.Logf("zygote: %d populated PTEs, %d fork-copied (paper: 9,800 total incl. code / 3,900 copied)", populated, dirtyCheck)
+}
+
+// bootStockForkPTEs forks under the current kernel and reports the copies.
+func bootStockForkPTEs(t *testing.T, sys *System) int {
+	t.Helper()
+	child, err := sys.ZygoteFork("probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Kernel.Exit(child)
+	return child.ForkStats.PTEsCopied
+}
+
+func TestZygoteForkTable4Shape(t *testing.T) {
+	// Table 4: shared PTPs fork is >= 1.8x faster than stock, and copied
+	// PTEs is ~1.5-1.7x slower than stock; PTP counts follow suit.
+	type result struct {
+		cycles             uint64
+		ptps, shared, ptes int
+	}
+	results := map[string]result{}
+	for _, cfg := range []core.Config{core.Stock(), core.CopiedPTEs(), core.SharedPTP()} {
+		sys := bootSys(t, cfg, LayoutOriginal)
+		child, err := sys.ZygoteFork("app")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := child.ForkStats
+		results[cfg.Name()] = result{fs.Cycles, fs.PTPsAllocated, fs.PTPsShared, fs.PTEsCopied}
+	}
+	st, cp, sh := results["Stock Android"], results["Copied PTEs"], results["Shared PTP"]
+	t.Logf("stock:  %.2fM cycles, %d PTPs, %d PTEs copied", float64(st.cycles)/1e6, st.ptps, st.ptes)
+	t.Logf("copied: %.2fM cycles, %d PTPs, %d PTEs copied", float64(cp.cycles)/1e6, cp.ptps, cp.ptes)
+	t.Logf("shared: %.2fM cycles, %d PTPs, %d shared, %d PTEs copied", float64(sh.cycles)/1e6, sh.ptps, sh.shared, sh.ptes)
+
+	if float64(st.cycles)/float64(sh.cycles) < 1.7 {
+		t.Errorf("shared fork speedup = %.2fx, want ~2.1x (Table 4)", float64(st.cycles)/float64(sh.cycles))
+	}
+	if float64(cp.cycles)/float64(st.cycles) < 1.3 {
+		t.Errorf("copied PTEs slowdown = %.2fx, want ~1.59x", float64(cp.cycles)/float64(st.cycles))
+	}
+	if sh.ptps != 1 {
+		t.Errorf("shared fork allocated %d PTPs, want 1 (the stack)", sh.ptps)
+	}
+	if sh.shared < 60 {
+		t.Errorf("shared fork shared %d PTPs, want ~81", sh.shared)
+	}
+	if cp.ptes <= st.ptes {
+		t.Error("copied PTEs must copy more than stock")
+	}
+	if sh.ptes >= 20 {
+		t.Errorf("shared fork copied %d PTEs, want only the stack's handful", sh.ptes)
+	}
+}
+
+func TestLaunchFaultElimination(t *testing.T) {
+	// Figure 9's launch metrics: shared PTPs eliminate ~94% of the
+	// file-backed-mapping faults and most PTP allocations.
+	prof := workload.BuildProfile(testUniverse, mustSpec(t, "Email"))
+
+	stock := bootSys(t, core.Stock(), LayoutOriginal)
+	_, lsStock, err := stock.LaunchApp(prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedSys := bootSys(t, core.SharedPTPTLB(), LayoutOriginal)
+	_, lsShared, err := sharedSys.LaunchApp(prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stock:  %d file faults, %d PTPs, %.1fM cycles, %.2fM icache stalls",
+		lsStock.FileFaults, lsStock.PTPsAllocated, float64(lsStock.Cycles)/1e6, float64(lsStock.ICacheStalls)/1e6)
+	t.Logf("shared: %d file faults, %d PTPs, %.1fM cycles, %.2fM icache stalls",
+		lsShared.FileFaults, lsShared.PTPsAllocated, float64(lsShared.Cycles)/1e6, float64(lsShared.ICacheStalls)/1e6)
+
+	if lsStock.FileFaults < 1500 || lsStock.FileFaults > 2400 {
+		t.Errorf("stock launch file faults = %d, want ~1,900", lsStock.FileFaults)
+	}
+	if lsShared.FileFaults > lsStock.FileFaults/5 {
+		t.Errorf("shared launch file faults = %d, want ~94%% below stock's %d",
+			lsShared.FileFaults, lsStock.FileFaults)
+	}
+	if lsShared.PTPsAllocated >= lsStock.PTPsAllocated {
+		t.Error("shared launch must allocate fewer PTPs")
+	}
+	if lsShared.Cycles >= lsStock.Cycles {
+		t.Error("shared launch must be faster")
+	}
+	if lsShared.ICacheStalls >= lsStock.ICacheStalls {
+		t.Error("shared launch must stall the I-cache less (fewer kernel fault paths)")
+	}
+}
+
+func mustSpec(t *testing.T, name string) workload.AppSpec {
+	t.Helper()
+	s, err := workload.SpecByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFullRunProducesFootprint(t *testing.T) {
+	sys := bootSys(t, core.SharedPTP(), LayoutOriginal)
+	prof := workload.BuildProfile(testUniverse, mustSpec(t, "Email"))
+	app, _, err := sys.LaunchApp(prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := app.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footprint categories match the profile.
+	preloadedPages := rs.PagesByCategory[vm.CatZygoteDynLib] +
+		rs.PagesByCategory[vm.CatZygoteJavaLib] + rs.PagesByCategory[vm.CatZygoteBinary]
+	if preloadedPages != prof.Spec.WarmPTEs {
+		t.Errorf("preloaded pages executed = %d, want %d", preloadedPages, prof.Spec.WarmPTEs)
+	}
+	if rs.PagesByCategory[vm.CatOtherDynLib] != prof.Spec.OtherLibPages {
+		t.Errorf("other lib pages = %d, want %d",
+			rs.PagesByCategory[vm.CatOtherDynLib], prof.Spec.OtherLibPages)
+	}
+	if rs.PagesByCategory[vm.CatPrivateCode] != prof.Spec.PrivateCodePages {
+		t.Errorf("private pages = %d, want %d",
+			rs.PagesByCategory[vm.CatPrivateCode], prof.Spec.PrivateCodePages)
+	}
+	// Table 1 ratio: user share within a few points of the spec.
+	tot := float64(rs.UserInstructions + rs.KernelInstructions)
+	userPct := 100 * float64(rs.UserInstructions) / tot
+	if diff := userPct - prof.Spec.UserPct; diff < -6 || diff > 6 {
+		t.Errorf("user instruction share = %.1f%%, want ~%.1f%%", userPct, prof.Spec.UserPct)
+	}
+	if rs.PTPsShared == 0 {
+		t.Error("a shared-PTP run should end with shared PTPs")
+	}
+	sys.Kernel.Exit(app.Proc)
+}
+
+func TestWarmStartFaultsDrop(t *testing.T) {
+	// Table 3 / Figure 10 mechanism: the second execution of an app under
+	// shared PTPs inherits the PTEs its first execution populated, so its
+	// file faults collapse; under stock they do not.
+	for _, cfg := range []core.Config{core.Stock(), core.SharedPTP()} {
+		sys := bootSys(t, cfg, LayoutOriginal)
+		prof := workload.BuildProfile(testUniverse, mustSpec(t, "Email"))
+		var faults [2]uint64
+		for r := 0; r < 2; r++ {
+			app, _, err := sys.LaunchApp(prof, int64(r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := app.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			faults[r] = rs.FileFaults
+			sys.Kernel.Exit(app.Proc)
+		}
+		t.Logf("%s: run1=%d run2=%d file faults", cfg.Name(), faults[0], faults[1])
+		if cfg.SharePTP {
+			if faults[1] > faults[0]*8/10 {
+				t.Errorf("%s: warm run faults = %d, want well below cold %d",
+					cfg.Name(), faults[1], faults[0])
+			}
+		} else {
+			if faults[1] < faults[0]*8/10 {
+				t.Errorf("%s: warm run faults = %d, expected near cold %d (no sharing)",
+					cfg.Name(), faults[1], faults[0])
+			}
+		}
+	}
+}
+
+func Test2MBLayoutSharesMore(t *testing.T) {
+	// Figure 12: with the 2MB layout, data-segment writes no longer
+	// unshare code PTPs, so a larger share of PTPs stays shared.
+	shared := map[Layout]int{}
+	for _, layout := range []Layout{LayoutOriginal, Layout2MB} {
+		sys := bootSys(t, core.SharedPTP(), layout)
+		prof := workload.BuildProfile(testUniverse, mustSpec(t, "Adobe Reader"))
+		app, _, err := sys.LaunchApp(prof, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := app.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pct := 100 * rs.PTPsShared / rs.PTPsLive
+		shared[layout] = pct
+		t.Logf("%s layout: %d/%d PTPs shared (%d%%), %d PTEs copied",
+			layout, rs.PTPsShared, rs.PTPsLive, pct, rs.PTEsCopied)
+		sys.Kernel.Exit(app.Proc)
+	}
+	if shared[Layout2MB] <= shared[LayoutOriginal] {
+		t.Errorf("2MB layout should keep more PTPs shared: %d%% vs %d%%",
+			shared[Layout2MB], shared[LayoutOriginal])
+	}
+}
+
+func TestBinderTLBSharing(t *testing.T) {
+	// Figure 13 shape: TLB sharing reduces instruction main-TLB stalls
+	// for both sides, with and without ASIDs.
+	const iters = 3000
+	run := func(cfg core.Config, useASID bool) BinderResult {
+		sys := bootSys(t, cfg, LayoutOriginal)
+		res, err := sys.RunBinder(iters, useASID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, useASID := range []bool{false, true} {
+		stock := run(core.Stock(), useASID)
+		sharedTLB := run(core.SharedPTPTLB(), useASID)
+		t.Logf("ASID=%v stock:  client %d server %d ITLB stalls",
+			useASID, stock.Client.ITLBStalls, stock.Server.ITLBStalls)
+		t.Logf("ASID=%v shared: client %d server %d ITLB stalls",
+			useASID, sharedTLB.Client.ITLBStalls, sharedTLB.Server.ITLBStalls)
+		if sharedTLB.Client.ITLBStalls >= stock.Client.ITLBStalls {
+			t.Errorf("ASID=%v: TLB sharing should reduce client ITLB stalls", useASID)
+		}
+		if sharedTLB.Server.ITLBStalls >= stock.Server.ITLBStalls {
+			t.Errorf("ASID=%v: TLB sharing should reduce server ITLB stalls", useASID)
+		}
+	}
+	// ASIDs alone also help versus flushing.
+	stockFlush := run(core.Stock(), false)
+	stockASID := run(core.Stock(), true)
+	if stockASID.Client.ITLBStalls >= stockFlush.Client.ITLBStalls {
+		t.Error("ASIDs should reduce client ITLB stalls versus full flushes")
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	if LayoutOriginal.String() != "original" || Layout2MB.String() != "2MB" {
+		t.Error("layout names")
+	}
+}
+
+func TestCodePageVACovers(t *testing.T) {
+	sys := bootSys(t, core.Stock(), LayoutOriginal)
+	seen := map[uint32]bool{}
+	for idx := 0; idx < testUniverse.TotalCodePages(); idx += 97 {
+		va := sys.CodePageVA(idx)
+		if seen[uint32(va)] {
+			t.Fatalf("duplicate VA %#x for page %d", va, idx)
+		}
+		seen[uint32(va)] = true
+		if sys.Zygote.MM.FindVMA(va) == nil {
+			t.Fatalf("page %d VA %#x not mapped in zygote", idx, va)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package android models the Android userland of the paper's evaluation
+// platform: the zygote process that preloads the shared libraries and the
+// ART boot image at system start, the fork-without-exec application
+// start path, the dynamic loader with the original or the 2MB-aligned
+// code/data layout, application launch, steady-state execution, and the
+// Binder IPC microbenchmark.
+package android
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Layout selects how the dynamic loader places library segments.
+type Layout uint8
+
+const (
+	// LayoutOriginal is the stock layout: a library's data segment is
+	// placed right next to its code segment, so both commonly fall in
+	// the same level-2 PTP and a store to a global variable costs the
+	// code segment its shared PTP.
+	LayoutOriginal Layout = iota
+	// Layout2MB maps each library at a 2MB-aligned address with the
+	// code and data segments separated by 2MB of address space (as the
+	// x86-64 ABI already does), so they always live in different PTPs.
+	Layout2MB
+)
+
+// String names the layout as in the paper's figure labels.
+func (l Layout) String() string {
+	if l == Layout2MB {
+		return "2MB"
+	}
+	return "original"
+}
+
+// Virtual address plan of the zygote-inherited address space.
+const (
+	appProcessBase = arch.VirtAddr(0x00010000)
+	heapBase       = arch.VirtAddr(0x20000000)
+	heapPages      = 4096 // 16MB region
+	arenaBase      = arch.VirtAddr(0x22000000)
+	arenaPages     = 2048 // 8MB region
+	javaBase       = arch.VirtAddr(0x30000000)
+	libsBase       = arch.VirtAddr(0x40000000)
+	appMapBase     = arch.VirtAddr(0x90000000)
+	stackBase      = arch.VirtAddr(0xBEF00000)
+	stackPages     = 256 // 1MB region
+)
+
+// Boot-time population of the zygote's writable state. Together with the
+// stack these counts put the zygote's dirty (fork-copied) PTE total near
+// the paper's 3,900.
+const (
+	zygoteHeapTouched  = 2000
+	zygoteArenaTouched = 800
+	zygoteJavaData     = 600
+	zygoteStackTouched = 7
+	libDataInitFrac    = 0.30 // leading fraction of each data segment written at preload
+)
+
+// System is a booted Android: the kernel plus the zygote with its
+// preloaded address space.
+type System struct {
+	// Kernel is the simulated kernel.
+	Kernel *core.Kernel
+	// Universe is the preloaded-code landscape.
+	Universe *workload.Universe
+	// Layout is the library layout in use.
+	Layout Layout
+	// Zygote is the zygote process.
+	Zygote *core.Process
+
+	libCodeBase []arch.VirtAddr
+	libDataBase []arch.VirtAddr
+	javaCode    arch.VirtAddr
+	javaData    arch.VirtAddr
+
+	libFiles []*vm.File
+	javaFile *vm.File
+	appFile  *vm.File
+
+	// Opts are the boot options in effect.
+	Opts Options
+}
+
+// BootFrames is the default physical memory size in frames (1GB).
+const BootFrames = 1 << 18
+
+// Options tune the boot beyond kernel config and library layout.
+type Options struct {
+	// JavaLargePages maps the ART boot image's code with 64KB large
+	// pages instead of demand-paged 4KB pages — the large-page study
+	// of Section 2.3.3. The whole image becomes resident eagerly.
+	JavaLargePages bool
+	// CPUs is the number of simulated cores (0 means one). The Nexus 7
+	// has four; translation changes then cost TLB shootdowns.
+	CPUs int
+}
+
+// Boot brings up a kernel with the given configuration and starts the
+// zygote: maps app_process, preloads the 88 dynamic shared libraries and
+// the Java boot image under the chosen layout, and runs the zygote's
+// initialization, which populates its boot-time footprint (the 5,900
+// instruction PTEs of Table 4 plus the writable state fork must copy).
+func Boot(cfg core.Config, layout Layout, u *workload.Universe) (*System, error) {
+	return BootOpts(cfg, layout, u, Options{})
+}
+
+// BootOpts is Boot with explicit Options.
+func BootOpts(cfg core.Config, layout Layout, u *workload.Universe, opts Options) (*System, error) {
+	ncpus := opts.CPUs
+	if ncpus < 1 {
+		ncpus = 1
+	}
+	k, err := core.NewKernelSMP(BootFrames, cfg, ncpus)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{Kernel: k, Universe: u, Layout: layout, Opts: opts}
+	zyg, err := k.NewProcess("zygote")
+	if err != nil {
+		return nil, err
+	}
+	k.SetZygote(zyg)
+	sys.Zygote = zyg
+
+	if err := sys.mapZygoteSpace(); err != nil {
+		return nil, fmt.Errorf("android: mapping zygote space: %w", err)
+	}
+	if err := sys.runZygoteInit(); err != nil {
+		return nil, fmt.Errorf("android: zygote init: %w", err)
+	}
+	return sys, nil
+}
+
+// mapZygoteSpace builds the zygote's address space: binary, libraries,
+// boot image, heap, arenas and stack.
+func (sys *System) mapZygoteSpace() error {
+	k, z, u := sys.Kernel, sys.Zygote, sys.Universe
+	phys := k.Phys
+
+	// app_process: the zygote's C++ main program.
+	sys.appFile = vm.NewFile(phys, "app_process", (u.AppProcessPages+4)*arch.PageSize)
+	if err := k.Mmap(z, &vm.VMA{
+		Start: appProcessBase, End: appProcessBase + arch.VirtAddr(u.AppProcessPages*arch.PageSize),
+		Prot: vm.ProtRead | vm.ProtExec, Flags: vm.VMAPrivate, File: sys.appFile,
+		Name: "app_process", Category: vm.CatZygoteBinary,
+	}); err != nil {
+		return err
+	}
+	if err := k.Mmap(z, &vm.VMA{
+		Start: appProcessBase + arch.VirtAddr(u.AppProcessPages*arch.PageSize),
+		End:   appProcessBase + arch.VirtAddr((u.AppProcessPages+4)*arch.PageSize),
+		Prot:  vm.ProtRead | vm.ProtWrite, Flags: vm.VMAPrivate, File: sys.appFile,
+		FileOff: u.AppProcessPages * arch.PageSize, Name: "app_process data",
+	}); err != nil {
+		return err
+	}
+
+	// The Java boot image: AOT-compiled code plus its data. Optionally
+	// the code is mapped with 64KB large pages (rounded up to a whole
+	// number of 64KB chunks, as a large-page loader must).
+	javaCodePages := u.JavaCodePages
+	if sys.Opts.JavaLargePages {
+		javaCodePages = (javaCodePages + arch.PagesPerLargePage - 1) &^ (arch.PagesPerLargePage - 1)
+	}
+	sys.javaFile = vm.NewFile(phys, "boot.oat", (javaCodePages+u.JavaDataPages)*arch.PageSize)
+	sys.javaCode = javaBase
+	javaVMA := &vm.VMA{
+		Start: javaBase, End: javaBase + arch.VirtAddr(javaCodePages*arch.PageSize),
+		Prot: vm.ProtRead | vm.ProtExec, Flags: vm.VMAPrivate, File: sys.javaFile,
+		Name: "boot.oat code", Category: vm.CatZygoteJavaLib,
+	}
+	if sys.Opts.JavaLargePages {
+		if err := k.MapLargePages(z, javaVMA); err != nil {
+			return err
+		}
+	} else if err := k.Mmap(z, javaVMA); err != nil {
+		return err
+	}
+	sys.javaData = javaBase + arch.VirtAddr(javaCodePages*arch.PageSize)
+	if err := k.Mmap(z, &vm.VMA{
+		Start: sys.javaData, End: sys.javaData + arch.VirtAddr(u.JavaDataPages*arch.PageSize),
+		Prot: vm.ProtRead | vm.ProtWrite, Flags: vm.VMAPrivate, File: sys.javaFile,
+		FileOff: javaCodePages * arch.PageSize, Name: "boot.art data",
+	}); err != nil {
+		return err
+	}
+
+	// The 88 preloaded dynamic shared libraries, placed by the loader.
+	sys.libCodeBase = make([]arch.VirtAddr, len(u.Libs))
+	sys.libDataBase = make([]arch.VirtAddr, len(u.Libs))
+	sys.libFiles = make([]*vm.File, len(u.Libs))
+	cursor := libsBase
+	for i, lib := range u.Libs {
+		f := vm.NewFile(phys, lib.Name, (lib.CodePages+lib.DataPages)*arch.PageSize)
+		sys.libFiles[i] = f
+		var codeVA, dataVA arch.VirtAddr
+		switch sys.Layout {
+		case Layout2MB:
+			// Code at the next 2MB boundary, data 2MB later: different
+			// PTPs by construction, at the cost of virtual address space.
+			const twoMB = 2 << 20
+			cursor = (cursor + twoMB - 1) &^ (twoMB - 1)
+			codeVA = cursor
+			dataVA = codeVA + arch.VirtAddr(((lib.CodePages*arch.PageSize)+twoMB-1)&^(twoMB-1))
+			if dataVA < codeVA+twoMB {
+				dataVA = codeVA + twoMB
+			}
+			cursor = dataVA + arch.VirtAddr(lib.DataPages*arch.PageSize)
+		default:
+			// Original layout: data placed right next to code.
+			codeVA = cursor
+			dataVA = codeVA + arch.VirtAddr(lib.CodePages*arch.PageSize)
+			cursor = dataVA + arch.VirtAddr(lib.DataPages*arch.PageSize)
+		}
+		sys.libCodeBase[i] = codeVA
+		sys.libDataBase[i] = dataVA
+		if err := k.Mmap(z, &vm.VMA{
+			Start: codeVA, End: codeVA + arch.VirtAddr(lib.CodePages*arch.PageSize),
+			Prot: vm.ProtRead | vm.ProtExec, Flags: vm.VMAPrivate, File: f,
+			Name: lib.Name + " code", Category: vm.CatZygoteDynLib,
+		}); err != nil {
+			return err
+		}
+		if err := k.Mmap(z, &vm.VMA{
+			Start: dataVA, End: dataVA + arch.VirtAddr(lib.DataPages*arch.PageSize),
+			Prot: vm.ProtRead | vm.ProtWrite, Flags: vm.VMAPrivate, File: f,
+			FileOff: lib.CodePages * arch.PageSize, Name: lib.Name + " data",
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Heap, ART arenas and stack.
+	anon := []*vm.VMA{
+		{Start: heapBase, End: heapBase + heapPages*arch.PageSize,
+			Prot: vm.ProtRead | vm.ProtWrite, Flags: vm.VMAPrivate, Name: "heap"},
+		{Start: arenaBase, End: arenaBase + arenaPages*arch.PageSize,
+			Prot: vm.ProtRead | vm.ProtWrite, Flags: vm.VMAPrivate, Name: "art arenas"},
+		{Start: stackBase, End: stackBase + stackPages*arch.PageSize,
+			Prot: vm.ProtRead | vm.ProtWrite, Flags: vm.VMAPrivate | vm.VMAStack, Name: "stack"},
+	}
+	for _, v := range anon {
+		if err := k.Mmap(z, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CodePageVA maps a universe code-page index to its virtual address under
+// the system's layout.
+func (sys *System) CodePageVA(idx int) arch.VirtAddr {
+	seg := sys.Universe.PageSegment(idx)
+	switch seg.Kind {
+	case "app_process":
+		return appProcessBase + arch.VirtAddr(seg.Offset*arch.PageSize)
+	case "dynlib":
+		return sys.libCodeBase[seg.LibIndex] + arch.VirtAddr(seg.Offset*arch.PageSize)
+	default: // java
+		return sys.javaCode + arch.VirtAddr(seg.Offset*arch.PageSize)
+	}
+}
+
+// LibDataVA returns the virtual address of data page pg of library li.
+func (sys *System) LibDataVA(li, pg int) arch.VirtAddr {
+	return sys.libDataBase[li] + arch.VirtAddr(pg*arch.PageSize)
+}
+
+// StackTouchVA returns the address of the i-th boot-touched stack page.
+func (sys *System) StackTouchVA(i int) arch.VirtAddr {
+	return stackBase + arch.VirtAddr((stackPages-1-i)*arch.PageSize)
+}
+
+// runZygoteInit executes the zygote's initialization: preloading classes
+// and resources touches the hot code pages (the 5,900 instruction PTEs of
+// Section 4.2.1), runs library initializers that dirty part of each data
+// segment, and populates the heap, arenas and stack.
+func (sys *System) runZygoteInit() error {
+	k, z, u := sys.Kernel, sys.Zygote, sys.Universe
+	return k.Run(z, func() error {
+		// Execute the boot-time hot code.
+		for _, pg := range u.ZygoteSet() {
+			if err := k.CPU.FetchBlock(sys.CodePageVA(pg), 16); err != nil {
+				return err
+			}
+		}
+		// Library initializers write the leading part of each data
+		// segment (GOT relocation, static constructors).
+		for li, lib := range u.Libs {
+			n := int(float64(lib.DataPages)*libDataInitFrac + 0.5)
+			if n < 1 {
+				n = 1
+			}
+			for pg := 0; pg < n; pg++ {
+				if err := k.CPU.Write(sys.LibDataVA(li, pg)); err != nil {
+					return err
+				}
+			}
+		}
+		// Boot-image data (class tables, dex caches).
+		for pg := 0; pg < zygoteJavaData; pg++ {
+			if err := k.CPU.Write(sys.javaData + arch.VirtAddr(pg*arch.PageSize)); err != nil {
+				return err
+			}
+		}
+		// Heap and arenas.
+		for pg := 0; pg < zygoteHeapTouched; pg++ {
+			if err := k.CPU.Write(heapBase + arch.VirtAddr(pg*arch.PageSize)); err != nil {
+				return err
+			}
+		}
+		for pg := 0; pg < zygoteArenaTouched; pg++ {
+			if err := k.CPU.Write(arenaBase + arch.VirtAddr(pg*arch.PageSize)); err != nil {
+				return err
+			}
+		}
+		// Stack.
+		for i := 0; i < zygoteStackTouched; i++ {
+			if err := k.CPU.Write(sys.StackTouchVA(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// JavaImageResidentPages returns how many pages of the ART boot image are
+// resident in the page cache — the physical cost of mapping it with 64KB
+// pages versus demand-paged 4KB pages.
+func (sys *System) JavaImageResidentPages() int {
+	return sys.javaFile.ResidentPages()
+}
+
+// ZygoteFork forks an application process from the zygote without a
+// subsequent exec, exactly as Android starts applications.
+func (sys *System) ZygoteFork(name string) (*core.Process, error) {
+	return sys.Kernel.Fork(sys.Zygote, name)
+}

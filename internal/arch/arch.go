@@ -1,0 +1,251 @@
+// Package arch defines the 32-bit ARMv7-A architectural constants and
+// entry encodings used by the simulated memory-management unit: page and
+// table geometry, page-table entry permission bits, the PTE global bit,
+// the 16-entry domain protection model with its DACR encoding, and the
+// fault-status codes reported on memory aborts.
+//
+// The values follow the ARM Architecture Reference Manual (ARMv7-A/R) as
+// summarized in Section 3.1 of "Shared Address Translation Revisited"
+// (EuroSys 2016): a two-level hierarchical page table with 4096 32-bit
+// first-level entries and 256 second-level entries, where 4KB and 64KB
+// page mappings use one and sixteen consecutive aligned level-2 entries
+// respectively, and 1MB/16MB mappings use level-1 entries only.
+package arch
+
+// VirtAddr is a 32-bit virtual address.
+type VirtAddr uint32
+
+// PhysAddr is a 32-bit physical address.
+type PhysAddr uint32
+
+// FrameNum identifies a 4KB physical page frame. Frame n covers physical
+// addresses [n<<PageShift, (n+1)<<PageShift).
+type FrameNum uint32
+
+// Page and table geometry.
+const (
+	// PageShift is log2 of the base (small) page size.
+	PageShift = 12
+	// PageSize is the base page size: 4KB.
+	PageSize = 1 << PageShift
+	// PageMask masks the offset within a base page.
+	PageMask = PageSize - 1
+
+	// LargePageShift is log2 of the ARM "large page" size.
+	LargePageShift = 16
+	// LargePageSize is the ARM large-page size: 64KB.
+	LargePageSize = 1 << LargePageShift
+	// PagesPerLargePage is the number of consecutive, aligned level-2
+	// entries that establish one 64KB mapping.
+	PagesPerLargePage = LargePageSize / PageSize
+
+	// SectionShift is log2 of the ARM section size (level-1 mapping).
+	SectionShift = 20
+	// SectionSize is the ARM section size: 1MB.
+	SectionSize = 1 << SectionShift
+	// SupersectionSize is the ARM supersection size: 16MB.
+	SupersectionSize = 16 * SectionSize
+
+	// L1Entries is the number of 32-bit entries in the first-level
+	// (root) translation table. Each entry maps 1MB of virtual space.
+	L1Entries = 4096
+	// L2Entries is the number of entries in a second-level (leaf)
+	// table. Each entry maps one 4KB page.
+	L2Entries = 256
+)
+
+// L1Index returns the first-level table index for va (bits 31:20).
+func L1Index(va VirtAddr) int { return int(va >> SectionShift) }
+
+// L2Index returns the second-level table index for va (bits 19:12).
+func L2Index(va VirtAddr) int { return int((va >> PageShift) & (L2Entries - 1)) }
+
+// PageBase returns va rounded down to a 4KB page boundary.
+func PageBase(va VirtAddr) VirtAddr { return va &^ VirtAddr(PageMask) }
+
+// PageAlignUp rounds va up to the next 4KB page boundary.
+func PageAlignUp(va VirtAddr) VirtAddr {
+	return (va + PageMask) &^ VirtAddr(PageMask)
+}
+
+// SectionBase returns va rounded down to a 1MB section boundary (the span
+// of one level-1 entry, and therefore of one level-2 page-table page).
+func SectionBase(va VirtAddr) VirtAddr { return va &^ VirtAddr(SectionSize-1) }
+
+// VPN returns the virtual page number of va.
+func VPN(va VirtAddr) uint32 { return uint32(va) >> PageShift }
+
+// FrameAddr returns the physical base address of frame f.
+func FrameAddr(f FrameNum) PhysAddr { return PhysAddr(f) << PageShift }
+
+// PTEFlags is the set of hardware permission and attribute bits carried
+// by a level-2 page-table entry, as loaded into the TLB.
+type PTEFlags uint16
+
+const (
+	// PTEValid marks the entry as a valid translation. A fetch or data
+	// access through an invalid entry raises a translation fault.
+	PTEValid PTEFlags = 1 << iota
+	// PTEWrite grants user write access.
+	PTEWrite
+	// PTEExec grants instruction fetch. ARM expresses this as the
+	// absence of XN (execute-never); the simulator uses positive logic.
+	PTEExec
+	// PTEUser grants unprivileged (user-mode) access.
+	PTEUser
+	// PTEGlobal asserts that the mapping is identical in all address
+	// spaces: the TLB ignores the ASID when matching this entry.
+	PTEGlobal
+	// PTELarge marks the first of sixteen consecutive entries forming
+	// a 64KB large-page mapping.
+	PTELarge
+)
+
+// SoftFlags is the set of software-only bits kept in the parallel Linux
+// PTE table. Virtually all bits of the hardware level-2 entry are reserved
+// for the MMU, and ARM provides neither a hardware "referenced" nor
+// "dirty" bit, so the VM system maintains these in a shadow entry paired
+// with the hardware table (Figure 5 of the paper).
+type SoftFlags uint16
+
+const (
+	// SoftDirty records that the page has been written.
+	SoftDirty SoftFlags = 1 << iota
+	// SoftAccessed records that the page has been referenced.
+	SoftAccessed
+	// SoftFile marks the mapping as file-backed (reconstructible by a
+	// soft fault from the page cache, so fork may skip copying it).
+	SoftFile
+	// SoftCOW marks a private mapping whose next write must copy the
+	// underlying page.
+	SoftCOW
+)
+
+// Domain identifiers. The 32-bit ARM architecture supports 16 domains for
+// 4KB and 64KB pages; 1MB and 16MB pages are always in domain 0. The
+// stock Android kernel uses only a kernel and a user domain; the shared
+// address translation design adds a zygote domain for the virtual pages
+// of zygote-preloaded shared code.
+const (
+	// DomainKernel is the domain of kernel mappings.
+	DomainKernel uint8 = 0
+	// DomainUser is the domain of ordinary user mappings.
+	DomainUser uint8 = 1
+	// DomainZygote is the new domain holding zygote-preloaded shared
+	// code; only zygote-like processes receive client access to it.
+	DomainZygote uint8 = 2
+
+	// NumDomains is the number of architecturally defined domains.
+	NumDomains = 16
+)
+
+// DomainAccess is a two-bit access right held in the DACR for one domain.
+type DomainAccess uint8
+
+const (
+	// DomainNoAccess causes any access to the domain to generate a
+	// domain fault.
+	DomainNoAccess DomainAccess = 0
+	// DomainClient checks accesses against the permission bits in the
+	// TLB entry / PTE.
+	DomainClient DomainAccess = 1
+	// DomainManager overrides the permission bits: all accesses are
+	// permitted. (Reserved encoding 2 is not modeled.)
+	DomainManager DomainAccess = 3
+)
+
+// DACR is the domain access control register: two bits of DomainAccess
+// per domain, 16 domains. It is loaded from the task control block on
+// every context switch.
+type DACR uint32
+
+// Access returns the access right the register grants to domain d.
+func (r DACR) Access(d uint8) DomainAccess {
+	return DomainAccess((r >> (2 * uint(d))) & 3)
+}
+
+// WithAccess returns a copy of the register with domain d's right set to a.
+func (r DACR) WithAccess(d uint8, a DomainAccess) DACR {
+	shift := 2 * uint(d)
+	return (r &^ (3 << shift)) | DACR(a&3)<<shift
+}
+
+// StockDACR is the register value used by the stock Android kernel:
+// client access to the kernel and user domains only.
+func StockDACR() DACR {
+	var r DACR
+	r = r.WithAccess(DomainKernel, DomainClient)
+	r = r.WithAccess(DomainUser, DomainClient)
+	return r
+}
+
+// ZygoteDACR is the register value granted to zygote-like processes:
+// StockDACR plus client access to the zygote domain.
+func ZygoteDACR() DACR {
+	return StockDACR().WithAccess(DomainZygote, DomainClient)
+}
+
+// FaultStatus is the memory-abort cause recorded in the fault status
+// register (FSR). The exception handler reads it, together with the fault
+// address register (FAR), to identify domain faults.
+type FaultStatus uint8
+
+const (
+	// FaultNone reports no fault.
+	FaultNone FaultStatus = iota
+	// FaultTranslation reports a missing (invalid) translation.
+	FaultTranslation
+	// FaultPermission reports an access denied by PTE permission bits.
+	FaultPermission
+	// FaultDomain reports an access to a domain for which the DACR
+	// grants no access.
+	FaultDomain
+)
+
+// String returns the architectural name of the fault status.
+func (f FaultStatus) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultTranslation:
+		return "translation fault"
+	case FaultPermission:
+		return "permission fault"
+	case FaultDomain:
+		return "domain fault"
+	default:
+		return "unknown fault"
+	}
+}
+
+// AccessKind distinguishes the three ways the core touches memory.
+type AccessKind uint8
+
+const (
+	// AccessFetch is an instruction fetch. A faulting fetch generates
+	// a prefetch abort exception.
+	AccessFetch AccessKind = iota
+	// AccessRead is a data load. A faulting load generates a data
+	// abort exception.
+	AccessRead
+	// AccessWrite is a data store.
+	AccessWrite
+)
+
+// String returns a short name for the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessFetch:
+		return "fetch"
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	default:
+		return "unknown"
+	}
+}
+
+// ASID is an address space identifier as tagged in TLB entries. ARMv7
+// ASIDs are 8 bits wide.
+type ASID uint8

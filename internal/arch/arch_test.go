@@ -1,0 +1,186 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexing(t *testing.T) {
+	cases := []struct {
+		va     VirtAddr
+		l1, l2 int
+	}{
+		{0x00000000, 0, 0},
+		{0x00001000, 0, 1},
+		{0x000FF000, 0, 255},
+		{0x00100000, 1, 0},
+		{0x7FF42345, 0x7FF, 0x42},
+		{0xFFFFFFFF, 4095, 255},
+	}
+	for _, c := range cases {
+		if got := L1Index(c.va); got != c.l1 {
+			t.Errorf("L1Index(%#x) = %d, want %d", c.va, got, c.l1)
+		}
+		if got := L2Index(c.va); got != c.l2 {
+			t.Errorf("L2Index(%#x) = %d, want %d", c.va, got, c.l2)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	if PageSize != 4096 {
+		t.Errorf("PageSize = %d, want 4096", PageSize)
+	}
+	if LargePageSize != 64*1024 {
+		t.Errorf("LargePageSize = %d, want 64KB", LargePageSize)
+	}
+	if PagesPerLargePage != 16 {
+		t.Errorf("PagesPerLargePage = %d, want 16", PagesPerLargePage)
+	}
+	if SectionSize != 1<<20 {
+		t.Errorf("SectionSize = %d, want 1MB", SectionSize)
+	}
+	if int64(L1Entries)*SectionSize != 1<<32 {
+		t.Errorf("L1 coverage should be exactly 4GB")
+	}
+	if L2Entries*PageSize != SectionSize {
+		t.Errorf("one L2 table must cover one section: %d != %d", L2Entries*PageSize, SectionSize)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	if got := PageBase(0x1234); got != 0x1000 {
+		t.Errorf("PageBase(0x1234) = %#x, want 0x1000", got)
+	}
+	if got := PageAlignUp(0x1234); got != 0x2000 {
+		t.Errorf("PageAlignUp(0x1234) = %#x, want 0x2000", got)
+	}
+	if got := PageAlignUp(0x2000); got != 0x2000 {
+		t.Errorf("PageAlignUp(0x2000) = %#x, want 0x2000 (already aligned)", got)
+	}
+	if got := SectionBase(0x12345678); got != 0x12300000 {
+		t.Errorf("SectionBase = %#x, want 0x12300000", got)
+	}
+}
+
+func TestAlignmentProperties(t *testing.T) {
+	// PageBase is idempotent and never exceeds its argument; the L1/L2
+	// indices of a page base match those of any address inside the page.
+	prop := func(raw uint32) bool {
+		va := VirtAddr(raw)
+		b := PageBase(va)
+		if b > va || PageBase(b) != b {
+			return false
+		}
+		return L1Index(b) == L1Index(va) && L2Index(b) == L2Index(va)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	// Reconstructing an address from its indices recovers the page base.
+	prop := func(raw uint32) bool {
+		va := VirtAddr(raw)
+		rebuilt := VirtAddr(L1Index(va))<<SectionShift | VirtAddr(L2Index(va))<<PageShift
+		return rebuilt == PageBase(va)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDACR(t *testing.T) {
+	var r DACR
+	if r.Access(DomainZygote) != DomainNoAccess {
+		t.Fatalf("zero DACR must deny all domains")
+	}
+	r = r.WithAccess(DomainZygote, DomainClient)
+	if r.Access(DomainZygote) != DomainClient {
+		t.Errorf("Access(zygote) = %v, want client", r.Access(DomainZygote))
+	}
+	if r.Access(DomainKernel) != DomainNoAccess {
+		t.Errorf("setting one domain must not disturb others")
+	}
+	r = r.WithAccess(DomainZygote, DomainManager)
+	if r.Access(DomainZygote) != DomainManager {
+		t.Errorf("Access(zygote) = %v, want manager", r.Access(DomainZygote))
+	}
+	r = r.WithAccess(DomainZygote, DomainNoAccess)
+	if r.Access(DomainZygote) != DomainNoAccess {
+		t.Errorf("revoking access failed")
+	}
+}
+
+func TestDACRProperties(t *testing.T) {
+	// WithAccess sets exactly the requested domain and preserves the rest.
+	prop := func(raw uint32, d uint8, a uint8) bool {
+		d %= NumDomains
+		acc := DomainAccess(a % 4)
+		if acc == 2 { // reserved encoding, unused
+			acc = DomainClient
+		}
+		r := DACR(raw).WithAccess(d, acc)
+		if r.Access(d) != acc {
+			return false
+		}
+		for i := uint8(0); i < NumDomains; i++ {
+			if i != d && r.Access(i) != DACR(raw).Access(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStockAndZygoteDACR(t *testing.T) {
+	s := StockDACR()
+	if s.Access(DomainKernel) != DomainClient || s.Access(DomainUser) != DomainClient {
+		t.Errorf("stock DACR must grant client access to kernel and user domains")
+	}
+	if s.Access(DomainZygote) != DomainNoAccess {
+		t.Errorf("stock DACR must deny the zygote domain")
+	}
+	z := ZygoteDACR()
+	if z.Access(DomainZygote) != DomainClient {
+		t.Errorf("zygote DACR must grant client access to the zygote domain")
+	}
+	if z.Access(DomainUser) != DomainClient {
+		t.Errorf("zygote DACR must keep user-domain access")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if FaultDomain.String() != "domain fault" {
+		t.Errorf("FaultDomain.String() = %q", FaultDomain.String())
+	}
+	if AccessFetch.String() != "fetch" {
+		t.Errorf("AccessFetch.String() = %q", AccessFetch.String())
+	}
+	for f := FaultNone; f <= FaultDomain+1; f++ {
+		if f.String() == "" {
+			t.Errorf("empty string for fault %d", f)
+		}
+	}
+	for k := AccessFetch; k <= AccessWrite+1; k++ {
+		if k.String() == "" {
+			t.Errorf("empty string for access kind %d", k)
+		}
+	}
+}
+
+func TestFrameAddr(t *testing.T) {
+	if got := FrameAddr(3); got != 3*PageSize {
+		t.Errorf("FrameAddr(3) = %#x, want %#x", got, 3*PageSize)
+	}
+}
+
+func TestVPN(t *testing.T) {
+	if got := VPN(0x12345678); got != 0x12345 {
+		t.Errorf("VPN = %#x, want 0x12345", got)
+	}
+}

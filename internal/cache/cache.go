@@ -1,0 +1,228 @@
+// Package cache models the processor cache hierarchy of the evaluation
+// platform: per-core 32KB L1 instruction and data caches backed by a
+// shared 1MB L2, all physically tagged.
+//
+// The hierarchy matters to shared address translation because hardware
+// page-table walks triggered by TLB misses load page-table entries through
+// the caches (into the L2, and on ARMv7 also the L1 data cache). With a
+// private page table per process, multiple copies of a PTE mapping the
+// same physical page occupy distinct cache lines, displacing other data;
+// with shared page-table pages all processes walk the same physical PTE
+// words and the duplicates disappear. The simulator exposes physical
+// addresses for PTE words precisely so this effect is reproduced.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/arch"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Name identifies the cache in diagnostics ("L1I", "L1D", "L2").
+	Name string
+	// Size is the capacity in bytes.
+	Size int
+	// LineSize is the line size in bytes (a power of two).
+	LineSize int
+	// Assoc is the set associativity.
+	Assoc int
+	// HitLatency is the access latency in cycles when the line is
+	// present at this level.
+	HitLatency int
+}
+
+// Stats counts cache events at one level.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+type line struct {
+	valid   bool
+	tag     uint32
+	lastUse uint64
+}
+
+// Cache is one level of a physically indexed, physically tagged cache
+// with LRU replacement within each set.
+type Cache struct {
+	cfg        Config
+	sets       [][]line
+	setShift   uint
+	setMask    uint32
+	clock      uint64
+	next       *Cache
+	memLatency int
+	stats      Stats
+}
+
+// New creates a cache level. next is the lower level; when next is nil a
+// miss at this level costs memLatency additional cycles (main memory).
+func New(cfg Config, next *Cache, memLatency int) *Cache {
+	if cfg.Size <= 0 || cfg.LineSize <= 0 || cfg.Assoc <= 0 {
+		panic(fmt.Sprintf("cache %s: invalid config %+v", cfg.Name, cfg))
+	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize))
+	}
+	nSets := cfg.Size / (cfg.LineSize * cfg.Assoc)
+	if nSets <= 0 || nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a positive power of two", cfg.Name, nSets))
+	}
+	sets := make([][]line, nSets)
+	backing := make([]line, nSets*cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	return &Cache{
+		cfg:        cfg,
+		sets:       sets,
+		setShift:   uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		setMask:    uint32(nSets - 1),
+		next:       next,
+		memLatency: memLatency,
+	}
+}
+
+// Name returns the configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Stats returns a snapshot of this level's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without invalidating any lines.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Access references the line containing pa, filling it on a miss, and
+// returns the total latency in cycles including any lower-level accesses.
+func (c *Cache) Access(pa arch.PhysAddr) int {
+	c.clock++
+	c.stats.Accesses++
+	tag := uint32(pa) >> c.setShift
+	set := c.sets[tag&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.clock
+			c.stats.Hits++
+			return c.cfg.HitLatency
+		}
+	}
+	c.stats.Misses++
+	latency := c.cfg.HitLatency
+	if c.next != nil {
+		latency += c.next.Access(pa)
+	} else {
+		latency += c.memLatency
+	}
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if set[i].lastUse < oldest {
+			victim = i
+			oldest = set[i].lastUse
+		}
+	}
+	if set[victim].valid {
+		c.stats.Evictions++
+	}
+	set[victim] = line{valid: true, tag: tag, lastUse: c.clock}
+	return latency
+}
+
+// Contains reports whether the line holding pa is resident at this level,
+// without touching LRU state or counters.
+func (c *Cache) Contains(pa arch.PhysAddr) bool {
+	tag := uint32(pa) >> c.setShift
+	set := c.sets[tag&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushAll invalidates every line at this level only.
+func (c *Cache) FlushAll() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Hierarchy bundles the three-level cache system of one simulated core
+// complex: private L1I/L1D in front of a shared L2.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+}
+
+// DefaultHierarchy builds the Nexus 7 (Tegra 3 / Cortex-A9) cache system:
+// 32KB 4-way L1I and L1D with 32-byte lines, and a 1MB 8-way shared L2.
+func DefaultHierarchy() *Hierarchy {
+	return HierarchyWithL2(DefaultL2())
+}
+
+// DefaultL2 builds the shared 1MB 8-way L2.
+func DefaultL2() *Cache {
+	return New(Config{Name: "L2", Size: 1 << 20, LineSize: 32, Assoc: 8, HitLatency: 10}, nil, 50)
+}
+
+// HierarchyWithL2 builds one core's private L1I/L1D in front of an
+// existing L2 — the Tegra 3 arrangement, where all four cores share the
+// 1MB L2. Several hierarchies built over the same L2 model an SMP.
+func HierarchyWithL2(l2 *Cache) *Hierarchy {
+	l1i := New(Config{Name: "L1I", Size: 32 << 10, LineSize: 32, Assoc: 4, HitLatency: 1}, l2, 0)
+	l1d := New(Config{Name: "L1D", Size: 32 << 10, LineSize: 32, Assoc: 4, HitLatency: 1}, l2, 0)
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2}
+}
+
+// Fetch accesses pa through the instruction side and returns the latency.
+func (h *Hierarchy) Fetch(pa arch.PhysAddr) int { return h.L1I.Access(pa) }
+
+// Data accesses pa through the data side and returns the latency.
+func (h *Hierarchy) Data(pa arch.PhysAddr) int { return h.L1D.Access(pa) }
+
+// Walk models one page-table-walk memory reference: the hardware walker
+// loads the PTE word through the L2 cache and, as on ARMv7 Cortex-A9,
+// allocates it into the L1 data cache as well.
+func (h *Hierarchy) Walk(pa arch.PhysAddr) int { return h.L1D.Access(pa) }
+
+// FlushAll empties all three levels.
+func (h *Hierarchy) FlushAll() {
+	h.L1I.FlushAll()
+	h.L1D.FlushAll()
+	h.L2.FlushAll()
+}
+
+// ResetStats zeroes all three levels' counters.
+func (h *Hierarchy) ResetStats() {
+	h.L1I.ResetStats()
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+}

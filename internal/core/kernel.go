@@ -1,0 +1,803 @@
+// Package core implements the paper's primary contribution: a kernel
+// whose fork shares second-level page-table pages (PTPs) between parent
+// and child copy-on-write, and whose TLB entries for zygote-preloaded
+// shared code are shared across all zygote-like processes through the PTE
+// global bit and the 32-bit ARM domain protection model.
+//
+// The kernel layers over the vm substrate exactly as the paper's patch
+// layers over stock Linux. Its behavior is selected by Config:
+//
+//   - the stock Android kernel (no sharing),
+//   - the "Copied PTEs" comparison kernel of Table 4, which copies the
+//     PTEs of zygote-preloaded shared code at fork time,
+//   - the Shared PTP kernel (Section 3.1), and
+//   - the Shared PTP & TLB kernel (Sections 3.1 + 3.2).
+//
+// PTP sharing works at fork: for each level-1 slot of the parent whose
+// memory regions are all sharable, the child's level-1 entry is pointed at
+// the parent's PTP, the PTP's writable PTEs are write-protected (first
+// share only), the NEED_COPY bit is set in both processes' level-1
+// entries, and the PTP's sharer count — the mapcount of its page frame —
+// is incremented. Unlike earlier systems, a shared PTP may contain several
+// memory regions, including private and writable ones: page-table copying
+// is postponed from fork time to the first modification, and avoided
+// entirely when the writable regions are never written.
+//
+// Unsharing (Figure 6) triggers on: (1) a write fault in the range of a
+// shared PTP, (2) memory-region modification via mmap/munmap/mprotect,
+// (3) allocation of a new region in the range of a shared PTP, (4)
+// freeing of a region in that range, and (5) process termination, where
+// the PTP is detached without copying.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/vm"
+)
+
+// Config selects the simulated kernel variant.
+type Config struct {
+	// SharePTP enables page-table-page sharing at fork (Section 3.1).
+	SharePTP bool
+	// ShareTLB enables global-bit + zygote-domain TLB entry sharing for
+	// zygote-preloaded shared code (Section 3.2). Meaningful with or
+	// without SharePTP; the paper evaluates it on top of SharePTP.
+	ShareTLB bool
+	// CopyPTEsAtFork makes fork copy the PTEs of zygote-preloaded
+	// shared code from parent to child (the "Copied PTEs" kernel of
+	// Table 4). Mutually exclusive with SharePTP.
+	CopyPTEsAtFork bool
+	// ShareStackPTPs also shares the stack's PTP at fork. The paper
+	// deliberately does not: the stack is modified immediately after
+	// the child is scheduled, so sharing it only buys an unshare.
+	// Exposed as an ablation knob.
+	ShareStackPTPs bool
+	// CopyOnlyReferenced makes unshare copy only the PTEs whose
+	// reference bit is set or that stock fork would have copied,
+	// instead of every valid PTE (design alternative of Section 3.1.3).
+	CopyOnlyReferenced bool
+}
+
+// Stock returns the stock Android kernel configuration.
+func Stock() Config { return Config{} }
+
+// CopiedPTEs returns the Table 4 comparison kernel that copies
+// zygote-preloaded shared-code PTEs at fork.
+func CopiedPTEs() Config { return Config{CopyPTEsAtFork: true} }
+
+// SharedPTP returns the Shared PTP kernel.
+func SharedPTP() Config { return Config{SharePTP: true} }
+
+// SharedPTPTLB returns the Shared PTP & TLB kernel.
+func SharedPTPTLB() Config { return Config{SharePTP: true, ShareTLB: true} }
+
+// Name returns a short label for the configuration, matching the paper's
+// figure legends.
+func (c Config) Name() string {
+	switch {
+	case c.SharePTP && c.ShareTLB:
+		return "Shared PTP & TLB"
+	case c.SharePTP:
+		return "Shared PTP"
+	case c.CopyPTEsAtFork:
+		return "Copied PTEs"
+	default:
+		return "Stock Android"
+	}
+}
+
+// ForkCosts is the cycle cost model of the fork path, calibrated so that
+// the stock zygote fork and its two variants land in the ratios of
+// Table 4.
+type ForkCosts struct {
+	// Base covers duplicating the task structure, file table, signal
+	// state and scheduler bookkeeping.
+	Base int
+	// PerVMA covers examining and duplicating one memory region.
+	PerVMA int
+	// PerPTECopy covers copying one PTE, including the write-protect
+	// of the parent side and reference-count maintenance.
+	PerPTECopy int
+	// PerPTPAlloc covers allocating and zeroing one 4KB PTP.
+	PerPTPAlloc int
+	// PerPTPShare covers sharing one PTP: setting NEED_COPY, bumping
+	// the sharer count and writing the child's level-1 entry.
+	PerPTPShare int
+	// PerPTEProtect covers write-protecting one PTE when a PTP is
+	// first shared.
+	PerPTEProtect int
+}
+
+// DefaultForkCosts returns the calibrated fork cost model.
+func DefaultForkCosts() ForkCosts {
+	return ForkCosts{
+		Base:          1_150_000,
+		PerVMA:        1_500,
+		PerPTECopy:    330,
+		PerPTPAlloc:   3_000,
+		PerPTPShare:   400,
+		PerPTEProtect: 25,
+	}
+}
+
+// ForkStats records what one fork did, mirroring the rows of Table 4.
+type ForkStats struct {
+	// Cycles is the modeled execution time of the fork.
+	Cycles uint64
+	// PTPsAllocated counts new PTPs allocated for the child.
+	PTPsAllocated int
+	// PTPsShared counts parent PTPs the child attached to.
+	PTPsShared int
+	// PTEsCopied counts PTEs copied into the child.
+	PTEsCopied int
+	// PTEsWriteProtected counts PTEs write-protected to prepare PTPs
+	// for their first share.
+	PTEsWriteProtected int
+}
+
+// Counters are the kernel-global software counters the paper adds.
+type Counters struct {
+	Forks               uint64
+	PTEsCopiedAtFork    uint64
+	PTPsSharedAtFork    uint64
+	UnshareOps          uint64
+	PTEsCopiedOnUnshare uint64
+	WriteProtectedPTEs  uint64
+	DomainFaults        uint64
+	// TLBShootdowns counts remote-core TLB invalidations (IPIs) the
+	// kernel issued when changing translations on an SMP.
+	TLBShootdowns uint64
+}
+
+// Process is one simulated process.
+type Process struct {
+	// PID is the process identifier.
+	PID int
+	// Name is the command name.
+	Name string
+	// MM is the address space.
+	MM *vm.MM
+	// Ctx is the hardware context (page table base, ASID, DACR).
+	Ctx *cpu.Context
+	// IsZygote marks the zygote itself (set by exec when the zygote is
+	// started; here by the android package).
+	IsZygote bool
+	// IsZygoteChild marks processes forked from the zygote.
+	IsZygoteChild bool
+	// ForkStats describes the fork that created this process.
+	ForkStats ForkStats
+	// PTEsCopied accumulates all PTE copies performed on behalf of the
+	// process: its fork-time copies plus every unshare copy.
+	PTEsCopied uint64
+
+	kernel *Kernel
+	alive  bool
+}
+
+// ZygoteLike reports whether the process is the zygote or one of its
+// children — the set of processes allowed to use shared TLB entries.
+func (p *Process) ZygoteLike() bool { return p.IsZygote || p.IsZygoteChild }
+
+// Alive reports whether the process has not exited.
+func (p *Process) Alive() bool { return p.alive }
+
+// Kernel is the simulated operating system kernel: it owns physical
+// memory, the process table, and the single simulated core.
+type Kernel struct {
+	// Phys is physical memory.
+	Phys *mem.PhysMem
+	// CPU is the simulated core; the kernel installs itself as its
+	// page-fault handler.
+	CPU *cpu.CPU
+	// Config selects the kernel variant.
+	Config Config
+	// ForkCosts is the fork cost model.
+	ForkCosts ForkCosts
+	// Counters accumulates kernel-global statistics.
+	Counters Counters
+
+	// OnPageFault, when non-nil, observes every page fault the kernel
+	// handles — the hook the trace package uses to collect the page
+	// fault traces of the paper's methodology (Section 4.1.1).
+	OnPageFault func(p *Process, va arch.VirtAddr, kind arch.AccessKind)
+
+	// IPICost is the cycle cost of one inter-processor interrupt used
+	// for a TLB shootdown, charged to the initiating core per remote.
+	IPICost int
+
+	cpus         []*cpu.CPU
+	curCPU       *cpu.CPU
+	procs        map[int]*Process
+	nextPID      int
+	nextASID     arch.ASID
+	kernelTextPA arch.PhysAddr
+}
+
+// NewKernel boots a single-core kernel over the given amount of physical
+// memory.
+func NewKernel(frames int, cfg Config) (*Kernel, error) {
+	return NewKernelSMP(frames, cfg, 1)
+}
+
+// NewKernelSMP boots a kernel driving ncpus cores, each with private
+// TLBs and L1 caches over one shared L2, as on the Tegra 3. With more
+// than one core, translation changes (unsharing, munmap, mprotect, COW
+// write-protection at fork) invalidate remote TLBs via shootdown IPIs.
+func NewKernelSMP(frames int, cfg Config, ncpus int) (*Kernel, error) {
+	if cfg.SharePTP && cfg.CopyPTEsAtFork {
+		return nil, fmt.Errorf("core: SharePTP and CopyPTEsAtFork are mutually exclusive")
+	}
+	if ncpus < 1 {
+		return nil, fmt.Errorf("core: need at least one CPU, got %d", ncpus)
+	}
+	phys := mem.New(frames)
+	k := &Kernel{
+		Phys:      phys,
+		Config:    cfg,
+		ForkCosts: DefaultForkCosts(),
+		IPICost:   2000,
+		procs:     make(map[int]*Process),
+		nextPID:   1,
+		nextASID:  1,
+	}
+	// Reserve a kernel-text window whose fetches all processes share.
+	f, err := phys.Alloc(mem.FrameKernel)
+	if err != nil {
+		return nil, err
+	}
+	k.kernelTextPA = arch.FrameAddr(f)
+	for i := 0; i < 63; i++ { // 256KB of kernel text
+		if _, err := phys.Alloc(mem.FrameKernel); err != nil {
+			return nil, err
+		}
+	}
+	l2 := cache.DefaultL2()
+	for i := 0; i < ncpus; i++ {
+		c := cpu.NewWithCaches(k, cache.HierarchyWithL2(l2))
+		c.KeepGlobalOnFlush = cfg.ShareTLB
+		k.cpus = append(k.cpus, c)
+	}
+	k.CPU = k.cpus[0]
+	k.curCPU = k.cpus[0]
+	return k, nil
+}
+
+// NumCPUs returns the number of simulated cores.
+func (k *Kernel) NumCPUs() int { return len(k.cpus) }
+
+// CPUAt returns core i.
+func (k *Kernel) CPUAt(i int) *cpu.CPU { return k.cpus[i] }
+
+// flushASIDAll removes asid's translations from every core: the local
+// flush plus one shootdown IPI per remote core.
+func (k *Kernel) flushASIDAll(asid arch.ASID) {
+	for _, c := range k.cpus {
+		c.Main.FlushASID(asid)
+		c.MicroI.FlushAll()
+		c.MicroD.FlushAll()
+		if c != k.curCPU {
+			k.Counters.TLBShootdowns++
+			k.curCPU.ChargeKernel(k.IPICost)
+		}
+	}
+}
+
+// flushRangeAll removes a range's translations from every core.
+func (k *Kernel) flushRangeAll(start, end arch.VirtAddr, asid arch.ASID) {
+	for _, c := range k.cpus {
+		c.Main.FlushRange(start, end, asid)
+		c.MicroI.FlushRange(start, end, asid)
+		c.MicroD.FlushRange(start, end, asid)
+		if c != k.curCPU {
+			k.Counters.TLBShootdowns++
+			k.curCPU.ChargeKernel(k.IPICost)
+		}
+	}
+}
+
+// Processes returns the live process table.
+func (k *Kernel) Processes() []*Process {
+	out := make([]*Process, 0, len(k.procs))
+	for _, p := range k.procs {
+		if p.alive {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (k *Kernel) allocASID() arch.ASID {
+	a := k.nextASID
+	k.nextASID++
+	if k.nextASID == 0 { // 8-bit wrap: flush everything everywhere, restart at 1
+		k.nextASID = 1
+		for _, c := range k.cpus {
+			c.Main.FlushAll()
+		}
+	}
+	return a
+}
+
+// domainFor returns the ARM domain recorded in the level-1 entries of a
+// process's user mappings. Under TLB sharing, zygote-like processes place
+// their user space in the zygote domain so that level-2 PTEs (and hence
+// TLB entries) inherit it; everyone else stays in the user domain.
+func (k *Kernel) domainFor(p *Process) uint8 {
+	if k.Config.ShareTLB && p.ZygoteLike() {
+		return arch.DomainZygote
+	}
+	return arch.DomainUser
+}
+
+func (k *Kernel) dacrFor(p *Process) arch.DACR {
+	if k.Config.ShareTLB && p.ZygoteLike() {
+		return arch.ZygoteDACR()
+	}
+	return arch.StockDACR()
+}
+
+// NewProcess creates a root process (init-like) with an empty address
+// space. Most processes should instead be created with Fork.
+func (k *Kernel) NewProcess(name string) (*Process, error) {
+	asid := k.allocASID()
+	mm, err := vm.NewMM(k.Phys, asid)
+	if err != nil {
+		return nil, fmt.Errorf("core: creating %q: %w", name, err)
+	}
+	p := &Process{
+		PID:    k.nextPID,
+		Name:   name,
+		MM:     mm,
+		kernel: k,
+		alive:  true,
+	}
+	k.nextPID++
+	p.Ctx = &cpu.Context{
+		ID:           p.PID,
+		Name:         name,
+		PT:           mm.PT,
+		ASID:         asid,
+		DACR:         k.dacrFor(p),
+		KernelTextPA: k.kernelTextPA,
+	}
+	k.procs[p.PID] = p
+	return p, nil
+}
+
+// SetZygote marks p as the zygote (the exec-time zygote flag of Section
+// 3.2.2) and refreshes its domain access rights.
+func (k *Kernel) SetZygote(p *Process) {
+	p.IsZygote = true
+	p.Ctx.DACR = k.dacrFor(p)
+}
+
+// Run switches core 0 to p and executes fn as user code of p.
+func (k *Kernel) Run(p *Process, fn func() error) error {
+	return k.RunOn(0, p, fn)
+}
+
+// RunOn switches core i to p and executes fn as user code of p.
+func (k *Kernel) RunOn(i int, p *Process, fn func() error) error {
+	if !p.alive {
+		return fmt.Errorf("core: running dead process %d %q", p.PID, p.Name)
+	}
+	prev := k.curCPU
+	k.curCPU = k.cpus[i]
+	defer func() { k.curCPU = prev }()
+	k.curCPU.ContextSwitch(p.Ctx)
+	return fn()
+}
+
+// Mmap creates a memory region in p's address space. Creating a region
+// within the range of a shared PTP is unshare trigger (3): the new PTEs
+// must not become visible to the other sharers.
+func (k *Kernel) Mmap(p *Process, v *vm.VMA) error {
+	if k.Config.SharePTP {
+		if err := k.unshareRange(p, v.Start, v.End); err != nil {
+			return err
+		}
+	}
+	// The zygote flag check of Section 3.2.2: code segments of shared
+	// libraries mapped by the zygote are marked global, and the mark is
+	// inherited by all zygote children through fork.
+	if p.IsZygote && v.File != nil && v.Prot&vm.ProtExec != 0 {
+		v.Flags |= vm.VMAGlobal
+	}
+	if err := p.MM.Insert(v); err != nil {
+		return fmt.Errorf("core: mmap in %q: %w", p.Name, err)
+	}
+	return nil
+}
+
+// MapLargePages creates a read-only or read-exec file-backed region and
+// eagerly establishes 64KB large-page mappings over it, in the manner of
+// hugetlbfs (Linux does not demand-page large pages). The region bounds
+// must be 64KB aligned. Section 2.3.3 shows this trades physical memory
+// (every 4KB subpage of a touched 64KB chunk becomes resident) for
+// translation reach; and because large-page mappings are ordinary level-2
+// entries on ARM, the resulting PTPs are shared at fork exactly like 4KB
+// ones — the complementarity the paper points out.
+func (k *Kernel) MapLargePages(p *Process, v *vm.VMA) error {
+	if v.File == nil {
+		return fmt.Errorf("core: large-page mapping of %q needs a backing file", v.Name)
+	}
+	if v.Prot&vm.ProtWrite != 0 {
+		return fmt.Errorf("core: large-page region %q must be read-only (no COW for large pages)", v.Name)
+	}
+	if v.Start&(arch.LargePageSize-1) != 0 || v.End&(arch.LargePageSize-1) != 0 ||
+		v.FileOff&(arch.LargePageSize-1) != 0 {
+		return fmt.Errorf("core: large-page region %q not 64KB aligned", v.Name)
+	}
+	if err := k.Mmap(p, v); err != nil {
+		return err
+	}
+	flags := vm.ProtFlags(v.Prot)
+	if k.Config.ShareTLB && p.ZygoteLike() && v.Flags&vm.VMAGlobal != 0 {
+		flags |= arch.PTEGlobal
+	}
+	for va := v.Start; va < v.End; va += arch.LargePageSize {
+		chunk := (v.FileOff + int(va-v.Start)) / arch.LargePageSize
+		base, err := v.File.LargeFrame(chunk)
+		if err != nil {
+			return fmt.Errorf("core: mapping %q large: %w", v.Name, err)
+		}
+		if _, err := p.MM.PT.EnsureL2(arch.L1Index(va), k.domainFor(p)); err != nil {
+			return err
+		}
+		p.MM.PT.SetLarge(va, base, flags, arch.SoftFile|arch.SoftAccessed)
+	}
+	return nil
+}
+
+// Munmap removes [start, end) from p's address space: unshare trigger
+// (4). Affected shared PTPs are first unshared in p, then the PTEs of the
+// removed range are cleared and the TLB range flushed.
+func (k *Kernel) Munmap(p *Process, start, end arch.VirtAddr) error {
+	if k.Config.SharePTP {
+		if err := k.unshareRange(p, start, end); err != nil {
+			return err
+		}
+	}
+	removed := p.MM.RemoveRange(start, end)
+	for _, r := range removed {
+		for va := r.Start; va < r.End; va += arch.PageSize {
+			p.MM.PT.Clear(va)
+		}
+	}
+	k.flushRangeAll(start, end, p.Ctx.ASID)
+	return nil
+}
+
+// Mprotect changes the protection of [start, end): unshare trigger (2).
+func (k *Kernel) Mprotect(p *Process, start, end arch.VirtAddr, prot vm.Prot) error {
+	if k.Config.SharePTP {
+		if err := k.unshareRange(p, start, end); err != nil {
+			return err
+		}
+	}
+	affected := p.MM.VMAsInRange(start, end)
+	if len(affected) == 0 {
+		return fmt.Errorf("core: mprotect %#x-%#x in %q: no regions", start, end, p.Name)
+	}
+	// Split regions at the boundaries, then re-insert with the new
+	// protection.
+	removed := p.MM.RemoveRange(start, end)
+	for _, r := range removed {
+		nv := *r
+		nv.Prot = prot
+		if err := p.MM.Insert(&nv); err != nil {
+			return err
+		}
+		for va := nv.Start; va < nv.End; va += arch.PageSize {
+			pte := p.MM.PT.PTEAt(va)
+			if pte == nil || !pte.Valid() {
+				continue
+			}
+			flags := vm.ProtFlags(prot)
+			// Revoking write is always safe; granting it must respect
+			// pending COW.
+			if pte.Soft&arch.SoftCOW != 0 {
+				flags &^= arch.PTEWrite
+			}
+			pte.Flags = flags | (pte.Flags & arch.PTEGlobal)
+		}
+	}
+	k.flushRangeAll(start, end, p.Ctx.ASID)
+	return nil
+}
+
+// slotSharable reports whether the PTP at level-1 slot idx of parent may
+// be shared with a child: every memory region overlapping the slot's 1MB
+// range must be sharable. Following the paper's aggressive design choice,
+// private and writable regions are sharable; only the stack is excluded
+// (unless the ablation knob says otherwise).
+func (k *Kernel) slotSharable(parent *Process, idx int) bool {
+	lo := arch.VirtAddr(idx) << arch.SectionShift
+	hi := lo + arch.SectionSize - 1
+	vmas := parent.MM.VMAsInRange(lo, hi)
+	if len(vmas) == 0 {
+		return false
+	}
+	for _, v := range vmas {
+		if v.Flags&vm.VMAStack != 0 && !k.Config.ShareStackPTPs {
+			return false
+		}
+	}
+	return true
+}
+
+// Fork creates a child of parent. Under SharePTP, sharable PTPs are
+// attached to the child copy-on-write; everything else follows the stock
+// policy (copy anonymous PTEs, skip file-backed ones). The modeled cycle
+// cost and the Table 4 statistics are recorded in the child's ForkStats.
+func (k *Kernel) Fork(parent *Process, name string) (*Process, error) {
+	child, err := k.NewProcess(name)
+	if err != nil {
+		return nil, err
+	}
+	if parent.IsZygote || parent.IsZygoteChild {
+		child.IsZygoteChild = true
+		child.Ctx.DACR = k.dacrFor(child)
+	}
+	k.Counters.Forks++
+
+	cycles := uint64(k.ForkCosts.Base)
+	var fs ForkStats
+	childDomain := k.domainFor(child)
+
+	// Duplicate the region list.
+	for _, v := range parent.MM.VMAs() {
+		nv := *v
+		if err := child.MM.Insert(&nv); err != nil {
+			return nil, fmt.Errorf("core: fork %q: %w", name, err)
+		}
+		cycles += uint64(k.ForkCosts.PerVMA)
+	}
+
+	ptpsBefore := child.MM.PT.Stats().PTPsAllocated
+
+	if k.Config.SharePTP {
+		for idx := 0; idx < arch.L1Entries; idx++ {
+			pl1 := parent.MM.PT.L1(idx)
+			if !pl1.Valid() {
+				continue
+			}
+			if k.slotSharable(parent, idx) {
+				if !pl1.NeedCopy {
+					// First share: write-protect every writable PTE so
+					// the PTP can be managed copy-on-write, then mark it.
+					n := parent.MM.PT.WriteProtectTable(idx)
+					pl1.NeedCopy = true
+					fs.PTEsWriteProtected += n
+					k.Counters.WriteProtectedPTEs += uint64(n)
+					cycles += uint64(n * k.ForkCosts.PerPTEProtect)
+				}
+				child.MM.PT.AttachShared(idx, pl1.Table, pl1.Domain)
+				fs.PTPsShared++
+				k.Counters.PTPsSharedAtFork++
+				cycles += uint64(k.ForkCosts.PerPTPShare)
+				continue
+			}
+			// Not sharable (stack): stock copy of the slot's regions.
+			lo := arch.VirtAddr(idx) << arch.SectionShift
+			var hi arch.VirtAddr
+			if idx == arch.L1Entries-1 {
+				hi = ^arch.VirtAddr(0)
+			} else {
+				hi = lo + arch.SectionSize
+			}
+			for _, v := range parent.MM.VMAsInRange(lo, hi) {
+				n, err := vm.CopyPTERange(parent.MM, child.MM, v, lo, hi, vm.CopyStock, childDomain)
+				if err != nil {
+					return nil, fmt.Errorf("core: fork %q: %w", name, err)
+				}
+				fs.PTEsCopied += n
+				cycles += uint64(n * k.ForkCosts.PerPTECopy)
+			}
+		}
+	} else {
+		for _, v := range parent.MM.VMAs() {
+			// Stock policy: copy what faults cannot reconstruct (anonymous
+			// and dirty pages); the Copied PTEs kernel additionally copies
+			// every populated PTE of zygote-preloaded shared code.
+			mode := vm.CopyStock
+			if k.Config.CopyPTEsAtFork && v.Category.IsZygotePreloaded() {
+				mode = vm.CopyAll
+			}
+			n, err := vm.CopyPTERange(parent.MM, child.MM, v, v.Start, v.End, mode, childDomain)
+			if err != nil {
+				return nil, fmt.Errorf("core: fork %q: %w", name, err)
+			}
+			fs.PTEsCopied += n
+			cycles += uint64(n * k.ForkCosts.PerPTECopy)
+		}
+	}
+
+	fs.PTPsAllocated = int(child.MM.PT.Stats().PTPsAllocated - ptpsBefore)
+	cycles += uint64(fs.PTPsAllocated * k.ForkCosts.PerPTPAlloc)
+	fs.Cycles = cycles
+	child.ForkStats = fs
+	child.PTEsCopied += uint64(fs.PTEsCopied)
+	k.Counters.PTEsCopiedAtFork += uint64(fs.PTEsCopied)
+
+	// The parent's writable translations were write-protected (COW), so
+	// its stale TLB entries must go — on every core.
+	k.flushASIDAll(parent.Ctx.ASID)
+
+	// Charge the fork to whoever is running (the parent, typically).
+	if k.curCPU.Current() != nil {
+		k.curCPU.ChargeKernel(int(cycles))
+	}
+	return child, nil
+}
+
+// unshareSlot performs the Figure 6 procedure on one slot of p and
+// updates counters and TLB state.
+func (k *Kernel) unshareSlot(p *Process, idx int) error {
+	l1 := p.MM.PT.L1(idx)
+	if !l1.Valid() || !l1.NeedCopy {
+		return nil
+	}
+	var keep func(pagetable.PTE) bool
+	if k.Config.CopyOnlyReferenced {
+		// Copy only what stock fork would have copied: anything page
+		// faults cannot reconstruct. Clean file-backed PTEs are dropped
+		// and simply soft-fault again on the next access. (The paper's
+		// variant also keeps PTEs with the reference bit set; the
+		// simulator marks every populated PTE referenced, so the
+		// reconstructibility test is the meaningful half here.)
+		keep = func(pte pagetable.PTE) bool {
+			return pte.Soft&arch.SoftFile == 0 || pte.Soft&arch.SoftDirty != 0
+		}
+	}
+	replaced := p.MM.PT.SharerCount(idx) > 1
+	copied, err := p.MM.PT.UnsharePTPFunc(idx, keep)
+	if err != nil {
+		return fmt.Errorf("core: unshare slot %d in %q: %w", idx, p.Name, err)
+	}
+	k.Counters.UnshareOps++
+	k.Counters.PTEsCopiedOnUnshare += uint64(copied)
+	p.PTEsCopied += uint64(copied)
+	if replaced {
+		// Figure 6: clear the level-1 entry and flush the TLB entries
+		// occupied by the current process — on every core it may have
+		// run on — before installing the copy.
+		k.flushASIDAll(p.Ctx.ASID)
+		if k.curCPU.Current() == p.Ctx {
+			k.curCPU.ChargeKernel(k.ForkCosts.PerPTPAlloc + copied*k.ForkCosts.PerPTECopy)
+		}
+	}
+	return nil
+}
+
+// unshareRange unshares every shared PTP overlapping [start, end); a
+// range spanning multiple PTPs may require several unshare operations.
+func (k *Kernel) unshareRange(p *Process, start, end arch.VirtAddr) error {
+	for idx := arch.L1Index(start); idx <= arch.L1Index(end-1); idx++ {
+		if err := k.unshareSlot(p, idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HandlePageFault implements cpu.FaultHandler: the kernel's page-fault
+// path. A write fault in the range of a shared PTP is unshare trigger
+// (1); a read fault whose translation lands in a shared PTP populates the
+// shared PTP itself, making the PTE visible to all sharers.
+func (k *Kernel) HandlePageFault(ctx *cpu.Context, va arch.VirtAddr, kind arch.AccessKind) error {
+	p, ok := k.procs[ctx.ID]
+	if !ok || !p.alive {
+		return fmt.Errorf("core: fault in unknown process %d", ctx.ID)
+	}
+	vma := p.MM.FindVMA(va)
+	if vma == nil {
+		return fmt.Errorf("core: segmentation fault at %#x in %q", va, p.Name)
+	}
+	if k.OnPageFault != nil {
+		k.OnPageFault(p, va, kind)
+	}
+
+	idx := arch.L1Index(va)
+	l1 := p.MM.PT.L1(idx)
+	shared := l1.Valid() && l1.NeedCopy
+
+	var existing pagetable.PTE
+	if pte := p.MM.PT.PTEAt(va); pte != nil {
+		existing = *pte
+	}
+	newPTE, err := p.MM.ResolvePTE(vma, va, kind, existing)
+	if err != nil {
+		return err
+	}
+	k.decoratePTE(p, vma, &newPTE)
+
+	if shared {
+		if kind != arch.AccessWrite && !newPTE.Writable() && !existing.Valid() {
+			// Populate the shared PTP: the new PTE is immediately
+			// visible to all sharers, eliminating their soft faults.
+			p.MM.PT.SetShared(va, newPTE)
+			return nil
+		}
+		// Write access (or a writable translation): unshare first, then
+		// install privately, as in the stock kernel.
+		if err := k.unshareSlot(p, idx); err != nil {
+			return err
+		}
+	}
+	if _, err := p.MM.PT.EnsureL2(idx, k.domainFor(p)); err != nil {
+		return err
+	}
+	p.MM.PT.Set(va, newPTE)
+	return nil
+}
+
+// decoratePTE applies the TLB-sharing policy to a freshly computed PTE:
+// pages of global regions faulted by zygote-like processes get the global
+// bit, so the TLB entry loaded by the next walk is shared by all
+// zygote-like processes.
+func (k *Kernel) decoratePTE(p *Process, vma *vm.VMA, pte *pagetable.PTE) {
+	if k.Config.ShareTLB && p.ZygoteLike() && vma.Flags&vm.VMAGlobal != 0 && !pte.Writable() {
+		pte.Flags |= arch.PTEGlobal
+	}
+}
+
+// Exit terminates p, releasing its address space. Shared PTPs are
+// detached without copying — unshare case (5): the level-1 entry is
+// cleared and the sharer count decremented, and only a sole owner frees
+// the PTP.
+func (k *Kernel) Exit(p *Process) {
+	if !p.alive {
+		return
+	}
+	p.alive = false
+	p.MM.PT.ReleaseAll()
+	k.flushASIDAll(p.Ctx.ASID)
+	delete(k.procs, p.PID)
+}
+
+// SharedPTPStats summarizes PTP sharing across all live processes for
+// Figure 12: how many PTPs exist, and how many of them are shared.
+type SharedPTPStats struct {
+	// TotalPTPs is the number of live level-1 slots across processes
+	// (each referencing one PTP; a PTP shared by n processes counts n
+	// times, matching the per-process accounting of the paper).
+	TotalPTPs int
+	// SharedPTPs is how many of those references are to NEED_COPY
+	// (shared) PTPs.
+	SharedPTPs int
+	// DistinctPTPs is the number of distinct PTP frames.
+	DistinctPTPs int
+}
+
+// SharingStats scans the live process table.
+func (k *Kernel) SharingStats() SharedPTPStats {
+	var s SharedPTPStats
+	seen := make(map[arch.FrameNum]bool)
+	for _, p := range k.procs {
+		if !p.alive {
+			continue
+		}
+		for idx := 0; idx < arch.L1Entries; idx++ {
+			l1 := p.MM.PT.L1(idx)
+			if !l1.Valid() {
+				continue
+			}
+			s.TotalPTPs++
+			if l1.NeedCopy {
+				s.SharedPTPs++
+			}
+			if !seen[l1.Table.Frame] {
+				seen[l1.Table.Frame] = true
+				s.DistinctPTPs++
+			}
+		}
+	}
+	return s
+}

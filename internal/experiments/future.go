@@ -1,0 +1,236 @@
+// Studies of the paper's future directions (Sections 3.2.3 and 6):
+// hardware that requires a domain match for a TLB hit, which removes the
+// domain-fault overhead non-zygote processes pay when they trip over
+// global entries; and scheduler grouping, the software fallback for
+// architectures without a domain protection model.
+
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/android"
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// DomainMatchStudy runs a zygote application and a non-zygote daemon that
+// alternate on one core and overlap in virtual addresses, under the
+// shared-TLB kernel. Without hardware domain matching, every daemon access
+// that matches a global zygote-domain entry raises a domain-fault
+// exception whose handler flushes the matching entries; with it, the
+// denied entry simply does not hit and the walk proceeds directly.
+func (s *Session) DomainMatchStudy() (*AblationResult, error) {
+	measure := func(hwMatch bool) (domainFaults, daemonCycles float64, err error) {
+		sys, err := android.Boot(core.SharedPTPTLB(), android.LayoutOriginal, s.Universe())
+		if err != nil {
+			return 0, 0, err
+		}
+		k := sys.Kernel
+		k.CPU.Main.DomainMatchInHW = hwMatch
+		k.CPU.MicroI.DomainMatchInHW = hwMatch
+		k.CPU.MicroD.DomainMatchInHW = hwMatch
+
+		app, err := sys.ZygoteFork("app")
+		if err != nil {
+			return 0, 0, err
+		}
+		daemon, err := k.NewProcess("daemon")
+		if err != nil {
+			return 0, 0, err
+		}
+		// The daemon's binary overlaps the zygote's library area: the
+		// pages most likely to be resident as global TLB entries.
+		lib0 := sys.CodePageVA(s.Universe().AppProcessPages) // first library page
+		f := vm.NewFile(k.Phys, "daemon-bin", 256*arch.PageSize)
+		if err := k.Mmap(daemon, &vm.VMA{
+			Start: arch.PageBase(lib0), End: arch.PageBase(lib0) + 256*arch.PageSize,
+			Prot: vm.ProtRead | vm.ProtExec, Flags: vm.VMAPrivate, File: f, Name: "daemon-bin",
+		}); err != nil {
+			return 0, 0, err
+		}
+
+		rng := rand.New(rand.NewSource(5))
+		zygotePages := s.Universe().ZygoteSet()[:256]
+		for round := 0; round < 400; round++ {
+			// App touches hot shared code, loading global entries.
+			err = k.Run(app, func() error {
+				for i := 0; i < 8; i++ {
+					pg := zygotePages[rng.Intn(len(zygotePages))]
+					if err := k.CPU.FetchBlock(sys.CodePageVA(pg), 16); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			// Daemon runs over its own (overlapping) addresses.
+			err = k.Run(daemon, func() error {
+				for i := 0; i < 8; i++ {
+					va := arch.PageBase(lib0) + arch.VirtAddr(rng.Intn(256)*arch.PageSize)
+					if err := k.CPU.FetchBlock(va, 16); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		return float64(daemon.Ctx.Stats.DomainFaults), float64(daemon.Ctx.Stats.Cycles), nil
+	}
+	bFaults, bCycles, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	vFaults, vCycles, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{
+		Name: "Hardware domain match for TLB hits (Sections 3.2.3/6)",
+		Rows: []AblationRow{
+			{Metric: "daemon domain faults", Baseline: bFaults, Variant: vFaults},
+			{Metric: "daemon cycles", Baseline: bCycles, Variant: vCycles},
+		},
+		Footnote: "requiring a domain match in hardware removes the exception-and-flush overhead entirely",
+	}, nil
+}
+
+// SchedulerGroupingResult compares context-switch orderings for the
+// software fallback of Section 3.2.3.
+type SchedulerGroupingResult struct {
+	// Interleaved and Grouped are the total app-side instruction
+	// main-TLB stall cycles under each schedule.
+	Interleaved uint64
+	Grouped     uint64
+	// FlushesInterleaved / FlushesGrouped count the protective full
+	// flushes each schedule forced.
+	FlushesInterleaved int
+	FlushesGrouped     int
+}
+
+// SchedulerGrouping models TLB sharing on an architecture WITHOUT a
+// domain protection model: safety then demands flushing the whole TLB on
+// every switch from a zygote-like process to a non-zygote process. The
+// paper suggests separating the two kinds of processes into groups and
+// prioritizing switches within a group. The study schedules three zygote
+// applications and three daemons for the same total quanta, interleaved
+// versus grouped, and measures the applications' TLB stalls and the
+// number of protective flushes.
+func (s *Session) SchedulerGrouping() (*SchedulerGroupingResult, error) {
+	run := func(grouped bool) (uint64, int, error) {
+		sys, err := android.Boot(core.SharedPTPTLB(), android.LayoutOriginal, s.Universe())
+		if err != nil {
+			return 0, 0, err
+		}
+		k := sys.Kernel
+
+		var apps []*core.Process
+		for i := 0; i < 3; i++ {
+			p, err := sys.ZygoteFork(fmt.Sprintf("app%d", i))
+			if err != nil {
+				return 0, 0, err
+			}
+			apps = append(apps, p)
+		}
+		var daemons []*core.Process
+		for i := 0; i < 3; i++ {
+			p, err := k.NewProcess(fmt.Sprintf("daemon%d", i))
+			if err != nil {
+				return 0, 0, err
+			}
+			base := arch.VirtAddr(0x10000000 + i*0x100000)
+			f := vm.NewFile(k.Phys, fmt.Sprintf("daemon%d-bin", i), 64*arch.PageSize)
+			if err := k.Mmap(p, &vm.VMA{Start: base, End: base + 64*arch.PageSize,
+				Prot: vm.ProtRead | vm.ProtExec, Flags: vm.VMAPrivate, File: f, Name: "bin"}); err != nil {
+				return 0, 0, err
+			}
+			daemons = append(daemons, p)
+		}
+
+		// Build the schedule: the same multiset of quanta either strictly
+		// alternating app/daemon or grouped apps-then-daemons per epoch.
+		var schedule []*core.Process
+		const epochs = 60
+		for e := 0; e < epochs; e++ {
+			if grouped {
+				schedule = append(schedule, apps...)
+				schedule = append(schedule, daemons...)
+			} else {
+				for i := 0; i < 3; i++ {
+					schedule = append(schedule, apps[i], daemons[i])
+				}
+			}
+		}
+
+		hot := s.Universe().ZygoteSet()[:192]
+		flushes := 0
+		var prev *core.Process
+		for _, p := range schedule {
+			// Without domains, a zygote-like -> non-zygote switch must
+			// flush the whole TLB to keep the daemon off the global
+			// entries.
+			if prev != nil && prev.ZygoteLike() && !p.ZygoteLike() {
+				k.CPU.Main.FlushAll()
+				flushes++
+			}
+			prev = p
+			quantum := func() error {
+				if p.IsZygoteChild {
+					for i := 0; i < 16; i++ {
+						if err := k.CPU.FetchBlock(sys.CodePageVA(hot[(i*13)%len(hot)]), 16); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				base := p.MM.VMAs()[0].Start
+				for i := 0; i < 16; i++ {
+					if err := k.CPU.FetchBlock(base+arch.VirtAddr((i%64)*arch.PageSize), 16); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := k.Run(p, quantum); err != nil {
+				return 0, 0, err
+			}
+		}
+		var stalls uint64
+		for _, p := range apps {
+			stalls += p.Ctx.Stats.ITLBStallCycles
+		}
+		return stalls, flushes, nil
+	}
+
+	inter, fInter, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	grouped, fGrouped, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &SchedulerGroupingResult{
+		Interleaved:        inter,
+		Grouped:            grouped,
+		FlushesInterleaved: fInter,
+		FlushesGrouped:     fGrouped,
+	}, nil
+}
+
+// String renders the study.
+func (r *SchedulerGroupingResult) String() string {
+	t := stats.NewTable("Scheduler grouping without a domain model (Section 3.2.3)",
+		"Schedule", "App ITLB stall cycles", "Protective full flushes")
+	t.AddRow("interleaved", fmt.Sprintf("%d", r.Interleaved), fmt.Sprintf("%d", r.FlushesInterleaved))
+	t.AddRow("grouped", fmt.Sprintf("%d", r.Grouped), fmt.Sprintf("%d", r.FlushesGrouped))
+	return t.String() + "grouping zygote-like processes cuts the flushes a domain-less architecture needs\n"
+}

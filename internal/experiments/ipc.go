@@ -1,0 +1,94 @@
+// The Android IPC experiment of Section 4.2.4 (Figure 13): instruction
+// main-TLB stall cycles of the Binder client and server under three
+// kernels, with ASIDs disabled (full TLB flush on context switch) and
+// enabled.
+
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Figure13Result is the IPC TLB study.
+type Figure13Result struct {
+	Rows []Figure13Row
+	// ClientImprovementPct / ServerImprovementPct are the reductions of
+	// Shared PTP & TLB versus stock with ASIDs enabled (paper: up to
+	// 36% and 19%).
+	ClientImprovementPct float64
+	ServerImprovementPct float64
+}
+
+// Figure13Row is one configuration's stalls, normalized to the stock
+// kernel in the same ASID mode.
+type Figure13Row struct {
+	ASID   bool
+	Kernel string
+	// ClientStalls / ServerStalls are raw instruction main-TLB stall
+	// cycle counts.
+	ClientStalls uint64
+	ServerStalls uint64
+	// ClientNormPct / ServerNormPct are normalized to the stock kernel
+	// of the same ASID mode (the paper normalizes to stock overall).
+	ClientNormPct float64
+	ServerNormPct float64
+}
+
+// Figure13 runs the Binder microbenchmark under {ASID off, on} x {stock,
+// Shared PTP, Shared PTP & TLB}.
+func (s *Session) Figure13() (*Figure13Result, error) {
+	r := &Figure13Result{}
+	kernels := []core.Config{core.Stock(), core.SharedPTP(), core.SharedPTPTLB()}
+	for _, useASID := range []bool{false, true} {
+		var base android.BinderResult
+		for i, cfg := range kernels {
+			sys, err := android.Boot(cfg, android.LayoutOriginal, s.Universe())
+			if err != nil {
+				return nil, err
+			}
+			res, err := sys.RunBinder(s.Params.BinderIters, useASID)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: figure 13 %s asid=%v: %w", cfg.Name(), useASID, err)
+			}
+			if i == 0 {
+				base = res
+			}
+			r.Rows = append(r.Rows, Figure13Row{
+				ASID:          useASID,
+				Kernel:        cfg.Name(),
+				ClientStalls:  res.Client.ITLBStalls,
+				ServerStalls:  res.Server.ITLBStalls,
+				ClientNormPct: stats.Normalize(float64(base.Client.ITLBStalls), float64(res.Client.ITLBStalls)),
+				ServerNormPct: stats.Normalize(float64(base.Server.ITLBStalls), float64(res.Server.ITLBStalls)),
+			})
+		}
+	}
+	for _, row := range r.Rows {
+		if row.ASID && row.Kernel == "Shared PTP & TLB" {
+			r.ClientImprovementPct = 100 - row.ClientNormPct
+			r.ServerImprovementPct = 100 - row.ServerNormPct
+		}
+	}
+	return r, nil
+}
+
+// String renders the figure.
+func (r *Figure13Result) String() string {
+	t := stats.NewTable("Figure 13: Binder IPC instruction main-TLB stall cycles",
+		"ASID", "Kernel", "Client stalls", "Server stalls", "Client (% of stock)", "Server (% of stock)")
+	for _, row := range r.Rows {
+		mode := "disabled"
+		if row.ASID {
+			mode = "enabled"
+		}
+		t.AddRow(mode, row.Kernel,
+			fmt.Sprintf("%d", row.ClientStalls), fmt.Sprintf("%d", row.ServerStalls),
+			stats.Pct(row.ClientNormPct), stats.Pct(row.ServerNormPct))
+	}
+	return t.String() + fmt.Sprintf("TLB sharing improvement with ASIDs: client %.1f%%, server %.1f%% (paper: up to 36%% / 19%%)\n",
+		r.ClientImprovementPct, r.ServerImprovementPct)
+}

@@ -1,0 +1,227 @@
+// The application-launch experiments of Section 4.2.2: execution time
+// (Figure 7), L1 instruction cache stall cycles (Figure 8), and the PTPs
+// allocated and file-backed-mapping page faults during launch (Figure 9),
+// across six kernel/layout configurations.
+
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// LaunchConfig is one bar group of Figures 7-9.
+type LaunchConfig struct {
+	Kernel core.Config
+	Layout android.Layout
+}
+
+// Label renders the configuration as in the paper's figure legends.
+func (c LaunchConfig) Label() string {
+	if c.Layout == android.Layout2MB {
+		return c.Kernel.Name() + "-2MB"
+	}
+	return c.Kernel.Name()
+}
+
+// LaunchConfigs returns the six configurations of Figures 7-9.
+func LaunchConfigs() []LaunchConfig {
+	return []LaunchConfig{
+		{core.Stock(), android.LayoutOriginal},
+		{core.SharedPTP(), android.LayoutOriginal},
+		{core.SharedPTPTLB(), android.LayoutOriginal},
+		{core.Stock(), android.Layout2MB},
+		{core.SharedPTP(), android.Layout2MB},
+		{core.SharedPTPTLB(), android.Layout2MB},
+	}
+}
+
+// launchSeries holds one configuration's sweep measurements.
+type launchSeries struct {
+	config       LaunchConfig
+	cycles       []float64
+	icacheStalls []float64
+	fileFaults   []float64
+	ptps         []float64
+}
+
+type launchSweep struct {
+	series []launchSeries
+}
+
+// launchData runs (once per session) the HelloWorld launch sweep: for
+// each configuration, boot a system and launch the app Params.LaunchRuns
+// times, exiting each instance, exactly as repeated launches on a running
+// device.
+func (s *Session) launchData() (*launchSweep, error) {
+	s.launchOnce.Do(func() {
+		s.launch, s.launchErr = s.runLaunchSweep()
+	})
+	return s.launch, s.launchErr
+}
+
+func (s *Session) runLaunchSweep() (*launchSweep, error) {
+	sweep := &launchSweep{}
+	spec := workload.HelloWorldSpec()
+	for _, cfg := range LaunchConfigs() {
+		sys, err := android.Boot(cfg.Kernel, cfg.Layout, s.Universe())
+		if err != nil {
+			return nil, err
+		}
+		prof := workload.BuildProfile(s.Universe(), spec)
+		series := launchSeries{config: cfg}
+		for run := 0; run < s.Params.LaunchRuns; run++ {
+			app, ls, err := sys.LaunchApp(prof, int64(run))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: launch sweep %s run %d: %w", cfg.Label(), run, err)
+			}
+			series.cycles = append(series.cycles, float64(ls.Cycles))
+			series.icacheStalls = append(series.icacheStalls, float64(ls.ICacheStalls))
+			series.fileFaults = append(series.fileFaults, float64(ls.FileFaults))
+			series.ptps = append(series.ptps, float64(ls.PTPsAllocated))
+			sys.Kernel.Exit(app.Proc)
+		}
+		sweep.series = append(sweep.series, series)
+	}
+	return sweep, nil
+}
+
+// Figure7Result is the launch execution-time box plot.
+type Figure7Result struct {
+	Rows []DistributionRow
+	// SpeedupPct is the median improvement of Shared PTP & TLB over
+	// stock, original layout (paper: 7%) and 2MB layout (paper: 10%).
+	SpeedupPctOriginal float64
+	SpeedupPct2MB      float64
+}
+
+// DistributionRow is one configuration's five-number summary.
+type DistributionRow struct {
+	Config  string
+	Summary stats.FiveNum
+}
+
+// Figure7 measures launch execution time across the six configurations.
+func (s *Session) Figure7() (*Figure7Result, error) {
+	sweep, err := s.launchData()
+	if err != nil {
+		return nil, err
+	}
+	r := &Figure7Result{}
+	medians := map[string]float64{}
+	for _, ser := range sweep.series {
+		sum := stats.Summarize(ser.cycles)
+		r.Rows = append(r.Rows, DistributionRow{Config: ser.config.Label(), Summary: sum})
+		medians[ser.config.Label()] = sum.Median
+	}
+	r.SpeedupPctOriginal = 100 * (1 - medians["Shared PTP & TLB"]/medians["Stock Android"])
+	r.SpeedupPct2MB = 100 * (1 - medians["Shared PTP & TLB-2MB"]/medians["Stock Android-2MB"])
+	return r, nil
+}
+
+// String renders the box plots.
+func (r *Figure7Result) String() string {
+	t := stats.NewTable("Figure 7: application launch execution time (cycles x10^6)",
+		"Config", "Min", "Q1", "Median", "Q3", "Max")
+	for _, row := range r.Rows {
+		f := row.Summary
+		t.AddRow(row.Config, stats.F(f.Min/1e6), stats.F(f.Q1/1e6),
+			stats.F(f.Median/1e6), stats.F(f.Q3/1e6), stats.F(f.Max/1e6))
+	}
+	return t.String() + fmt.Sprintf("median launch speedup: %.1f%% original (paper: 7%%), %.1f%% 2MB (paper: 10%%)\n",
+		r.SpeedupPctOriginal, r.SpeedupPct2MB)
+}
+
+// Figure8Result is the launch L1 I-cache stall box plot.
+type Figure8Result struct {
+	Rows []DistributionRow
+	// ReductionPctOriginal / 2MB are the median stall reductions of
+	// Shared PTP & TLB vs stock (paper: 15% and 24%).
+	ReductionPctOriginal float64
+	ReductionPct2MB      float64
+}
+
+// Figure8 measures launch L1 instruction cache stall cycles.
+func (s *Session) Figure8() (*Figure8Result, error) {
+	sweep, err := s.launchData()
+	if err != nil {
+		return nil, err
+	}
+	r := &Figure8Result{}
+	medians := map[string]float64{}
+	for _, ser := range sweep.series {
+		sum := stats.Summarize(ser.icacheStalls)
+		r.Rows = append(r.Rows, DistributionRow{Config: ser.config.Label(), Summary: sum})
+		medians[ser.config.Label()] = sum.Median
+	}
+	r.ReductionPctOriginal = 100 * (1 - medians["Shared PTP & TLB"]/medians["Stock Android"])
+	r.ReductionPct2MB = 100 * (1 - medians["Shared PTP & TLB-2MB"]/medians["Stock Android-2MB"])
+	return r, nil
+}
+
+// String renders the box plots.
+func (r *Figure8Result) String() string {
+	t := stats.NewTable("Figure 8: application launch L1 instruction cache stall cycles (x10^6)",
+		"Config", "Min", "Q1", "Median", "Q3", "Max")
+	for _, row := range r.Rows {
+		f := row.Summary
+		t.AddRow(row.Config, stats.F(f.Min/1e6), stats.F(f.Q1/1e6),
+			stats.F(f.Median/1e6), stats.F(f.Q3/1e6), stats.F(f.Max/1e6))
+	}
+	return t.String() + fmt.Sprintf("median I-cache stall reduction: %.1f%% original (paper: 15%%), %.1f%% 2MB (paper: 24%%)\n",
+		r.ReductionPctOriginal, r.ReductionPct2MB)
+}
+
+// Figure9Result is the launch PTP-allocation and file-fault comparison.
+type Figure9Result struct {
+	Rows []Figure9Row
+}
+
+// Figure9Row is one configuration's launch counters, as means over the
+// sweep, with values normalized to the stock kernel / original layout.
+type Figure9Row struct {
+	Config        string
+	PTPs          float64
+	FileFaults    float64
+	PTPsNormPct   float64
+	FaultsNormPct float64
+}
+
+// Figure9 reports the PTPs allocated and page faults for file-backed
+// mappings during launch.
+func (s *Session) Figure9() (*Figure9Result, error) {
+	sweep, err := s.launchData()
+	if err != nil {
+		return nil, err
+	}
+	r := &Figure9Result{}
+	basePTPs := stats.Mean(sweep.series[0].ptps)
+	baseFaults := stats.Mean(sweep.series[0].fileFaults)
+	for _, ser := range sweep.series {
+		p := stats.Mean(ser.ptps)
+		f := stats.Mean(ser.fileFaults)
+		r.Rows = append(r.Rows, Figure9Row{
+			Config:        ser.config.Label(),
+			PTPs:          p,
+			FileFaults:    f,
+			PTPsNormPct:   stats.Normalize(basePTPs, p),
+			FaultsNormPct: stats.Normalize(baseFaults, f),
+		})
+	}
+	return r, nil
+}
+
+// String renders the figure.
+func (r *Figure9Result) String() string {
+	t := stats.NewTable("Figure 9: PTPs allocated and file-backed-mapping page faults during launch",
+		"Config", "PTPs", "PTPs (% of stock)", "File faults", "Faults (% of stock)")
+	for _, row := range r.Rows {
+		t.AddRow(row.Config, stats.F(row.PTPs), stats.Pct(row.PTPsNormPct),
+			stats.F(row.FileFaults), stats.Pct(row.FaultsNormPct))
+	}
+	return t.String()
+}

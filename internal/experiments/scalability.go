@@ -1,0 +1,339 @@
+// Scalability studies for the claims of Section 1: with private page
+// tables, the memory spent on translation structures for shared regions
+// "grows linearly with the number of processes", and the shared cache
+// fills with duplicated PTE lines. Shared PTPs make both costs constant
+// in the number of sharers.
+
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/android"
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ScalabilityResult reports page-table memory as the process count grows.
+type ScalabilityResult struct {
+	Rows []ScalabilityRow
+}
+
+// ScalabilityRow is one process-count measurement.
+type ScalabilityRow struct {
+	// Processes is the number of concurrently live applications.
+	Processes int
+	// StockPTPKB and SharedPTPKB are the physical KB of page-table
+	// pages in use under each kernel (excluding the 16KB root tables,
+	// which are inherently per-process).
+	StockPTPKB  int
+	SharedPTPKB int
+}
+
+// Scalability boots both kernels and keeps 1..32 forked applications
+// alive simultaneously, measuring the physical memory consumed by
+// page-table pages. Under the stock kernel every child gets private
+// copies of the PTPs covering its (identical) inherited address space;
+// under shared PTPs the translation structures for shared code are paid
+// once, so the curve flattens.
+func (s *Session) Scalability() (*ScalabilityResult, error) {
+	counts := []int{1, 2, 4, 8, 16, 32}
+	r := &ScalabilityResult{}
+
+	measure := func(cfg core.Config, n int) (int, error) {
+		sys, err := android.Boot(cfg, android.LayoutOriginal, s.Universe())
+		if err != nil {
+			return 0, err
+		}
+		prof := workload.BuildProfile(s.Universe(), workload.HelloWorldSpec())
+		for i := 0; i < n; i++ {
+			app, _, err := sys.LaunchApp(prof, int64(i))
+			if err != nil {
+				return 0, err
+			}
+			// Keep the process alive: the point is concurrent sharers.
+			_ = app
+		}
+		frames := sys.Kernel.Phys.InUseByKind(mem.FramePageTable)
+		// Remove the per-process root tables (4 frames each, plus the
+		// zygote's) to isolate the level-2 PTPs the paper counts.
+		frames -= 4 * (n + 1)
+		return frames * arch.PageSize / 1024, nil
+	}
+
+	for _, n := range counts {
+		stock, err := measure(core.Stock(), n)
+		if err != nil {
+			return nil, err
+		}
+		shared, err := measure(core.SharedPTP(), n)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, ScalabilityRow{Processes: n, StockPTPKB: stock, SharedPTPKB: shared})
+	}
+	return r, nil
+}
+
+// String renders the study.
+func (r *ScalabilityResult) String() string {
+	t := stats.NewTable("Scalability: page-table memory vs concurrent applications (Section 1)",
+		"Processes", "Stock PTP KB", "Shared PTP KB", "Saving")
+	for _, row := range r.Rows {
+		saving := 100 * (1 - float64(row.SharedPTPKB)/float64(row.StockPTPKB))
+		t.AddRow(fmt.Sprintf("%d", row.Processes),
+			fmt.Sprintf("%d", row.StockPTPKB),
+			fmt.Sprintf("%d", row.SharedPTPKB),
+			stats.Pct(saving))
+	}
+	return t.String() + "private page tables grow linearly with sharers; shared PTPs flatten the curve\n"
+}
+
+// CachePollutionResult reports the Figure 1 effect: duplicated PTE cache
+// lines in the shared L2.
+type CachePollutionResult struct {
+	// Processes is the number of applications walked.
+	Processes int
+	// StockPTELines and SharedPTELines are the distinct L2 cache lines
+	// holding leaf PTEs after every process has translated the same
+	// shared-code working set.
+	StockPTELines  int
+	SharedPTELines int
+}
+
+// CachePollution measures how many distinct L2 lines the hardware page
+// walker touches when eight processes each walk the same 512 pages of
+// zygote-preloaded code. With private page tables every process's walks
+// load its own PTE copies into the shared L2, displacing other data;
+// with shared PTPs all processes walk the same physical words.
+func (s *Session) CachePollution() (*CachePollutionResult, error) {
+	const nProcs = 8
+	const nPages = 512
+
+	measure := func(cfg core.Config) (int, error) {
+		sys, err := android.Boot(cfg, android.LayoutOriginal, s.Universe())
+		if err != nil {
+			return 0, err
+		}
+		k := sys.Kernel
+		pages := s.Universe().ZygoteSet()[:nPages]
+
+		var apps []*core.Process
+		for i := 0; i < nProcs; i++ {
+			p, err := sys.ZygoteFork(fmt.Sprintf("app%d", i))
+			if err != nil {
+				return 0, err
+			}
+			apps = append(apps, p)
+		}
+		// Record the distinct physical lines holding the leaf PTEs each
+		// process's walker reads (line size 32B).
+		lines := make(map[arch.PhysAddr]bool)
+		for _, p := range apps {
+			err := k.Run(p, func() error {
+				for _, pg := range pages {
+					va := sys.CodePageVA(pg)
+					if err := k.CPU.Fetch(va); err != nil {
+						return err
+					}
+					l1 := p.MM.PT.L1(arch.L1Index(va))
+					pa := l1.Table.PTEPhysAddr(arch.L2Index(va))
+					lines[pa&^31] = true
+				}
+				return nil
+			})
+			if err != nil {
+				return 0, err
+			}
+		}
+		return len(lines), nil
+	}
+
+	stock, err := measure(core.Stock())
+	if err != nil {
+		return nil, err
+	}
+	shared, err := measure(core.SharedPTP())
+	if err != nil {
+		return nil, err
+	}
+	return &CachePollutionResult{Processes: nProcs, StockPTELines: stock, SharedPTELines: shared}, nil
+}
+
+// String renders the study.
+func (r *CachePollutionResult) String() string {
+	t := stats.NewTable("Shared-cache pollution by duplicated PTEs (Figure 1 / Section 1)",
+		"Kernel", "Distinct L2 PTE lines")
+	t.AddRow("Stock Android (private tables)", fmt.Sprintf("%d", r.StockPTELines))
+	t.AddRow("Shared PTP", fmt.Sprintf("%d", r.SharedPTELines))
+	return t.String() + fmt.Sprintf("%d processes walking the same shared code: private tables occupy %.1fx the L2 lines\n",
+		r.Processes, float64(r.StockPTELines)/float64(r.SharedPTELines))
+}
+
+// SMPResult reports the four-core study.
+type SMPResult struct {
+	// Shootdowns counts TLB shootdown IPIs per kernel.
+	StockShootdowns  uint64
+	SharedShootdowns uint64
+	// StockFaults and SharedFaults are the page faults all four apps
+	// took; sharing removes the cross-core duplicates.
+	StockFaults  uint64
+	SharedFaults uint64
+}
+
+// SMP runs four applications pinned to the four cores of the evaluation
+// platform, interleaving their quanta, under the stock and shared-PTP
+// kernels. It reports the TLB shootdown IPIs each kernel issued (sharing
+// adds shootdowns when PTPs unshare, stock pays them for fork-time COW)
+// and the page faults taken (sharing eliminates the cross-core soft
+// faults: a PTE populated by the app on core 0 serves the app on core 3).
+func (s *Session) SMP() (*SMPResult, error) {
+	measure := func(cfg core.Config) (uint64, uint64, error) {
+		sys, err := android.BootOpts(cfg, android.LayoutOriginal, s.Universe(),
+			android.Options{CPUs: 4})
+		if err != nil {
+			return 0, 0, err
+		}
+		k := sys.Kernel
+		var apps []*core.Process
+		for i := 0; i < 4; i++ {
+			p, err := sys.ZygoteFork(fmt.Sprintf("app%d", i))
+			if err != nil {
+				return 0, 0, err
+			}
+			apps = append(apps, p)
+		}
+		pages := s.Universe().ZygoteSet()[:1024]
+		// Interleaved quanta: each app covers a slice of the shared code
+		// on its own core, with occasional heap writes (unshare triggers).
+		for round := 0; round < 16; round++ {
+			for ci, p := range apps {
+				c := k.CPUAt(ci)
+				lo := (round*4 + ci) * len(pages) / 64
+				hi := (round*4 + ci + 1) * len(pages) / 64
+				err := k.RunOn(ci, p, func() error {
+					for _, pg := range pages[lo:hi] {
+						if err := c.Fetch(sys.CodePageVA(pg)); err != nil {
+							return err
+						}
+					}
+					return c.Write(heapWriteVA(round))
+				})
+				if err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		var faults uint64
+		for _, p := range apps {
+			faults += p.MM.Counters.PageFaults
+		}
+		return k.Counters.TLBShootdowns, faults, nil
+	}
+	stockSd, stockF, err := measure(core.Stock())
+	if err != nil {
+		return nil, err
+	}
+	sharedSd, sharedF, err := measure(core.SharedPTP())
+	if err != nil {
+		return nil, err
+	}
+	return &SMPResult{
+		StockShootdowns: stockSd, SharedShootdowns: sharedSd,
+		StockFaults: stockF, SharedFaults: sharedF,
+	}, nil
+}
+
+// heapWriteVA spreads the quantum's heap write across the zygote heap.
+func heapWriteVA(round int) arch.VirtAddr {
+	return 0x20000000 + arch.VirtAddr(round)*arch.PageSize
+}
+
+// String renders the study.
+func (r *SMPResult) String() string {
+	t := stats.NewTable("SMP: four cores, four applications (TLB shootdowns and faults)",
+		"Kernel", "TLB shootdown IPIs", "Page faults")
+	t.AddRow("Stock Android", fmt.Sprintf("%d", r.StockShootdowns), fmt.Sprintf("%d", r.StockFaults))
+	t.AddRow("Shared PTP", fmt.Sprintf("%d", r.SharedShootdowns), fmt.Sprintf("%d", r.SharedFaults))
+	return t.String() + "sharing pays shootdowns for unshares but removes the cross-core soft faults\n"
+}
+
+// ChromeFamilyResult reports intra-application-family sharing.
+type ChromeFamilyResult struct {
+	// Pages is the browser's app-specific library footprint the helper
+	// executes.
+	Pages int
+	// StockFaults / SharedFaults are the helper process's page faults
+	// over that footprint under each kernel.
+	StockFaults  uint64
+	SharedFaults uint64
+}
+
+// ChromeFamily models what the suite's three independent Chrome profiles
+// leave out: the real browser forks its sandbox and privilege helpers
+// from the browser process itself, so the helpers inherit the browser's
+// application-specific libraries exactly as applications inherit the
+// zygote's. Under shared PTPs the helper's fetches of the browser's
+// already-executed library pages take no faults; under the stock kernel
+// it refaults every page.
+func (s *Session) ChromeFamily() (*ChromeFamilyResult, error) {
+	measure := func(cfg core.Config) (int, uint64, error) {
+		sys, err := android.Boot(cfg, android.LayoutOriginal, s.Universe())
+		if err != nil {
+			return 0, 0, err
+		}
+		k := sys.Kernel
+		spec, err := workload.SpecByName("Chrome")
+		if err != nil {
+			return 0, 0, err
+		}
+		prof := workload.BuildProfile(s.Universe(), spec)
+		browser, _, err := sys.LaunchApp(prof, 1)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := browser.Run(); err != nil {
+			return 0, 0, err
+		}
+		// The browser forks its sandbox helper, which executes the
+		// browser's own (inherited) library mappings.
+		pages := browser.OtherLibPages()
+		helper, err := k.Fork(browser.Proc, "chrome-sandbox-helper")
+		if err != nil {
+			return 0, 0, err
+		}
+		err = k.Run(helper, func() error {
+			for _, va := range pages {
+				if err := k.CPU.FetchBlock(va, 16); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return len(pages), helper.MM.Counters.FileFaults, nil
+	}
+	n, stock, err := measure(core.Stock())
+	if err != nil {
+		return nil, err
+	}
+	_, shared, err := measure(core.SharedPTP())
+	if err != nil {
+		return nil, err
+	}
+	return &ChromeFamilyResult{Pages: n, StockFaults: stock, SharedFaults: shared}, nil
+}
+
+// String renders the study.
+func (r *ChromeFamilyResult) String() string {
+	t := stats.NewTable("Chrome family: helper forked from the browser process",
+		"Kernel", "Helper faults over browser's libs")
+	t.AddRow("Stock Android", fmt.Sprintf("%d", r.StockFaults))
+	t.AddRow("Shared PTP", fmt.Sprintf("%d", r.SharedFaults))
+	return t.String() + fmt.Sprintf("the helper executes %d inherited library pages; sharing hands it the browser's translations\n", r.Pages)
+}

@@ -1,0 +1,73 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Tables 1-4, Figures 2-4 and 7-13). Each driver runs
+// the corresponding workload on the simulated system, measures the same
+// counters the paper reads, and renders a plain-text version of the
+// table or figure. The cmd/experiments binary prints them all; the
+// bench_test.go harness exposes each as a testing.B benchmark.
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// Params sizes the experiment sweeps.
+type Params struct {
+	// LaunchRuns is the number of application launches per kernel
+	// configuration for the box plots of Figures 7 and 8 (the paper
+	// uses over 100).
+	LaunchRuns int
+	// AppRuns is the number of executions per application for the
+	// steady-state sweeps of Figures 10-12 (the paper averages 10).
+	AppRuns int
+	// BinderIters is the number of IPC calls in the Figure 13
+	// microbenchmark (the paper uses 100,000).
+	BinderIters int
+}
+
+// Default returns the paper-scale parameters.
+func Default() Params {
+	return Params{LaunchRuns: 100, AppRuns: 10, BinderIters: 100000}
+}
+
+// Quick returns reduced parameters for tests and benchmarks.
+func Quick() Params {
+	return Params{LaunchRuns: 8, AppRuns: 3, BinderIters: 4000}
+}
+
+// Session runs experiments, caching the expensive shared sweeps so that
+// regenerating several figures from the same data (as the paper does)
+// costs one sweep.
+type Session struct {
+	// Params sizes the sweeps.
+	Params Params
+
+	universe     *workload.Universe
+	universeOnce sync.Once
+
+	motOnce sync.Once
+	mot     *motivationData
+	motErr  error
+
+	launchOnce sync.Once
+	launch     *launchSweep
+	launchErr  error
+
+	steadyOnce sync.Once
+	steady     *steadySweep
+	steadyErr  error
+}
+
+// New creates a session with the given parameters.
+func New(p Params) *Session {
+	return &Session{Params: p}
+}
+
+// Universe returns the session's preloaded-code landscape.
+func (s *Session) Universe() *workload.Universe {
+	s.universeOnce.Do(func() {
+		s.universe = workload.DefaultUniverse()
+	})
+	return s.universe
+}

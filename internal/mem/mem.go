@@ -1,0 +1,257 @@
+// Package mem implements the simulated physical memory substrate: a page
+// frame allocator and per-frame metadata. Frame metadata mirrors the parts
+// of the Linux struct page that the shared-address-translation design
+// relies on — in particular the mapcount field, which the paper reuses to
+// maintain the number of processes sharing a page-table page.
+package mem
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/arch"
+)
+
+// FrameKind records what a physical frame is currently used for, for
+// accounting and debugging.
+type FrameKind uint8
+
+const (
+	// FrameFree marks an unallocated frame.
+	FrameFree FrameKind = iota
+	// FrameAnon holds anonymous user memory.
+	FrameAnon
+	// FramePageCache holds a file-backed page shared via the page cache.
+	FramePageCache
+	// FramePageTable holds a level-2 page-table page (PTP): the pair of
+	// hardware and Linux-shadow 256-entry tables occupying one 4KB page.
+	FramePageTable
+	// FrameKernel holds kernel text or data.
+	FrameKernel
+)
+
+// String names the frame kind.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameFree:
+		return "free"
+	case FrameAnon:
+		return "anon"
+	case FramePageCache:
+		return "pagecache"
+	case FramePageTable:
+		return "pagetable"
+	case FrameKernel:
+		return "kernel"
+	default:
+		return "unknown"
+	}
+}
+
+// Frame is the metadata kept for one 4KB physical page frame.
+type Frame struct {
+	// Num is the frame number.
+	Num arch.FrameNum
+	// Kind is the current use of the frame.
+	Kind FrameKind
+	// MapCount counts users of the frame. For anonymous and page-cache
+	// frames it is the number of PTEs mapping the frame; for page-table
+	// pages it is the number of processes sharing the PTP, exactly as
+	// the paper reuses the existing mapcount field of the PTP's page
+	// structure.
+	MapCount int
+}
+
+// Stats reports cumulative allocator activity.
+type Stats struct {
+	// Allocated counts every successful Alloc call.
+	Allocated uint64
+	// Freed counts every Free call.
+	Freed uint64
+	// InUse is the number of frames currently allocated.
+	InUse int
+	// ByKind is the number of frames currently allocated per kind.
+	ByKind map[FrameKind]int
+}
+
+// PhysMem is the physical memory allocator. The zero value is not usable;
+// construct with New.
+type PhysMem struct {
+	mu       sync.Mutex
+	frames   []Frame
+	freeList []arch.FrameNum
+	next     arch.FrameNum
+	stats    Stats
+}
+
+// New creates a physical memory of the given number of 4KB frames.
+func New(frames int) *PhysMem {
+	if frames <= 0 {
+		panic(fmt.Sprintf("mem: non-positive frame count %d", frames))
+	}
+	return &PhysMem{
+		frames: make([]Frame, frames),
+		stats:  Stats{ByKind: make(map[FrameKind]int)},
+	}
+}
+
+// NumFrames returns the total number of frames in this physical memory.
+func (m *PhysMem) NumFrames() int { return len(m.frames) }
+
+// Alloc allocates one frame for the given use. It returns an error when
+// physical memory is exhausted.
+func (m *PhysMem) Alloc(kind FrameKind) (arch.FrameNum, error) {
+	if kind == FrameFree {
+		return 0, fmt.Errorf("mem: cannot allocate a frame as %v", kind)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var n arch.FrameNum
+	switch {
+	case len(m.freeList) > 0:
+		n = m.freeList[len(m.freeList)-1]
+		m.freeList = m.freeList[:len(m.freeList)-1]
+	case int(m.next) < len(m.frames):
+		n = m.next
+		m.next++
+	default:
+		return 0, fmt.Errorf("mem: out of physical memory (%d frames)", len(m.frames))
+	}
+	f := &m.frames[n]
+	f.Num = n
+	f.Kind = kind
+	f.MapCount = 0
+	m.stats.Allocated++
+	m.stats.InUse++
+	m.stats.ByKind[kind]++
+	return n, nil
+}
+
+// AllocRange allocates n physically contiguous frames whose base is
+// aligned to align frames, as required for ARM 64KB large-page mappings
+// (16 contiguous, aligned frames). Contiguity comes from the bump region;
+// frames skipped for alignment go to the free list.
+func (m *PhysMem) AllocRange(n, align int, kind FrameKind) (arch.FrameNum, error) {
+	if kind == FrameFree {
+		return 0, fmt.Errorf("mem: cannot allocate a range as %v", kind)
+	}
+	if n <= 0 || align <= 0 {
+		return 0, fmt.Errorf("mem: invalid range request n=%d align=%d", n, align)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	base := m.next
+	if rem := int(base) % align; rem != 0 {
+		base += arch.FrameNum(align - rem)
+	}
+	if int(base)+n > len(m.frames) {
+		return 0, fmt.Errorf("mem: out of contiguous physical memory (%d frames)", len(m.frames))
+	}
+	for f := m.next; f < base; f++ {
+		m.freeList = append(m.freeList, f)
+	}
+	m.next = base + arch.FrameNum(n)
+	for i := 0; i < n; i++ {
+		fr := &m.frames[base+arch.FrameNum(i)]
+		fr.Num = base + arch.FrameNum(i)
+		fr.Kind = kind
+		fr.MapCount = 0
+		m.stats.Allocated++
+		m.stats.InUse++
+		m.stats.ByKind[kind]++
+	}
+	return base, nil
+}
+
+// Free releases a frame back to the allocator. Freeing a frame that is
+// already free or still mapped is a programming error and panics, since a
+// simulated kernel double-free means the simulation itself is wrong.
+func (m *PhysMem) Free(n arch.FrameNum) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.frameLocked(n)
+	if f.Kind == FrameFree {
+		panic(fmt.Sprintf("mem: double free of frame %d", n))
+	}
+	if f.MapCount != 0 {
+		panic(fmt.Sprintf("mem: freeing frame %d with mapcount %d", n, f.MapCount))
+	}
+	m.stats.ByKind[f.Kind]--
+	f.Kind = FrameFree
+	m.stats.Freed++
+	m.stats.InUse--
+	m.freeList = append(m.freeList, n)
+}
+
+// Frame returns the metadata for frame n. The returned pointer stays valid
+// for the life of the PhysMem; callers mutate MapCount through it.
+func (m *PhysMem) Frame(n arch.FrameNum) *Frame {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.frameLocked(n)
+}
+
+func (m *PhysMem) frameLocked(n arch.FrameNum) *Frame {
+	if int(n) >= len(m.frames) {
+		panic(fmt.Sprintf("mem: frame %d out of range (%d frames)", n, len(m.frames)))
+	}
+	return &m.frames[n]
+}
+
+// Get is like MapCount bookkeeping in Linux: it increments the frame's
+// user count and returns the new count.
+func (m *PhysMem) Get(n arch.FrameNum) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.frameLocked(n)
+	if f.Kind == FrameFree {
+		panic(fmt.Sprintf("mem: get on free frame %d", n))
+	}
+	f.MapCount++
+	return f.MapCount
+}
+
+// Put decrements the frame's user count and returns the new count. It does
+// not free the frame; the caller decides whether a zero count means the
+// frame should be reclaimed (a page-cache frame, for example, survives at
+// count zero until its file is truncated).
+func (m *PhysMem) Put(n arch.FrameNum) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.frameLocked(n)
+	if f.Kind == FrameFree {
+		panic(fmt.Sprintf("mem: put on free frame %d", n))
+	}
+	if f.MapCount <= 0 {
+		panic(fmt.Sprintf("mem: put on frame %d with mapcount %d", n, f.MapCount))
+	}
+	f.MapCount--
+	return f.MapCount
+}
+
+// MapCount returns the frame's current user count.
+func (m *PhysMem) MapCount(n arch.FrameNum) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.frameLocked(n).MapCount
+}
+
+// Stats returns a snapshot of allocator statistics.
+func (m *PhysMem) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.ByKind = make(map[FrameKind]int, len(m.stats.ByKind))
+	for k, v := range m.stats.ByKind {
+		s.ByKind[k] = v
+	}
+	return s
+}
+
+// InUseByKind returns the number of frames currently allocated for kind.
+func (m *PhysMem) InUseByKind(kind FrameKind) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats.ByKind[kind]
+}

@@ -1,0 +1,445 @@
+// Package pagetable implements the simulated Linux/ARM two-level
+// hierarchical page table.
+//
+// The first (root) level has 4096 entries, each covering 1MB of virtual
+// address space; the second (leaf) level has 256 entries, each mapping a
+// 4KB page. Because virtually all bits of a hardware level-2 entry are
+// reserved for the MMU — ARM provides neither a referenced nor a dirty
+// bit — the Linux VM system maintains a parallel software entry for each
+// hardware entry. First-level entries and second-level tables are managed
+// in pairs, so that a pair of hardware and a pair of software level-2
+// tables occupy one 4KB physical page, the page-table page (PTP). The
+// simulator folds the hardware and shadow entries into one PTE struct but
+// preserves the physical layout for cache modeling: each PTP occupies one
+// physical frame, and the hardware words of its entries have stable
+// physical addresses inside that frame.
+//
+// Sharing a PTP between address spaces is expressed by pointing two
+// level-1 entries at the same L2Table. The sharer count lives in the
+// mapcount of the PTP's physical frame, exactly as the paper reuses the
+// existing mapcount field of the PTP's page structure. The spare NEED_COPY
+// software bit in the level-1 entry marks the PTP as shared and managed
+// copy-on-write.
+package pagetable
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+)
+
+// PTE is one second-level entry: the hardware translation word plus the
+// parallel Linux software word.
+type PTE struct {
+	// Frame is the physical frame mapped by this entry.
+	Frame arch.FrameNum
+	// Flags holds the hardware permission and attribute bits.
+	Flags arch.PTEFlags
+	// Soft holds the Linux-maintained software bits.
+	Soft arch.SoftFlags
+}
+
+// Valid reports whether the entry holds a live translation.
+func (p PTE) Valid() bool { return p.Flags&arch.PTEValid != 0 }
+
+// Writable reports whether the hardware entry currently permits user writes.
+func (p PTE) Writable() bool { return p.Flags&arch.PTEWrite != 0 }
+
+// Global reports whether the hardware global bit is set.
+func (p PTE) Global() bool { return p.Flags&arch.PTEGlobal != 0 }
+
+// L2Table is a second-level table: one page-table page.
+type L2Table struct {
+	// Frame is the physical frame holding this PTP. TLB-miss page walks
+	// load hardware PTEs from this frame into the cache hierarchy, so a
+	// PTP shared by many processes occupies one set of cache lines
+	// where private page tables would occupy one set per process.
+	Frame arch.FrameNum
+	// PTEs are the 256 entries.
+	PTEs [arch.L2Entries]PTE
+
+	populated int
+}
+
+// Populated returns the number of valid entries in the table.
+func (t *L2Table) Populated() int { return t.populated }
+
+// PTEPhysAddr returns the physical address of the hardware word of entry
+// l2idx inside this PTP, used to model the cache footprint of page walks.
+func (t *L2Table) PTEPhysAddr(l2idx int) arch.PhysAddr {
+	return arch.FrameAddr(t.Frame) + arch.PhysAddr(l2idx)*4
+}
+
+// L1Entry is one first-level entry paired with its software state.
+type L1Entry struct {
+	// Table points to the second-level table, nil when the entry is
+	// invalid. Two address spaces sharing a PTP hold pointers to the
+	// same L2Table.
+	Table *L2Table
+	// Domain is the ARM domain field recorded in the level-1 entry and
+	// inherited by its level-2 entries when they are loaded into the TLB.
+	Domain uint8
+	// NeedCopy is the spare software bit marking the level-2 PTP as
+	// shared: any modification must first unshare (copy) the PTP.
+	NeedCopy bool
+}
+
+// Valid reports whether the entry points at a second-level table.
+func (e L1Entry) Valid() bool { return e.Table != nil }
+
+// Stats counts page-table activity for one address space.
+type Stats struct {
+	// PTPsAllocated counts level-2 tables allocated on behalf of this
+	// address space (including tables allocated during unsharing).
+	PTPsAllocated uint64
+	// PTPsFreed counts level-2 tables released by this address space.
+	PTPsFreed uint64
+	// PTEsSet counts entries written (populated).
+	PTEsSet uint64
+	// PTEsCleared counts entries invalidated.
+	PTEsCleared uint64
+}
+
+// PageTable is one process's two-level translation table.
+type PageTable struct {
+	phys     *mem.PhysMem
+	l1       [arch.L1Entries]L1Entry
+	l1Frames [4]arch.FrameNum // the 16KB root table occupies four frames
+	stats    Stats
+}
+
+// New allocates an empty page table, including the four physical frames of
+// the 16KB first-level table.
+func New(phys *mem.PhysMem) (*PageTable, error) {
+	pt := &PageTable{phys: phys}
+	for i := range pt.l1Frames {
+		f, err := phys.Alloc(mem.FramePageTable)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				phys.Free(pt.l1Frames[j])
+			}
+			return nil, fmt.Errorf("pagetable: allocating L1 frame: %w", err)
+		}
+		pt.l1Frames[i] = f
+	}
+	return pt, nil
+}
+
+// Stats returns a snapshot of this table's counters.
+func (pt *PageTable) Stats() Stats { return pt.stats }
+
+// L1EntryPhysAddr returns the physical address of the hardware word of
+// first-level entry l1idx, used to model the first page-walk access.
+func (pt *PageTable) L1EntryPhysAddr(l1idx int) arch.PhysAddr {
+	const entriesPerFrame = arch.PageSize / 4 // 1024 four-byte entries
+	frame := pt.l1Frames[l1idx/entriesPerFrame]
+	return arch.FrameAddr(frame) + arch.PhysAddr(l1idx%entriesPerFrame)*4
+}
+
+// L1 returns a pointer to first-level entry l1idx.
+func (pt *PageTable) L1(l1idx int) *L1Entry {
+	return &pt.l1[l1idx]
+}
+
+// L1ForVA returns a pointer to the first-level entry covering va.
+func (pt *PageTable) L1ForVA(va arch.VirtAddr) *L1Entry {
+	return &pt.l1[arch.L1Index(va)]
+}
+
+// EnsureL2 returns the second-level table covering first-level slot l1idx,
+// allocating a fresh, empty PTP when the slot is invalid. The new PTP's
+// sharer count is set to one. The domain is recorded in the level-1 entry.
+func (pt *PageTable) EnsureL2(l1idx int, domain uint8) (*L2Table, error) {
+	e := &pt.l1[l1idx]
+	if e.Table != nil {
+		return e.Table, nil
+	}
+	f, err := pt.phys.Alloc(mem.FramePageTable)
+	if err != nil {
+		return nil, fmt.Errorf("pagetable: allocating PTP for slot %d: %w", l1idx, err)
+	}
+	t := &L2Table{Frame: f}
+	pt.phys.Get(f) // sharer count 1: this address space
+	e.Table = t
+	e.Domain = domain
+	e.NeedCopy = false
+	pt.stats.PTPsAllocated++
+	return t, nil
+}
+
+// AttachShared points first-level slot l1idx at an existing PTP owned by
+// another address space, marking it NEED_COPY and incrementing the PTP's
+// sharer count. The caller is responsible for having write-protected the
+// table's writable entries first.
+func (pt *PageTable) AttachShared(l1idx int, t *L2Table, domain uint8) {
+	e := &pt.l1[l1idx]
+	if e.Table != nil {
+		panic(fmt.Sprintf("pagetable: AttachShared over live slot %d", l1idx))
+	}
+	pt.phys.Get(t.Frame)
+	e.Table = t
+	e.Domain = domain
+	e.NeedCopy = true
+}
+
+// SharerCount returns the number of address spaces referencing the PTP in
+// slot l1idx, or zero when the slot is invalid.
+func (pt *PageTable) SharerCount(l1idx int) int {
+	e := &pt.l1[l1idx]
+	if e.Table == nil {
+		return 0
+	}
+	return pt.phys.MapCount(e.Table.Frame)
+}
+
+// DetachL2 disconnects first-level slot l1idx from its PTP, decrementing
+// the sharer count. When this address space was the last sharer the PTP's
+// frame is freed. It returns the number of remaining sharers.
+func (pt *PageTable) DetachL2(l1idx int) int {
+	e := &pt.l1[l1idx]
+	if e.Table == nil {
+		panic(fmt.Sprintf("pagetable: DetachL2 on invalid slot %d", l1idx))
+	}
+	t := e.Table
+	e.Table = nil
+	e.NeedCopy = false
+	remaining := pt.phys.Put(t.Frame)
+	if remaining == 0 {
+		pt.phys.Free(t.Frame)
+		pt.stats.PTPsFreed++
+	}
+	return remaining
+}
+
+// Lookup walks the table for va and returns the leaf PTE together with
+// the level-1 entry. A missing level-1 or level-2 translation reports a
+// translation fault; permission checking against the access kind is the
+// MMU's job (see the tlb and cpu packages), not the walker's.
+func (pt *PageTable) Lookup(va arch.VirtAddr) (PTE, L1Entry, arch.FaultStatus) {
+	e := pt.l1[arch.L1Index(va)]
+	if e.Table == nil {
+		return PTE{}, e, arch.FaultTranslation
+	}
+	pte := e.Table.PTEs[arch.L2Index(va)]
+	if !pte.Valid() {
+		return pte, e, arch.FaultTranslation
+	}
+	return pte, e, arch.FaultNone
+}
+
+// PTEAt returns a pointer to the leaf PTE for va, or nil when no
+// second-level table covers va. Mutating through the pointer bypasses the
+// populated-count bookkeeping; use Set and Clear instead.
+func (pt *PageTable) PTEAt(va arch.VirtAddr) *PTE {
+	e := pt.l1[arch.L1Index(va)]
+	if e.Table == nil {
+		return nil
+	}
+	return &e.Table.PTEs[arch.L2Index(va)]
+}
+
+// Set writes the leaf PTE for va. The covering second-level table must
+// exist (callers allocate it with EnsureL2), and shared tables must have
+// been unshared first; writing through a NEED_COPY entry is a bug in the
+// simulated kernel and panics.
+func (pt *PageTable) Set(va arch.VirtAddr, pte PTE) {
+	e := &pt.l1[arch.L1Index(va)]
+	if e.Table == nil {
+		panic(fmt.Sprintf("pagetable: Set at %#x without L2 table", va))
+	}
+	if e.NeedCopy {
+		panic(fmt.Sprintf("pagetable: Set at %#x through NEED_COPY entry", va))
+	}
+	slot := &e.Table.PTEs[arch.L2Index(va)]
+	wasValid := slot.Valid()
+	*slot = pte
+	if pte.Valid() && !wasValid {
+		e.Table.populated++
+		pt.stats.PTEsSet++
+	} else if !pte.Valid() && wasValid {
+		e.Table.populated--
+		pt.stats.PTEsCleared++
+	} else if pte.Valid() {
+		pt.stats.PTEsSet++
+	}
+}
+
+// SetShared writes the leaf PTE for va through a shared (NEED_COPY) table.
+// This is the one legal mutation of a shared PTP: populating a previously
+// invalid entry on a read fault, which makes the new translation
+// immediately visible to all sharers and thereby eliminates their soft
+// faults. Overwriting a valid entry through a shared table panics.
+func (pt *PageTable) SetShared(va arch.VirtAddr, pte PTE) {
+	e := &pt.l1[arch.L1Index(va)]
+	if e.Table == nil {
+		panic(fmt.Sprintf("pagetable: SetShared at %#x without L2 table", va))
+	}
+	slot := &e.Table.PTEs[arch.L2Index(va)]
+	if slot.Valid() {
+		panic(fmt.Sprintf("pagetable: SetShared over valid entry at %#x", va))
+	}
+	if !pte.Valid() {
+		panic(fmt.Sprintf("pagetable: SetShared with invalid PTE at %#x", va))
+	}
+	if pte.Writable() {
+		panic(fmt.Sprintf("pagetable: SetShared with writable PTE at %#x", va))
+	}
+	*slot = pte
+	e.Table.populated++
+	pt.stats.PTEsSet++
+}
+
+// SetLarge establishes a 64KB large-page mapping at va, which must be
+// 64KB aligned: sixteen consecutive, aligned level-2 entries are written,
+// each a replica carrying the base frame of the 64KB physical block and
+// the PTELarge attribute, exactly as the ARM architecture requires.
+func (pt *PageTable) SetLarge(va arch.VirtAddr, baseFrame arch.FrameNum, flags arch.PTEFlags, soft arch.SoftFlags) {
+	if va&(arch.LargePageSize-1) != 0 {
+		panic(fmt.Sprintf("pagetable: SetLarge at unaligned %#x", va))
+	}
+	if baseFrame%arch.PagesPerLargePage != 0 {
+		panic(fmt.Sprintf("pagetable: SetLarge with unaligned base frame %d", baseFrame))
+	}
+	pte := PTE{Frame: baseFrame, Flags: flags | arch.PTELarge, Soft: soft}
+	for i := 0; i < arch.PagesPerLargePage; i++ {
+		pt.Set(va+arch.VirtAddr(i*arch.PageSize), pte)
+	}
+}
+
+// Clear invalidates the leaf PTE for va and returns the previous entry.
+// Clearing through a shared table panics: the kernel must unshare first.
+func (pt *PageTable) Clear(va arch.VirtAddr) PTE {
+	e := &pt.l1[arch.L1Index(va)]
+	if e.Table == nil {
+		return PTE{}
+	}
+	if e.NeedCopy {
+		panic(fmt.Sprintf("pagetable: Clear at %#x through NEED_COPY entry", va))
+	}
+	slot := &e.Table.PTEs[arch.L2Index(va)]
+	old := *slot
+	if old.Valid() {
+		*slot = PTE{}
+		e.Table.populated--
+		pt.stats.PTEsCleared++
+	}
+	return old
+}
+
+// UnsharePTP performs the unsharing procedure of Figure 6 on first-level
+// slot l1idx and returns the number of PTEs copied. When the sharer count
+// is one, the current address space is the only user: the NEED_COPY bit is
+// simply cleared and no copy happens. Otherwise a new, empty PTP is
+// allocated, all valid PTEs are copied from the shared PTP into it, the
+// level-1 entry is repointed, and the shared PTP's sharer count is
+// decremented. The caller is responsible for the accompanying TLB flush.
+func (pt *PageTable) UnsharePTP(l1idx int) (ptesCopied int, err error) {
+	return pt.UnsharePTPFunc(l1idx, nil)
+}
+
+// UnsharePTPFunc is UnsharePTP with a copy filter: when keep is non-nil,
+// only valid PTEs for which keep returns true are copied into the private
+// PTP. This implements the design alternative of Section 3.1.3 — reducing
+// the cost of unsharing by copying only the PTEs that have their reference
+// bit set or that stock fork would have copied. PTEs filtered out simply
+// soft-fault again later.
+func (pt *PageTable) UnsharePTPFunc(l1idx int, keep func(PTE) bool) (ptesCopied int, err error) {
+	e := &pt.l1[l1idx]
+	if e.Table == nil || !e.NeedCopy {
+		return 0, nil
+	}
+	if pt.phys.MapCount(e.Table.Frame) == 1 {
+		e.NeedCopy = false
+		return 0, nil
+	}
+	shared := e.Table
+	f, err := pt.phys.Alloc(mem.FramePageTable)
+	if err != nil {
+		return 0, fmt.Errorf("pagetable: unshare slot %d: %w", l1idx, err)
+	}
+	fresh := &L2Table{Frame: f}
+	for i := range shared.PTEs {
+		if shared.PTEs[i].Valid() && (keep == nil || keep(shared.PTEs[i])) {
+			fresh.PTEs[i] = shared.PTEs[i]
+			fresh.populated++
+			ptesCopied++
+		}
+	}
+	pt.phys.Get(f)
+	pt.phys.Put(shared.Frame)
+	e.Table = fresh
+	e.NeedCopy = false
+	pt.stats.PTPsAllocated++
+	pt.stats.PTEsSet += uint64(ptesCopied)
+	return ptesCopied, nil
+}
+
+// WriteProtectTable clears the hardware write bit on every writable entry
+// of the PTP in slot l1idx, recording SoftCOW on each, and returns how many
+// entries were protected. This prepares a not-yet-shared PTP for sharing.
+func (pt *PageTable) WriteProtectTable(l1idx int) int {
+	e := &pt.l1[l1idx]
+	if e.Table == nil {
+		return 0
+	}
+	n := 0
+	for i := range e.Table.PTEs {
+		p := &e.Table.PTEs[i]
+		if p.Valid() && p.Writable() {
+			p.Flags &^= arch.PTEWrite
+			p.Soft |= arch.SoftCOW
+			n++
+		}
+	}
+	return n
+}
+
+// ReleaseAll detaches every live first-level slot, freeing exclusively
+// owned PTPs and decrementing sharer counts on shared ones, and finally
+// frees the root table's frames. Used at process exit.
+func (pt *PageTable) ReleaseAll() {
+	for i := range pt.l1 {
+		if pt.l1[i].Table != nil {
+			pt.DetachL2(i)
+		}
+	}
+	for _, f := range pt.l1Frames {
+		pt.phys.Free(f)
+	}
+}
+
+// LivePTPs returns the number of first-level slots currently pointing at a
+// second-level table.
+func (pt *PageTable) LivePTPs() int {
+	n := 0
+	for i := range pt.l1 {
+		if pt.l1[i].Table != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// SharedPTPs returns the number of first-level slots whose PTP is marked
+// NEED_COPY (shared copy-on-write with at least this address space).
+func (pt *PageTable) SharedPTPs() int {
+	n := 0
+	for i := range pt.l1 {
+		if pt.l1[i].Table != nil && pt.l1[i].NeedCopy {
+			n++
+		}
+	}
+	return n
+}
+
+// PopulatedPTEs returns the total number of valid leaf entries.
+func (pt *PageTable) PopulatedPTEs() int {
+	n := 0
+	for i := range pt.l1 {
+		if t := pt.l1[i].Table; t != nil {
+			n += t.populated
+		}
+	}
+	return n
+}

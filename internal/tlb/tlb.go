@@ -1,0 +1,347 @@
+// Package tlb models the translation lookaside buffers of a Cortex-A9
+// class ARMv7 core: small micro-TLBs that are flushed on every context
+// switch, backed by a unified main TLB whose entries carry an address
+// space identifier (ASID), a global bit, and a domain field.
+//
+// The global bit asserts that a mapping is identical in all virtual
+// address spaces: a global entry matches regardless of the current ASID.
+// On every access the MMU checks the matching entry's domain field against
+// the domain access control register (DACR); with no access the MMU raises
+// a domain fault, with client access the entry's permission bits are
+// checked, and with manager access permissions are overridden. The
+// shared-TLB design of the paper places zygote-preloaded shared code in a
+// dedicated zygote domain so that global entries loaded by zygote-like
+// processes cannot be used by non-zygote processes.
+package tlb
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Entry is one TLB entry.
+type Entry struct {
+	valid   bool
+	vpn     uint32
+	asid    arch.ASID
+	global  bool
+	large   bool
+	domain  uint8
+	frame   arch.FrameNum
+	flags   arch.PTEFlags
+	lastUse uint64
+}
+
+// Frame returns the physical frame the entry translates to.
+func (e Entry) Frame() arch.FrameNum { return e.frame }
+
+// Global reports whether the entry's global bit is set.
+func (e Entry) Global() bool { return e.global }
+
+// Domain returns the entry's domain field.
+func (e Entry) Domain() uint8 { return e.domain }
+
+// Flags returns the entry's permission and attribute bits.
+func (e Entry) Flags() arch.PTEFlags { return e.flags }
+
+// Large reports whether the entry maps a 64KB large page.
+func (e Entry) Large() bool { return e.large }
+
+// Result is the outcome of a TLB lookup.
+type Result uint8
+
+const (
+	// Miss: no entry matches; a page table walk is required.
+	Miss Result = iota
+	// Hit: a matching entry passed the domain and permission checks.
+	Hit
+	// DomainFault: a matching entry's domain is denied by the DACR.
+	// The faulting address is reported via FSR/FAR to the exception
+	// handler (a prefetch abort for fetches, a data abort otherwise).
+	DomainFault
+	// PermFault: a matching entry in a client-access domain failed the
+	// PTE permission check.
+	PermFault
+)
+
+// String names the lookup result.
+func (r Result) String() string {
+	switch r {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case DomainFault:
+		return "domain fault"
+	case PermFault:
+		return "permission fault"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	Hits           uint64
+	Misses         uint64
+	DomainFaults   uint64
+	PermFaults     uint64
+	Insertions     uint64
+	Evictions      uint64
+	Flushes        uint64
+	FlushedEntries uint64
+}
+
+// TLB is one translation buffer, fully associative with LRU replacement.
+type TLB struct {
+	// DomainMatchInHW models the hardware support the paper asks future
+	// processors for (Sections 3.2.3 and 6): when set, an entry whose
+	// domain the current DACR denies simply does not match — the lookup
+	// misses and the walker loads the process's own translation —
+	// instead of raising a domain-fault exception that software must
+	// handle by flushing the matching entries.
+	DomainMatchInHW bool
+
+	name    string
+	entries []Entry
+	clock   uint64
+	stats   Stats
+}
+
+// New creates a TLB with the given number of entries.
+func New(name string, entries int) *TLB {
+	if entries <= 0 {
+		panic(fmt.Sprintf("tlb: non-positive size %d", entries))
+	}
+	return &TLB{name: name, entries: make([]Entry, entries)}
+}
+
+// Name returns the TLB's name (for diagnostics).
+func (t *TLB) Name() string { return t.name }
+
+// Size returns the number of entries.
+func (t *TLB) Size() int { return len(t.entries) }
+
+// Stats returns a snapshot of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters without touching the entries.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// match reports whether entry e translates va under asid. A global entry
+// ignores the ASID, per the architectural meaning of the global bit; a
+// 64KB large-page entry matches on the 64KB-aligned page number.
+func (e *Entry) match(vpn uint32, asid arch.ASID) bool {
+	if !e.valid {
+		return false
+	}
+	evpn, qvpn := e.vpn, vpn
+	if e.large {
+		evpn &^= arch.PagesPerLargePage - 1
+		qvpn &^= arch.PagesPerLargePage - 1
+	}
+	return evpn == qvpn && (e.global || e.asid == asid)
+}
+
+// permit checks the entry's permission bits against the access kind.
+func (e *Entry) permit(kind arch.AccessKind) bool {
+	if e.flags&arch.PTEUser == 0 {
+		return false
+	}
+	switch kind {
+	case arch.AccessFetch:
+		return e.flags&arch.PTEExec != 0
+	case arch.AccessWrite:
+		return e.flags&arch.PTEWrite != 0
+	default:
+		return true
+	}
+}
+
+// Lookup searches for a translation of va under the current ASID and DACR.
+// On a Hit the matching entry is returned and its LRU state refreshed. A
+// DomainFault or PermFault also returns the matching entry, so the
+// exception handler can inspect it.
+func (t *TLB) Lookup(va arch.VirtAddr, asid arch.ASID, dacr arch.DACR, kind arch.AccessKind) (Entry, Result) {
+	t.clock++
+	vpn := arch.VPN(va)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.match(vpn, asid) {
+			continue
+		}
+		switch dacr.Access(e.domain) {
+		case arch.DomainNoAccess:
+			if t.DomainMatchInHW {
+				continue // hardware requires a domain match for a hit
+			}
+			t.stats.DomainFaults++
+			return *e, DomainFault
+		case arch.DomainManager:
+			e.lastUse = t.clock
+			t.stats.Hits++
+			return *e, Hit
+		default: // client: check PTE permission bits
+			if !e.permit(kind) {
+				t.stats.PermFaults++
+				return *e, PermFault
+			}
+			e.lastUse = t.clock
+			t.stats.Hits++
+			return *e, Hit
+		}
+	}
+	t.stats.Misses++
+	return Entry{}, Miss
+}
+
+// Insert loads a translation, evicting the LRU entry when full. If an
+// entry already translates (vpn, asid/global) it is overwritten in place.
+func (t *TLB) Insert(va arch.VirtAddr, asid arch.ASID, frame arch.FrameNum, flags arch.PTEFlags, domain uint8) {
+	t.clock++
+	vpn := arch.VPN(va)
+	newGlobal := flags&arch.PTEGlobal != 0
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.match(vpn, asid) {
+			// With hardware domain matching, a global and a non-global
+			// entry for the same page coexist (the domain check picks
+			// the right one); only a same-kind entry is overwritten.
+			if t.DomainMatchInHW && e.global != newGlobal {
+				continue
+			}
+			victim = i
+			oldest = 0
+			break
+		}
+		if !e.valid {
+			victim = i
+			oldest = 0
+			// Keep scanning: a matching entry must win over a free slot.
+			continue
+		}
+		if oldest != 0 && e.lastUse < oldest {
+			victim = i
+			oldest = e.lastUse
+		}
+	}
+	if t.entries[victim].valid && !t.entries[victim].match(vpn, asid) {
+		t.stats.Evictions++
+	}
+	large := flags&arch.PTELarge != 0
+	if large {
+		vpn &^= arch.PagesPerLargePage - 1
+	}
+	t.entries[victim] = Entry{
+		valid:   true,
+		vpn:     vpn,
+		asid:    asid,
+		global:  flags&arch.PTEGlobal != 0,
+		large:   large,
+		domain:  domain,
+		frame:   frame,
+		flags:   flags,
+		lastUse: t.clock,
+	}
+	t.stats.Insertions++
+}
+
+// FlushAll invalidates every entry.
+func (t *TLB) FlushAll() {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+		t.entries[i] = Entry{}
+	}
+	t.stats.Flushes++
+	t.stats.FlushedEntries += uint64(n)
+}
+
+// FlushASID invalidates the non-global entries of one address space.
+// Global entries survive: that is precisely what lets zygote-like
+// processes retain each other's shared-code translations.
+func (t *TLB) FlushASID(asid arch.ASID) {
+	n := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && !e.global && e.asid == asid {
+			*e = Entry{}
+			n++
+		}
+	}
+	t.stats.Flushes++
+	t.stats.FlushedEntries += uint64(n)
+}
+
+// FlushNonGlobal invalidates every non-global entry, regardless of ASID.
+// The shared-TLB kernel uses this on context switches between zygote-like
+// processes when ASIDs are disabled: the global entries for
+// zygote-preloaded shared code are identical in every zygote-like address
+// space (and domain protection locks other processes out), so only the
+// private translations must go.
+func (t *TLB) FlushNonGlobal() int {
+	n := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && !e.global {
+			*e = Entry{}
+			n++
+		}
+	}
+	t.stats.Flushes++
+	t.stats.FlushedEntries += uint64(n)
+	return n
+}
+
+// FlushVA invalidates every entry matching the given virtual address,
+// regardless of ASID or global bit. The domain-fault handler uses this to
+// evict the global entries a non-zygote process tripped over.
+func (t *TLB) FlushVA(va arch.VirtAddr) int {
+	vpn := arch.VPN(va)
+	n := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.vpn == vpn {
+			*e = Entry{}
+			n++
+		}
+	}
+	t.stats.Flushes++
+	t.stats.FlushedEntries += uint64(n)
+	return n
+}
+
+// FlushRange invalidates entries translating any page in [start, end).
+func (t *TLB) FlushRange(start, end arch.VirtAddr, asid arch.ASID) int {
+	lo, hi := arch.VPN(start), arch.VPN(end-1)
+	n := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.vpn >= lo && e.vpn <= hi && (e.global || e.asid == asid) {
+			*e = Entry{}
+			n++
+		}
+	}
+	t.stats.Flushes++
+	t.stats.FlushedEntries += uint64(n)
+	return n
+}
+
+// Occupancy returns the number of valid entries and how many of them are
+// global, a measure of capacity pressure.
+func (t *TLB) Occupancy() (valid, global int) {
+	for i := range t.entries {
+		if t.entries[i].valid {
+			valid++
+			if t.entries[i].global {
+				global++
+			}
+		}
+	}
+	return valid, global
+}

@@ -1,0 +1,287 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestUniverseDeterministic(t *testing.T) {
+	a := DefaultUniverse()
+	b := DefaultUniverse()
+	if a.TotalCodePages() != b.TotalCodePages() {
+		t.Fatal("universe must be deterministic")
+	}
+	for i := range a.Libs {
+		if a.Libs[i] != b.Libs[i] {
+			t.Fatalf("lib %d differs: %+v vs %+v", i, a.Libs[i], b.Libs[i])
+		}
+	}
+	for i := range a.hotOrder {
+		if a.hotOrder[i] != b.hotOrder[i] {
+			t.Fatal("hot order must be deterministic")
+		}
+	}
+}
+
+func TestUniverseShape(t *testing.T) {
+	u := DefaultUniverse()
+	if len(u.Libs) != 88 {
+		t.Errorf("libs = %d, want 88 (paper: 88 preloaded libraries)", len(u.Libs))
+	}
+	dyn := u.DynLibCodePages()
+	if dyn < 8500 || dyn > 11500 {
+		t.Errorf("dynamic lib code pages = %d, want ~10000 (~40MB)", dyn)
+	}
+	if u.TotalCodePages() != u.AppProcessPages+dyn+u.JavaCodePages {
+		t.Error("TotalCodePages inconsistent")
+	}
+	// Library sizes span the paper's range: from one page to megabytes.
+	minSize, maxSize := 1<<30, 0
+	for _, l := range u.Libs {
+		if l.CodePages < minSize {
+			minSize = l.CodePages
+		}
+		if l.CodePages > maxSize {
+			maxSize = l.CodePages
+		}
+		if l.DataPages < 1 {
+			t.Errorf("lib %s has no data segment", l.Name)
+		}
+	}
+	if minSize > 8 {
+		t.Errorf("smallest lib = %d pages; expected small libraries", minSize)
+	}
+	if maxSize < 200 {
+		t.Errorf("largest lib = %d pages; expected MB-sized libraries", maxSize)
+	}
+}
+
+func TestZygoteSet(t *testing.T) {
+	u := DefaultUniverse()
+	z := u.ZygoteSet()
+	if len(z) != ZygoteTouchedPTEs {
+		t.Errorf("zygote set = %d pages, want %d", len(z), ZygoteTouchedPTEs)
+	}
+	seen := make(map[int]bool)
+	for _, p := range z {
+		if p < 0 || p >= u.TotalCodePages() {
+			t.Fatalf("page %d out of range", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate page %d in zygote set", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestHotOrderIsPermutation(t *testing.T) {
+	u := DefaultUniverse()
+	if len(u.hotOrder) != u.TotalCodePages() {
+		t.Fatalf("hotOrder len = %d, want %d", len(u.hotOrder), u.TotalCodePages())
+	}
+	seen := make([]bool, u.TotalCodePages())
+	for _, p := range u.hotOrder {
+		if seen[p] {
+			t.Fatalf("page %d appears twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPageSegment(t *testing.T) {
+	u := DefaultUniverse()
+	if s := u.PageSegment(0); s.Kind != "app_process" {
+		t.Errorf("page 0 = %+v, want app_process", s)
+	}
+	if s := u.PageSegment(u.AppProcessPages); s.Kind != "dynlib" || s.LibIndex != 0 || s.Offset != 0 {
+		t.Errorf("first lib page = %+v", s)
+	}
+	last := u.TotalCodePages() - 1
+	if s := u.PageSegment(last); s.Kind != "java" {
+		t.Errorf("last page = %+v, want java", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range page should panic")
+		}
+	}()
+	u.PageSegment(u.TotalCodePages())
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 11 {
+		t.Fatalf("suite has %d entries, want 11", len(suite))
+	}
+	names := make(map[string]bool)
+	for _, s := range suite {
+		if names[s.Name] {
+			t.Errorf("duplicate app %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.ColdPTEs <= 0 || s.WarmPTEs < s.ColdPTEs {
+			t.Errorf("%s: cold=%d warm=%d", s.Name, s.ColdPTEs, s.WarmPTEs)
+		}
+		if s.UserPct <= 0 || s.UserPct > 100 {
+			t.Errorf("%s: UserPct=%v", s.Name, s.UserPct)
+		}
+		sum := 0.0
+		for _, w := range s.FetchShares {
+			sum += w
+		}
+		if sum < 0.95 || sum > 1.05 {
+			t.Errorf("%s: fetch shares sum to %v", s.Name, sum)
+		}
+	}
+	// Table 1 and Table 3 spot checks against the paper.
+	ab, err := SpecByName("Angrybirds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.UserPct != 92.2 || ab.ColdPTEs != 1370 || ab.WarmPTEs != 2500 {
+		t.Errorf("Angrybirds = %+v", ab)
+	}
+	browser, _ := SpecByName("Android Browser")
+	if browser.ColdPTEs != 1770 || browser.WarmPTEs != 5900 {
+		t.Errorf("Android Browser = %+v", browser)
+	}
+	if _, err := SpecByName("Nope"); err == nil {
+		t.Error("unknown app should error")
+	}
+}
+
+func TestProfileMatchesSpec(t *testing.T) {
+	u := DefaultUniverse()
+	for _, spec := range Suite() {
+		p := BuildProfile(u, spec)
+		if got := len(p.InheritedCold); got != spec.ColdPTEs {
+			t.Errorf("%s: cold = %d, want %d", spec.Name, got, spec.ColdPTEs)
+		}
+		if got := len(p.ZygotePreloaded); got != spec.WarmPTEs {
+			t.Errorf("%s: warm = %d, want %d", spec.Name, got, spec.WarmPTEs)
+		}
+		// Cold pages are genuinely inside the zygote's boot set.
+		z := make(map[int]bool)
+		for _, pg := range u.ZygoteSet() {
+			z[pg] = true
+		}
+		for _, pg := range p.InheritedCold {
+			if !z[pg] {
+				t.Errorf("%s: cold page %d not in zygote set", spec.Name, pg)
+				break
+			}
+		}
+		if got := Overlap(p.ZygotePreloaded, u.sortedZygoteSet()); got != spec.ColdPTEs {
+			t.Errorf("%s: overlap with zygote set = %d, want %d", spec.Name, got, spec.ColdPTEs)
+		}
+		if len(p.UsedLibs) == 0 || len(p.UsedLibs) > 88 {
+			t.Errorf("%s: used libs = %d", spec.Name, len(p.UsedLibs))
+		}
+		if len(p.DataWriteLibs) > len(p.UsedLibs) {
+			t.Errorf("%s: more writer libs than used libs", spec.Name)
+		}
+	}
+}
+
+// sortedZygoteSet is a test helper on Universe.
+func (u *Universe) sortedZygoteSet() []int {
+	z := u.ZygoteSet()
+	out := append([]int(nil), z...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	u := DefaultUniverse()
+	spec, _ := SpecByName("Email")
+	a := BuildProfile(u, spec)
+	b := BuildProfile(u, spec)
+	if len(a.ZygotePreloaded) != len(b.ZygotePreloaded) {
+		t.Fatal("profiles must be deterministic")
+	}
+	for i := range a.ZygotePreloaded {
+		if a.ZygotePreloaded[i] != b.ZygotePreloaded[i] {
+			t.Fatal("page sets differ between builds")
+		}
+	}
+}
+
+func TestCrossAppOverlapCalibration(t *testing.T) {
+	// Table 2: the pairwise intersection of zygote-preloaded shared code
+	// averages 37.9% of each app's instruction footprint. The generative
+	// model should land in the right regime (25-60%).
+	u := DefaultUniverse()
+	var profiles []*Profile
+	for _, spec := range Suite() {
+		profiles = append(profiles, BuildProfile(u, spec))
+	}
+	var sum float64
+	var n int
+	for i, a := range profiles {
+		total := len(a.ZygotePreloaded) + a.Spec.OtherLibPages + a.Spec.PrivateCodePages
+		for j, b := range profiles {
+			if i == j {
+				continue
+			}
+			ov := Overlap(a.ZygotePreloaded, b.ZygotePreloaded)
+			sum += float64(ov) / float64(total)
+			n++
+		}
+	}
+	avg := 100 * sum / float64(n)
+	if avg < 20 || avg > 60 {
+		t.Errorf("average pairwise overlap = %.1f%% of footprint, want 20-60%% (paper: 37.9%%)", avg)
+	}
+	t.Logf("average pairwise zygote-preloaded overlap: %.1f%% (paper: 37.9%%)", avg)
+}
+
+func TestSparsityCalibration(t *testing.T) {
+	// Figure 4: for ~60% of the 64KB chunks touched, more than 9 of the
+	// 16 4KB pages are untouched. Check the sampling scatters enough.
+	u := DefaultUniverse()
+	spec, _ := SpecByName("Adobe Reader")
+	p := BuildProfile(u, spec)
+	touched := make(map[int]int) // 64KB chunk -> touched 4KB pages
+	for _, pg := range p.ZygotePreloaded {
+		touched[pg/16]++
+	}
+	sparse := 0
+	for _, n := range touched {
+		if 16-n > 9 {
+			sparse++
+		}
+	}
+	frac := float64(sparse) / float64(len(touched))
+	if frac < 0.35 {
+		t.Errorf("only %.0f%% of 64KB chunks have >9 untouched pages; want the sparse regime (paper: 60%%)", frac*100)
+	}
+	t.Logf("chunks with >9 of 16 pages untouched: %.0f%% (paper: ~60%%)", frac*100)
+}
+
+func TestOverlap(t *testing.T) {
+	if got := Overlap([]int{1, 2, 3}, []int{2, 3, 4}); got != 2 {
+		t.Errorf("Overlap = %d, want 2", got)
+	}
+	if got := Overlap(nil, []int{1}); got != 0 {
+		t.Errorf("Overlap = %d, want 0", got)
+	}
+	if got := Overlap([]int{5}, []int{5}); got != 1 {
+		t.Errorf("Overlap = %d, want 1", got)
+	}
+}
+
+func TestSampleBiasedProperties(t *testing.T) {
+	u := DefaultUniverse()
+	spec, _ := SpecByName("MX Player") // largest warm set
+	p := BuildProfile(u, spec)
+	seen := make(map[int]bool)
+	for _, pg := range p.ZygotePreloaded {
+		if seen[pg] {
+			t.Fatalf("duplicate page %d in profile", pg)
+		}
+		seen[pg] = true
+	}
+}
