@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -264,6 +265,46 @@ func BenchmarkChromeFamily(b *testing.B) {
 		}
 		b.ReportMetric(float64(r.StockFaults-r.SharedFaults), "faults-eliminated")
 	}
+}
+
+// --- Parallel sweep engine ------------------------------------------------
+
+// benchSweepWorkers times one uncached sweep at several worker counts.
+// Each iteration builds a fresh session so the sync.Once caches don't
+// hide the sweep cost being measured.
+func benchSweepWorkers(b *testing.B, run func(*experiments.Session) error) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := experiments.New(experiments.Quick())
+				s.Parallel = w
+				if err := run(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLaunchSweepWorkers(b *testing.B) {
+	benchSweepWorkers(b, func(s *experiments.Session) error {
+		_, err := s.Figure7()
+		return err
+	})
+}
+
+func BenchmarkSteadySweepWorkers(b *testing.B) {
+	benchSweepWorkers(b, func(s *experiments.Session) error {
+		_, err := s.Figure10()
+		return err
+	})
+}
+
+func BenchmarkMotivationSweepWorkers(b *testing.B) {
+	benchSweepWorkers(b, func(s *experiments.Session) error {
+		_, err := s.Table1()
+		return err
+	})
 }
 
 // --- Primitive micro-benchmarks -------------------------------------------

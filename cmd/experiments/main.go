@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-launch-runs N] [-app-runs N] [-binder-iters N] [-only LIST]
+//	experiments [-quick] [-parallel N] [-launch-runs N] [-app-runs N]
+//	            [-binder-iters N] [-only LIST] [-list]
 //
-// -only selects a comma-separated subset, e.g. -only table4,figure7.
+// -only selects a comma-separated subset, e.g. -only table4,figure7; an
+// unknown name is an error. Explicitly set size flags always override
+// -quick. -parallel controls how many workers the sweeps fan out over;
+// results are byte-identical regardless of the worker count.
 package main
 
 import (
@@ -21,82 +25,102 @@ import (
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "use reduced sweep sizes")
-	launchRuns := flag.Int("launch-runs", 0, "launches per config for Figures 7-9 (default 100, paper >100)")
-	appRuns := flag.Int("app-runs", 0, "executions per app for Figures 10-12 (default 10, as the paper)")
-	binderIters := flag.Int("binder-iters", 0, "IPC calls for Figure 13 (default 100000, as the paper)")
-	only := flag.String("only", "", "comma-separated experiments to run (e.g. table4,figure7); empty = all")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+}
+
+func run(argv []string, out *os.File) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "use reduced sweep sizes (overridden by any explicitly set size flag)")
+	launchRuns := fs.Int("launch-runs", 0, "launches per config for Figures 7-9 (>=1; default 100, paper >100; overrides -quick)")
+	appRuns := fs.Int("app-runs", 0, "executions per app for Figures 10-12 (>=1; default 10, as the paper; overrides -quick)")
+	binderIters := fs.Int("binder-iters", 0, "IPC calls for Figure 13 (>=1; default 100000, as the paper; overrides -quick)")
+	parallel := fs.Int("parallel", 0, "sweep workers: 1 = serial, N>1 = N workers, 0 = GOMAXPROCS")
+	only := fs.String("only", "", "comma-separated experiments to run (see -list); empty = all")
+	list := fs.Bool("list", false, "list the experiment names and exit")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
+	}
 
 	params := experiments.Default()
 	if *quick {
 		params = experiments.Quick()
 	}
-	if *launchRuns > 0 {
-		params.LaunchRuns = *launchRuns
-	}
-	if *appRuns > 0 {
-		params.AppRuns = *appRuns
-	}
-	if *binderIters > 0 {
-		params.BinderIters = *binderIters
-	}
-
-	s := experiments.New(params)
-	type exp struct {
-		name string
-		run  func() (fmt.Stringer, error)
-	}
-	all := []exp{
-		{"table1", func() (fmt.Stringer, error) { return s.Table1() }},
-		{"figure2", func() (fmt.Stringer, error) { return s.Figure2() }},
-		{"figure3", func() (fmt.Stringer, error) { return s.Figure3() }},
-		{"table2", func() (fmt.Stringer, error) { return s.Table2() }},
-		{"figure4", func() (fmt.Stringer, error) { return s.Figure4() }},
-		{"table3", func() (fmt.Stringer, error) { return s.Table3() }},
-		{"table4", func() (fmt.Stringer, error) { return s.Table4() }},
-		{"figure7", func() (fmt.Stringer, error) { return s.Figure7() }},
-		{"figure8", func() (fmt.Stringer, error) { return s.Figure8() }},
-		{"figure9", func() (fmt.Stringer, error) { return s.Figure9() }},
-		{"figure10", func() (fmt.Stringer, error) { return s.Figure10() }},
-		{"figure11", func() (fmt.Stringer, error) { return s.Figure11() }},
-		{"figure12", func() (fmt.Stringer, error) { return s.Figure12() }},
-		{"ptecopies", func() (fmt.Stringer, error) { return s.PTECopies() }},
-		{"figure13", func() (fmt.Stringer, error) { return s.Figure13() }},
-		{"ablation-stack", func() (fmt.Stringer, error) { return s.StackSharingAblation() }},
-		{"ablation-refcopy", func() (fmt.Stringer, error) { return s.CopyReferencedAblation() }},
-		{"ablation-l1wp", func() (fmt.Stringer, error) { return s.L1WriteProtectAblation() }},
-		{"ablation-largepages", func() (fmt.Stringer, error) { return s.LargePageStudy() }},
-		{"future-domainmatch", func() (fmt.Stringer, error) { return s.DomainMatchStudy() }},
-		{"future-grouping", func() (fmt.Stringer, error) { return s.SchedulerGrouping() }},
-		{"scalability", func() (fmt.Stringer, error) { return s.Scalability() }},
-		{"cache-pollution", func() (fmt.Stringer, error) { return s.CachePollution() }},
-		{"smp", func() (fmt.Stringer, error) { return s.SMP() }},
-		{"chrome-family", func() (fmt.Stringer, error) { return s.ChromeFamily() }},
+	// Explicitly set size flags win over -quick, and must be positive:
+	// a zero or negative sweep size would silently produce empty series.
+	var flagErr error
+	fs.Visit(func(f *flag.Flag) {
+		set := func(dst *int, v int) {
+			if v < 1 {
+				flagErr = fmt.Errorf("-%s must be >= 1 (got %d)", f.Name, v)
+				return
+			}
+			*dst = v
+		}
+		switch f.Name {
+		case "launch-runs":
+			set(&params.LaunchRuns, *launchRuns)
+		case "app-runs":
+			set(&params.AppRuns, *appRuns)
+		case "binder-iters":
+			set(&params.BinderIters, *binderIters)
+		case "parallel":
+			if *parallel < 0 {
+				flagErr = fmt.Errorf("-parallel must be >= 0 (got %d)", *parallel)
+			}
+		}
+	})
+	if flagErr != nil {
+		return flagErr
 	}
 
+	registry := experiments.Registry()
+	valid := map[string]bool{}
+	for _, e := range registry {
+		valid[e.Name] = true
+	}
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, n := range strings.Split(*only, ",") {
-			selected[strings.TrimSpace(strings.ToLower(n))] = true
+			name := strings.TrimSpace(strings.ToLower(n))
+			if name == "" {
+				continue
+			}
+			if !valid[name] {
+				return fmt.Errorf("unknown experiment %q; valid names:\n  %s",
+					name, strings.Join(experiments.Names(), "\n  "))
+			}
+			selected[name] = true
 		}
 	}
 
-	fmt.Printf("Shared Address Translation Revisited (EuroSys 2016) — experiment harness\n")
-	fmt.Printf("params: launch-runs=%d app-runs=%d binder-iters=%d\n\n",
-		params.LaunchRuns, params.AppRuns, params.BinderIters)
+	s := experiments.New(params)
+	s.Parallel = *parallel
 
-	for _, e := range all {
-		if len(selected) > 0 && !selected[e.name] {
+	fmt.Fprintf(out, "Shared Address Translation Revisited (EuroSys 2016) — experiment harness\n")
+	fmt.Fprintf(out, "params: launch-runs=%d app-runs=%d binder-iters=%d parallel=%d\n\n",
+		params.LaunchRuns, params.AppRuns, params.BinderIters, *parallel)
+
+	for _, e := range registry {
+		if len(selected) > 0 && !selected[e.Name] {
 			continue
 		}
 		start := time.Now()
-		r, err := e.run()
+		r, err := e.Run(s)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", e.Name, err)
 		}
-		fmt.Println(r.String())
-		fmt.Printf("[%s regenerated in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(out, r.String())
+		fmt.Fprintf(out, "[%s regenerated in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
 }

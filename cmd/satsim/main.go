@@ -7,25 +7,33 @@
 // Usage:
 //
 //	satsim [-kernel stock|copied|shared|shared-tlb] [-layout original|2mb]
-//	       [-app NAME] [-runs N] [-list]
+//	       [-app NAME|all] [-runs N] [-parallel N] [-list]
+//
+// -app all sweeps the whole suite, one freshly booted system per
+// application, fanned out over -parallel workers (0 = GOMAXPROCS,
+// 1 = serial); the output order and values are identical regardless of
+// the worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"repro/internal/android"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
 func main() {
 	kernel := flag.String("kernel", "shared-tlb", "kernel config: stock, copied, shared, shared-tlb")
 	layout := flag.String("layout", "original", "library layout: original or 2mb")
-	app := flag.String("app", "Email", "application to run (see -list)")
-	runs := flag.Int("runs", 1, "number of consecutive executions (warm starts after the first)")
+	app := flag.String("app", "Email", "application to run (see -list), or all for the whole suite")
+	runs := flag.Int("runs", 1, "number of consecutive executions, >= 1 (warm starts after the first)")
+	parallel := flag.Int("parallel", 0, "workers for -app all: 1 = serial, N>1 = N workers, 0 = GOMAXPROCS")
 	list := flag.Bool("list", false, "list the application suite and exit")
 	flag.Parse()
 
@@ -36,13 +44,19 @@ func main() {
 		}
 		return
 	}
-	if err := run(*kernel, *layout, *app, *runs); err != nil {
+	if err := run(*kernel, *layout, *app, *runs, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "satsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernelName, layoutName, appName string, runs int) error {
+func run(kernelName, layoutName, appName string, runs, parallel int) error {
+	if runs < 1 {
+		return fmt.Errorf("-runs must be >= 1 (got %d)", runs)
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (got %d)", parallel)
+	}
 	var cfg core.Config
 	switch kernelName {
 	case "stock":
@@ -65,17 +79,56 @@ func run(kernelName, layoutName, appName string, runs int) error {
 	default:
 		return fmt.Errorf("unknown layout %q", layoutName)
 	}
+
+	u := workload.DefaultUniverse()
+	if appName == "all" {
+		return runSuite(cfg, layout, u, runs, parallel)
+	}
 	spec, err := workload.SpecByName(appName)
 	if err != nil {
 		return err
 	}
-
-	u := workload.DefaultUniverse()
-	sys, err := android.Boot(cfg, layout, u)
+	report, err := runApp(cfg, layout, u, spec, runs)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("booted %s kernel, %s layout; zygote populated %d PTEs\n",
+	fmt.Print(report)
+	return nil
+}
+
+// runSuite runs every application in the suite, each in its own freshly
+// booted system, fanned out over the sweep worker pool. Reports print in
+// suite order whatever the completion order was.
+func runSuite(cfg core.Config, layout android.Layout, u *workload.Universe, runs, parallel int) error {
+	suite := workload.Suite()
+	scenarios := make([]sweep.Scenario[string], len(suite))
+	for i, spec := range suite {
+		spec := spec
+		scenarios[i] = sweep.Scenario[string]{
+			Name: "satsim/" + spec.Name,
+			Run: func(*rand.Rand) (string, error) {
+				return runApp(cfg, layout, u, spec, runs)
+			},
+		}
+	}
+	reports, err := sweep.Run(sweep.Workers(parallel), scenarios)
+	if err != nil {
+		return err
+	}
+	for _, r := range reports {
+		fmt.Print(r)
+	}
+	return nil
+}
+
+// runApp boots a system, runs one application `runs` times, and returns
+// the rendered report.
+func runApp(cfg core.Config, layout android.Layout, u *workload.Universe, spec workload.AppSpec, runs int) (string, error) {
+	sys, err := android.Boot(cfg, layout, u)
+	if err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf("booted %s kernel, %s layout; zygote populated %d PTEs\n",
 		cfg.Name(), layout, sys.Zygote.MM.PT.PopulatedPTEs())
 
 	prof := workload.BuildProfile(u, spec)
@@ -85,11 +138,11 @@ func run(kernelName, layoutName, appName string, runs int) error {
 	for r := 0; r < runs; r++ {
 		appInst, _, err := sys.LaunchApp(prof, int64(r))
 		if err != nil {
-			return err
+			return "", err
 		}
 		rs, err := appInst.Run()
 		if err != nil {
-			return err
+			return "", err
 		}
 		fs := appInst.Proc.ForkStats
 		t.AddRow(fmt.Sprintf("%d", r+1),
@@ -103,15 +156,15 @@ func run(kernelName, layoutName, appName string, runs int) error {
 			stats.F(float64(rs.Cycles)/1e6))
 		sys.Kernel.Exit(appInst.Proc)
 	}
-	fmt.Println(t.String())
+	out += t.String()
 
 	ss := sys.Kernel.SharingStats()
-	fmt.Printf("system-wide: %d PTP references, %d shared, %d distinct frames\n",
+	out += fmt.Sprintf("system-wide: %d PTP references, %d shared, %d distinct frames\n",
 		ss.TotalPTPs, ss.SharedPTPs, ss.DistinctPTPs)
 	kc := sys.Kernel.Counters
-	fmt.Printf("kernel counters: %d forks, %d PTEs copied at fork, %d PTPs shared at fork,\n"+
+	out += fmt.Sprintf("kernel counters: %d forks, %d PTEs copied at fork, %d PTPs shared at fork,\n"+
 		"  %d unshare ops, %d PTEs copied on unshare, %d PTEs write-protected\n",
 		kc.Forks, kc.PTEsCopiedAtFork, kc.PTPsSharedAtFork,
 		kc.UnshareOps, kc.PTEsCopiedOnUnshare, kc.WriteProtectedPTEs)
-	return nil
+	return out, nil
 }

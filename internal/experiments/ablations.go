@@ -11,8 +11,13 @@ import (
 	"repro/internal/android"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
+
+// pairMeasure is the common two-quantity result of the ablation
+// measurements, run as a baseline/variant scenario pair.
+type pairMeasure struct{ a, b float64 }
 
 // AblationResult compares a design variant against the baseline shared-
 // PTP kernel.
@@ -51,22 +56,20 @@ func (s *Session) StackSharingAblation() (*AblationResult, error) {
 		}
 		return float64(child.ForkStats.Cycles), float64(child.Ctx.Stats.Cycles - cyc0), nil
 	}
-	base := core.SharedPTP()
-	variant := core.SharedPTP()
-	variant.ShareStackPTPs = true
-	bFork, bWrite, err := measure(base)
-	if err != nil {
-		return nil, err
-	}
-	vFork, vWrite, err := measure(variant)
+	b, v, err := sweep.Pair(s.workers(), "ablation-stack", func(variant bool) (pairMeasure, error) {
+		cfg := core.SharedPTP()
+		cfg.ShareStackPTPs = variant
+		fork, write, err := measure(cfg)
+		return pairMeasure{a: fork, b: write}, err
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &AblationResult{
 		Name: "Stack PTP sharing (design choice: do not share the stack)",
 		Rows: []AblationRow{
-			{Metric: "fork cycles", Baseline: bFork, Variant: vFork},
-			{Metric: "first stack write cycles", Baseline: bWrite, Variant: vWrite},
+			{Metric: "fork cycles", Baseline: b.a, Variant: v.a},
+			{Metric: "first stack write cycles", Baseline: b.b, Variant: v.b},
 		},
 		Footnote: "sharing the stack trades a cheaper fork for an immediate unshare on the first write",
 	}, nil
@@ -92,22 +95,20 @@ func (s *Session) CopyReferencedAblation() (*AblationResult, error) {
 		defer sys.Kernel.Exit(app.Proc)
 		return float64(rs.PTEsCopied), float64(rs.FileFaults), nil
 	}
-	base := core.SharedPTP()
-	variant := core.SharedPTP()
-	variant.CopyOnlyReferenced = true
-	bCopied, bFaults, err := measure(base)
-	if err != nil {
-		return nil, err
-	}
-	vCopied, vFaults, err := measure(variant)
+	b, v, err := sweep.Pair(s.workers(), "ablation-refcopy", func(variant bool) (pairMeasure, error) {
+		cfg := core.SharedPTP()
+		cfg.CopyOnlyReferenced = variant
+		copied, faults, err := measure(cfg)
+		return pairMeasure{a: copied, b: faults}, err
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &AblationResult{
 		Name: "Unshare copy policy: all valid PTEs vs referenced-only (Section 3.1.3)",
 		Rows: []AblationRow{
-			{Metric: "PTEs copied per run", Baseline: bCopied, Variant: vCopied},
-			{Metric: "file faults per run", Baseline: bFaults, Variant: vFaults},
+			{Metric: "PTEs copied per run", Baseline: b.a, Variant: v.a},
+			{Metric: "file faults per run", Baseline: b.b, Variant: v.b},
 		},
 		Footnote: "referenced-only copying shrinks unshare cost; skipped PTEs simply soft-fault again",
 	}, nil
@@ -131,11 +132,12 @@ func (s *Session) L1WriteProtectAblation() (*AblationResult, error) {
 		defer sys.Kernel.Exit(child)
 		return float64(child.ForkStats.Cycles), nil
 	}
-	base, err := measure(core.DefaultForkCosts().PerPTEProtect)
-	if err != nil {
-		return nil, err
-	}
-	variant, err := measure(0)
+	base, variant, err := sweep.Pair(s.workers(), "ablation-l1wp", func(variant bool) (float64, error) {
+		if variant {
+			return measure(0)
+		}
+		return measure(core.DefaultForkCosts().PerPTEProtect)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -196,20 +198,20 @@ func (s *Session) LargePageStudy() (*AblationResult, error) {
 		resident := float64(sys.JavaImageResidentPages()) * 4096 / (1 << 20)
 		return resident, float64(app.Proc.Ctx.Stats.ITLBMainMisses), float64(rs.PTPsShared), nil
 	}
-	bRes, bMiss, bShared, err := measure(false)
-	if err != nil {
-		return nil, err
-	}
-	vRes, vMiss, vShared, err := measure(true)
+	type lpMeasure struct{ resident, misses, shared float64 }
+	b, v, err := sweep.Pair(s.workers(), "ablation-largepages", func(variant bool) (lpMeasure, error) {
+		resident, misses, shared, err := measure(variant)
+		return lpMeasure{resident: resident, misses: misses, shared: shared}, err
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &AblationResult{
 		Name: "64KB large pages for the ART boot image (Section 2.3.3)",
 		Rows: []AblationRow{
-			{Metric: "boot image resident MB", Baseline: bRes, Variant: vRes},
-			{Metric: "app instruction main-TLB misses", Baseline: bMiss, Variant: vMiss},
-			{Metric: "shared PTPs at end of run", Baseline: bShared, Variant: vShared},
+			{Metric: "boot image resident MB", Baseline: b.resident, Variant: v.resident},
+			{Metric: "app instruction main-TLB misses", Baseline: b.misses, Variant: v.misses},
+			{Metric: "shared PTPs at end of run", Baseline: b.shared, Variant: v.shared},
 		},
 		Footnote: "large pages trade physical memory for TLB reach; their PTPs still share at fork",
 	}, nil

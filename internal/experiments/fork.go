@@ -6,10 +6,12 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/android"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -34,36 +36,48 @@ type Table3Row struct {
 // and counting the valid PTEs among the pages the application executes —
 // before (cold) and after (warm) the application's first full run.
 func (s *Session) Table3() (*Table3Result, error) {
-	r := &Table3Result{}
-	for _, spec := range workload.Suite() {
-		sys, err := android.Boot(core.SharedPTP(), android.LayoutOriginal, s.Universe())
-		if err != nil {
-			return nil, err
+	u := s.Universe()
+	suite := workload.Suite()
+	scenarios := make([]sweep.Scenario[Table3Row], len(suite))
+	for i, spec := range suite {
+		spec := spec
+		scenarios[i] = sweep.Scenario[Table3Row]{
+			Name: "table3/" + spec.Name,
+			Run: func(*rand.Rand) (Table3Row, error) {
+				sys, err := android.Boot(core.SharedPTP(), android.LayoutOriginal, u)
+				if err != nil {
+					return Table3Row{}, err
+				}
+				prof := workload.BuildProfile(u, spec)
+				cold, err := countInherited(sys, prof)
+				if err != nil {
+					return Table3Row{}, fmt.Errorf("experiments: table 3 %s: %w", spec.Name, err)
+				}
+				// First instantiation: launch, run, exit.
+				app, _, err := sys.LaunchApp(prof, 1)
+				if err != nil {
+					return Table3Row{}, err
+				}
+				if _, err := app.Run(); err != nil {
+					return Table3Row{}, err
+				}
+				sys.Kernel.Exit(app.Proc)
+				warm, err := countInherited(sys, prof)
+				if err != nil {
+					return Table3Row{}, err
+				}
+				return Table3Row{
+					App: spec.Name, Cold: cold, Warm: warm,
+					PaperCold: spec.ColdPTEs, PaperWarm: spec.WarmPTEs,
+				}, nil
+			},
 		}
-		prof := workload.BuildProfile(s.Universe(), spec)
-		cold, err := countInherited(sys, prof)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: table 3 %s: %w", spec.Name, err)
-		}
-		// First instantiation: launch, run, exit.
-		app, _, err := sys.LaunchApp(prof, 1)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := app.Run(); err != nil {
-			return nil, err
-		}
-		sys.Kernel.Exit(app.Proc)
-		warm, err := countInherited(sys, prof)
-		if err != nil {
-			return nil, err
-		}
-		r.Rows = append(r.Rows, Table3Row{
-			App: spec.Name, Cold: cold, Warm: warm,
-			PaperCold: spec.ColdPTEs, PaperWarm: spec.WarmPTEs,
-		})
 	}
-	return r, nil
+	rows, err := sweep.Run(s.workers(), scenarios)
+	if err != nil {
+		return nil, err
+	}
+	return &Table3Result{Rows: rows}, nil
 }
 
 // countInherited forks a probe child and counts how many of the pages in
@@ -123,33 +137,46 @@ type Table4Row struct {
 // Copied PTEs kernel, and the Shared PTPs kernel: 40 rounds each, with
 // the minimum-cycles round reported.
 func (s *Session) Table4() (*Table4Result, error) {
-	r := &Table4Result{}
 	const rounds = 40
-	for _, cfg := range []core.Config{core.SharedPTP(), core.Stock(), core.CopiedPTEs()} {
-		sys, err := android.Boot(cfg, android.LayoutOriginal, s.Universe())
-		if err != nil {
-			return nil, err
+	u := s.Universe()
+	kernels := []core.Config{core.SharedPTP(), core.Stock(), core.CopiedPTEs()}
+	scenarios := make([]sweep.Scenario[Table4Row], len(kernels))
+	for i, cfg := range kernels {
+		cfg := cfg
+		scenarios[i] = sweep.Scenario[Table4Row]{
+			Name: "table4/" + cfg.Name(),
+			Run: func(*rand.Rand) (Table4Row, error) {
+				sys, err := android.Boot(cfg, android.LayoutOriginal, u)
+				if err != nil {
+					return Table4Row{}, err
+				}
+				var best *core.ForkStats
+				for round := 0; round < rounds; round++ {
+					child, err := sys.ZygoteFork("app")
+					if err != nil {
+						return Table4Row{}, fmt.Errorf("experiments: table 4 %s round %d: %w", cfg.Name(), round, err)
+					}
+					fs := child.ForkStats
+					sys.Kernel.Exit(child)
+					if best == nil || fs.Cycles < best.Cycles {
+						best = &fs
+					}
+				}
+				return Table4Row{
+					Kernel:        cfg.Name(),
+					Cycles:        best.Cycles,
+					PTPsAllocated: best.PTPsAllocated,
+					SharedPTPs:    best.PTPsShared,
+					PTEsCopied:    best.PTEsCopied,
+				}, nil
+			},
 		}
-		var best *core.ForkStats
-		for round := 0; round < rounds; round++ {
-			child, err := sys.ZygoteFork("app")
-			if err != nil {
-				return nil, fmt.Errorf("experiments: table 4 %s round %d: %w", cfg.Name(), round, err)
-			}
-			fs := child.ForkStats
-			sys.Kernel.Exit(child)
-			if best == nil || fs.Cycles < best.Cycles {
-				best = &fs
-			}
-		}
-		r.Rows = append(r.Rows, Table4Row{
-			Kernel:        cfg.Name(),
-			Cycles:        best.Cycles,
-			PTPsAllocated: best.PTPsAllocated,
-			SharedPTPs:    best.PTPsShared,
-			PTEsCopied:    best.PTEsCopied,
-		})
 	}
+	rows, err := sweep.Run(s.workers(), scenarios)
+	if err != nil {
+		return nil, err
+	}
+	r := &Table4Result{Rows: rows}
 	shared, stock, copied := r.Rows[0], r.Rows[1], r.Rows[2]
 	r.Speedup = float64(stock.Cycles) / float64(shared.Cycles)
 	r.CopiedSlowdownPct = 100 * (float64(copied.Cycles)/float64(stock.Cycles) - 1)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/vm"
 )
 
@@ -85,19 +86,18 @@ func (s *Session) DomainMatchStudy() (*AblationResult, error) {
 		}
 		return float64(daemon.Ctx.Stats.DomainFaults), float64(daemon.Ctx.Stats.Cycles), nil
 	}
-	bFaults, bCycles, err := measure(false)
-	if err != nil {
-		return nil, err
-	}
-	vFaults, vCycles, err := measure(true)
+	b, v, err := sweep.Pair(s.workers(), "future-domainmatch", func(variant bool) (pairMeasure, error) {
+		faults, cycles, err := measure(variant)
+		return pairMeasure{a: faults, b: cycles}, err
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &AblationResult{
 		Name: "Hardware domain match for TLB hits (Sections 3.2.3/6)",
 		Rows: []AblationRow{
-			{Metric: "daemon domain faults", Baseline: bFaults, Variant: vFaults},
-			{Metric: "daemon cycles", Baseline: bCycles, Variant: vCycles},
+			{Metric: "daemon domain faults", Baseline: b.a, Variant: v.a},
+			{Metric: "daemon cycles", Baseline: b.b, Variant: v.b},
 		},
 		Footnote: "requiring a domain match in hardware removes the exception-and-flush overhead entirely",
 	}, nil
@@ -210,19 +210,22 @@ func (s *Session) SchedulerGrouping() (*SchedulerGroupingResult, error) {
 		return stalls, flushes, nil
 	}
 
-	inter, fInter, err := run(false)
-	if err != nil {
-		return nil, err
+	type groupingMeasure struct {
+		stalls  uint64
+		flushes int
 	}
-	grouped, fGrouped, err := run(true)
+	b, v, err := sweep.Pair(s.workers(), "future-grouping", func(variant bool) (groupingMeasure, error) {
+		stalls, flushes, err := run(variant)
+		return groupingMeasure{stalls: stalls, flushes: flushes}, err
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &SchedulerGroupingResult{
-		Interleaved:        inter,
-		Grouped:            grouped,
-		FlushesInterleaved: fInter,
-		FlushesGrouped:     fGrouped,
+		Interleaved:        b.stalls,
+		Grouped:            v.stalls,
+		FlushesInterleaved: b.flushes,
+		FlushesGrouped:     v.flushes,
 	}, nil
 }
 

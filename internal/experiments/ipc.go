@@ -7,10 +7,12 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/android"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // Figure13Result is the IPC TLB study.
@@ -39,24 +41,46 @@ type Figure13Row struct {
 }
 
 // Figure13 runs the Binder microbenchmark under {ASID off, on} x {stock,
-// Shared PTP, Shared PTP & TLB}.
+// Shared PTP, Shared PTP & TLB}: six independent scenarios, each booting
+// its own system, fanned out over the worker pool. Normalization to the
+// stock kernel of each ASID mode happens after the merge, on the
+// canonically ordered rows.
 func (s *Session) Figure13() (*Figure13Result, error) {
-	r := &Figure13Result{}
+	if err := s.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("figure 13: %w", err)
+	}
+	u := s.Universe()
 	kernels := []core.Config{core.Stock(), core.SharedPTP(), core.SharedPTPTLB()}
+	var scenarios []sweep.Scenario[android.BinderResult]
 	for _, useASID := range []bool{false, true} {
-		var base android.BinderResult
-		for i, cfg := range kernels {
-			sys, err := android.Boot(cfg, android.LayoutOriginal, s.Universe())
-			if err != nil {
-				return nil, err
-			}
-			res, err := sys.RunBinder(s.Params.BinderIters, useASID)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: figure 13 %s asid=%v: %w", cfg.Name(), useASID, err)
-			}
-			if i == 0 {
-				base = res
-			}
+		for _, cfg := range kernels {
+			useASID, cfg := useASID, cfg
+			scenarios = append(scenarios, sweep.Scenario[android.BinderResult]{
+				Name: fmt.Sprintf("figure13/%s/asid=%v", cfg.Name(), useASID),
+				Run: func(*rand.Rand) (android.BinderResult, error) {
+					sys, err := android.Boot(cfg, android.LayoutOriginal, u)
+					if err != nil {
+						return android.BinderResult{}, err
+					}
+					res, err := sys.RunBinder(s.Params.BinderIters, useASID)
+					if err != nil {
+						return android.BinderResult{}, fmt.Errorf("experiments: figure 13 %s asid=%v: %w",
+							cfg.Name(), useASID, err)
+					}
+					return res, nil
+				},
+			})
+		}
+	}
+	results, err := sweep.Run(s.workers(), scenarios)
+	if err != nil {
+		return nil, err
+	}
+	r := &Figure13Result{}
+	for ai, useASID := range []bool{false, true} {
+		base := results[ai*len(kernels)] // stock kernel of this ASID mode
+		for ki, cfg := range kernels {
+			res := results[ai*len(kernels)+ki]
 			r.Rows = append(r.Rows, Figure13Row{
 				ASID:          useASID,
 				Kernel:        cfg.Name(),

@@ -7,10 +7,12 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/android"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -60,34 +62,61 @@ type launchSweep struct {
 func (s *Session) launchData() (*launchSweep, error) {
 	s.launchOnce.Do(func() {
 		s.launch, s.launchErr = s.runLaunchSweep()
+		s.launchErr = sweepErr("launch sweep (Figures 7-9)", s.launchErr)
 	})
 	return s.launch, s.launchErr
 }
 
+// runLaunchSweep fans the six configurations out over the worker pool:
+// each configuration is one scenario with its own booted system, and the
+// runs within a configuration stay sequential because later launches
+// warm-start from the state earlier ones left in the zygote.
 func (s *Session) runLaunchSweep() (*launchSweep, error) {
-	sweep := &launchSweep{}
-	spec := workload.HelloWorldSpec()
-	for _, cfg := range LaunchConfigs() {
-		sys, err := android.Boot(cfg.Kernel, cfg.Layout, s.Universe())
-		if err != nil {
-			return nil, err
-		}
-		prof := workload.BuildProfile(s.Universe(), spec)
-		series := launchSeries{config: cfg}
-		for run := 0; run < s.Params.LaunchRuns; run++ {
-			app, ls, err := sys.LaunchApp(prof, int64(run))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: launch sweep %s run %d: %w", cfg.Label(), run, err)
-			}
-			series.cycles = append(series.cycles, float64(ls.Cycles))
-			series.icacheStalls = append(series.icacheStalls, float64(ls.ICacheStalls))
-			series.fileFaults = append(series.fileFaults, float64(ls.FileFaults))
-			series.ptps = append(series.ptps, float64(ls.PTPsAllocated))
-			sys.Kernel.Exit(app.Proc)
-		}
-		sweep.series = append(sweep.series, series)
+	if err := s.Params.Validate(); err != nil {
+		return nil, err
 	}
-	return sweep, nil
+	spec := workload.HelloWorldSpec()
+	u := s.Universe()
+	cfgs := LaunchConfigs()
+	scenarios := make([]sweep.Scenario[launchSeries], len(cfgs))
+	for i, cfg := range cfgs {
+		cfg := cfg
+		scenarios[i] = sweep.Scenario[launchSeries]{
+			Name: "launch/" + cfg.Label(),
+			Run: func(*rand.Rand) (launchSeries, error) {
+				return s.runLaunchSeries(cfg, spec, u)
+			},
+		}
+	}
+	series, err := sweep.Run(s.workers(), scenarios)
+	if err != nil {
+		return nil, err
+	}
+	return &launchSweep{series: series}, nil
+}
+
+// runLaunchSeries measures one configuration's launch distribution. Each
+// launch seeds its own PRNG from (app seed, run index) inside LaunchApp,
+// so the series is a pure function of the configuration.
+func (s *Session) runLaunchSeries(cfg LaunchConfig, spec workload.AppSpec, u *workload.Universe) (launchSeries, error) {
+	sys, err := android.Boot(cfg.Kernel, cfg.Layout, u)
+	if err != nil {
+		return launchSeries{}, err
+	}
+	prof := workload.BuildProfile(u, spec)
+	series := launchSeries{config: cfg}
+	for run := 0; run < s.Params.LaunchRuns; run++ {
+		app, ls, err := sys.LaunchApp(prof, int64(run))
+		if err != nil {
+			return launchSeries{}, fmt.Errorf("experiments: launch sweep %s run %d: %w", cfg.Label(), run, err)
+		}
+		series.cycles = append(series.cycles, float64(ls.Cycles))
+		series.icacheStalls = append(series.icacheStalls, float64(ls.ICacheStalls))
+		series.fileFaults = append(series.fileFaults, float64(ls.FileFaults))
+		series.ptps = append(series.ptps, float64(ls.PTPsAllocated))
+		sys.Kernel.Exit(app.Proc)
+	}
+	return series, nil
 }
 
 // Figure7Result is the launch execution-time box plot.

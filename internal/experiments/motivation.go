@@ -8,12 +8,14 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"repro/internal/android"
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -47,50 +49,79 @@ const sampleEvery = 509 // instructions per PC sample
 func (s *Session) motivation() (*motivationData, error) {
 	s.motOnce.Do(func() {
 		s.mot, s.motErr = s.runMotivation()
+		s.motErr = sweepErr("motivation sweep (Tables 1-2, Figures 2-4)", s.motErr)
 	})
 	return s.mot, s.motErr
 }
 
+// runMotivation fans one scenario per application out over the worker
+// pool. Each scenario boots its own stock-kernel system with its own
+// fault trace and PC sampler, so the per-app measurements are pure
+// functions of the app's profile and the order apps run in is
+// irrelevant (with the stock kernel's private page tables, one app's
+// execution never changed another's counters anyway).
 func (s *Session) runMotivation() (*motivationData, error) {
-	sys, err := android.Boot(core.Stock(), android.LayoutOriginal, s.Universe())
+	if err := s.Params.Validate(); err != nil {
+		return nil, err
+	}
+	u := s.Universe()
+	suite := workload.Suite()
+	scenarios := make([]sweep.Scenario[appMotivation], len(suite))
+	for i, spec := range suite {
+		spec := spec
+		scenarios[i] = sweep.Scenario[appMotivation]{
+			Name: "motivation/" + spec.Name,
+			Run: func(*rand.Rand) (appMotivation, error) {
+				return s.runMotivationApp(spec, u)
+			},
+		}
+	}
+	apps, err := sweep.Run(s.workers(), scenarios)
 	if err != nil {
 		return nil, err
 	}
+	return &motivationData{apps: apps}, nil
+}
+
+// runMotivationApp runs one application on a freshly booted stock system
+// while collecting its page-fault trace and PC samples.
+func (s *Session) runMotivationApp(spec workload.AppSpec, u *workload.Universe) (appMotivation, error) {
+	sys, err := android.Boot(core.Stock(), android.LayoutOriginal, u)
+	if err != nil {
+		return appMotivation{}, err
+	}
 	ft := &trace.FaultTrace{}
 	ft.Attach(sys.Kernel)
-	data := &motivationData{}
-	for _, spec := range workload.Suite() {
-		prof := workload.BuildProfile(s.Universe(), spec)
-		sampler := trace.NewPCSampler()
-		sys.Kernel.CPU.SampleEvery = sampleEvery
-		sys.Kernel.CPU.Sampler = sampler
-		app, _, err := sys.LaunchApp(prof, 1)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: motivation %s: %w", spec.Name, err)
-		}
-		if _, err := app.Run(); err != nil {
-			return nil, fmt.Errorf("experiments: motivation %s: %w", spec.Name, err)
-		}
-		sys.Kernel.CPU.Sampler = nil
+	defer ft.Detach(sys.Kernel)
 
-		smaps := app.Proc.MM.SmapsDump()
-		pages := ft.ExecPages(app.Proc.PID)
-		am := appMotivation{
-			spec:         spec,
-			userPct:      sampler.UserPct(),
-			footprint:    trace.FootprintBreakdown(smaps, pages),
-			fetches:      trace.FetchBreakdown(smaps, sampler),
-			sharedZygote: trace.SharedCodePages(smaps, pages, true),
-			sharedAll:    trace.SharedCodePages(smaps, pages, false),
-			zygoteKeys:   trace.SharedCodeKeys(smaps, pages, true),
-			allKeys:      trace.SharedCodeKeys(smaps, pages, false),
-			totalPages:   len(pages),
-		}
-		data.apps = append(data.apps, am)
-		sys.Kernel.Exit(app.Proc)
+	prof := workload.BuildProfile(u, spec)
+	sampler := trace.NewPCSampler()
+	sys.Kernel.CPU.SampleEvery = sampleEvery
+	sys.Kernel.CPU.Sampler = sampler
+	app, _, err := sys.LaunchApp(prof, 1)
+	if err != nil {
+		return appMotivation{}, fmt.Errorf("experiments: motivation %s: %w", spec.Name, err)
 	}
-	ft.Detach(sys.Kernel)
-	return data, nil
+	if _, err := app.Run(); err != nil {
+		return appMotivation{}, fmt.Errorf("experiments: motivation %s: %w", spec.Name, err)
+	}
+	sys.Kernel.CPU.Sampler = nil
+
+	smaps := app.Proc.MM.SmapsDump()
+	pages := ft.ExecPages(app.Proc.PID)
+	am := appMotivation{
+		spec:         spec,
+		userPct:      sampler.UserPct(),
+		footprint:    trace.FootprintBreakdown(smaps, pages),
+		fetches:      trace.FetchBreakdown(smaps, sampler),
+		sharedZygote: trace.SharedCodePages(smaps, pages, true),
+		sharedAll:    trace.SharedCodePages(smaps, pages, false),
+		zygoteKeys:   trace.SharedCodeKeys(smaps, pages, true),
+		allKeys:      trace.SharedCodeKeys(smaps, pages, false),
+		totalPages:   len(pages),
+	}
+	sys.Kernel.Exit(app.Proc)
+	return am, nil
 }
 
 // Table1Result is the user/kernel instruction split per application.

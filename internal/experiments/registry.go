@@ -1,0 +1,59 @@
+// The experiment registry: every table, figure, ablation, and study the
+// harness can regenerate, keyed by the names cmd/experiments accepts for
+// -only. Keeping the list here lets the command and the tests share one
+// source of truth for name validation and all-experiments sweeps.
+
+package experiments
+
+import "fmt"
+
+// Experiment is one runnable table or figure.
+type Experiment struct {
+	// Name is the identifier accepted by cmd/experiments -only.
+	Name string
+	// Run regenerates the result on the given session.
+	Run func(*Session) (fmt.Stringer, error)
+}
+
+// Registry lists every experiment in presentation order (the order the
+// paper's evaluation presents them, followed by the ablations and
+// future-direction studies).
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", func(s *Session) (fmt.Stringer, error) { return s.Table1() }},
+		{"figure2", func(s *Session) (fmt.Stringer, error) { return s.Figure2() }},
+		{"figure3", func(s *Session) (fmt.Stringer, error) { return s.Figure3() }},
+		{"table2", func(s *Session) (fmt.Stringer, error) { return s.Table2() }},
+		{"figure4", func(s *Session) (fmt.Stringer, error) { return s.Figure4() }},
+		{"table3", func(s *Session) (fmt.Stringer, error) { return s.Table3() }},
+		{"table4", func(s *Session) (fmt.Stringer, error) { return s.Table4() }},
+		{"figure7", func(s *Session) (fmt.Stringer, error) { return s.Figure7() }},
+		{"figure8", func(s *Session) (fmt.Stringer, error) { return s.Figure8() }},
+		{"figure9", func(s *Session) (fmt.Stringer, error) { return s.Figure9() }},
+		{"figure10", func(s *Session) (fmt.Stringer, error) { return s.Figure10() }},
+		{"figure11", func(s *Session) (fmt.Stringer, error) { return s.Figure11() }},
+		{"figure12", func(s *Session) (fmt.Stringer, error) { return s.Figure12() }},
+		{"ptecopies", func(s *Session) (fmt.Stringer, error) { return s.PTECopies() }},
+		{"figure13", func(s *Session) (fmt.Stringer, error) { return s.Figure13() }},
+		{"ablation-stack", func(s *Session) (fmt.Stringer, error) { return s.StackSharingAblation() }},
+		{"ablation-refcopy", func(s *Session) (fmt.Stringer, error) { return s.CopyReferencedAblation() }},
+		{"ablation-l1wp", func(s *Session) (fmt.Stringer, error) { return s.L1WriteProtectAblation() }},
+		{"ablation-largepages", func(s *Session) (fmt.Stringer, error) { return s.LargePageStudy() }},
+		{"future-domainmatch", func(s *Session) (fmt.Stringer, error) { return s.DomainMatchStudy() }},
+		{"future-grouping", func(s *Session) (fmt.Stringer, error) { return s.SchedulerGrouping() }},
+		{"scalability", func(s *Session) (fmt.Stringer, error) { return s.Scalability() }},
+		{"cache-pollution", func(s *Session) (fmt.Stringer, error) { return s.CachePollution() }},
+		{"smp", func(s *Session) (fmt.Stringer, error) { return s.SMP() }},
+		{"chrome-family", func(s *Session) (fmt.Stringer, error) { return s.ChromeFamily() }},
+	}
+}
+
+// Names returns the registered experiment names in presentation order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, len(reg))
+	for i, e := range reg {
+		names[i] = e.Name
+	}
+	return names
+}

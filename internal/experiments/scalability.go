@@ -8,12 +8,14 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/android"
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -41,14 +43,14 @@ type ScalabilityRow struct {
 // once, so the curve flattens.
 func (s *Session) Scalability() (*ScalabilityResult, error) {
 	counts := []int{1, 2, 4, 8, 16, 32}
-	r := &ScalabilityResult{}
+	u := s.Universe()
 
 	measure := func(cfg core.Config, n int) (int, error) {
-		sys, err := android.Boot(cfg, android.LayoutOriginal, s.Universe())
+		sys, err := android.Boot(cfg, android.LayoutOriginal, u)
 		if err != nil {
 			return 0, err
 		}
-		prof := workload.BuildProfile(s.Universe(), workload.HelloWorldSpec())
+		prof := workload.BuildProfile(u, workload.HelloWorldSpec())
 		for i := 0; i < n; i++ {
 			app, _, err := sys.LaunchApp(prof, int64(i))
 			if err != nil {
@@ -64,16 +66,24 @@ func (s *Session) Scalability() (*ScalabilityResult, error) {
 		return frames * arch.PageSize / 1024, nil
 	}
 
+	// One scenario per (kernel, process count): 12 independent boots.
+	var scenarios []sweep.Scenario[int]
 	for _, n := range counts {
-		stock, err := measure(core.Stock(), n)
-		if err != nil {
-			return nil, err
+		for _, cfg := range []core.Config{core.Stock(), core.SharedPTP()} {
+			n, cfg := n, cfg
+			scenarios = append(scenarios, sweep.Scenario[int]{
+				Name: fmt.Sprintf("scalability/%s/%d", cfg.Name(), n),
+				Run:  func(*rand.Rand) (int, error) { return measure(cfg, n) },
+			})
 		}
-		shared, err := measure(core.SharedPTP(), n)
-		if err != nil {
-			return nil, err
-		}
-		r.Rows = append(r.Rows, ScalabilityRow{Processes: n, StockPTPKB: stock, SharedPTPKB: shared})
+	}
+	kb, err := sweep.Run(s.workers(), scenarios)
+	if err != nil {
+		return nil, err
+	}
+	r := &ScalabilityResult{}
+	for i, n := range counts {
+		r.Rows = append(r.Rows, ScalabilityRow{Processes: n, StockPTPKB: kb[2*i], SharedPTPKB: kb[2*i+1]})
 	}
 	return r, nil
 }
@@ -152,11 +162,12 @@ func (s *Session) CachePollution() (*CachePollutionResult, error) {
 		return len(lines), nil
 	}
 
-	stock, err := measure(core.Stock())
-	if err != nil {
-		return nil, err
-	}
-	shared, err := measure(core.SharedPTP())
+	stock, shared, err := sweep.Pair(s.workers(), "cache-pollution", func(variant bool) (int, error) {
+		if variant {
+			return measure(core.SharedPTP())
+		}
+		return measure(core.Stock())
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -233,17 +244,21 @@ func (s *Session) SMP() (*SMPResult, error) {
 		}
 		return k.Counters.TLBShootdowns, faults, nil
 	}
-	stockSd, stockF, err := measure(core.Stock())
-	if err != nil {
-		return nil, err
-	}
-	sharedSd, sharedF, err := measure(core.SharedPTP())
+	type smpMeasure struct{ shootdowns, faults uint64 }
+	stock, shared, err := sweep.Pair(s.workers(), "smp", func(variant bool) (smpMeasure, error) {
+		cfg := core.Stock()
+		if variant {
+			cfg = core.SharedPTP()
+		}
+		sd, f, err := measure(cfg)
+		return smpMeasure{shootdowns: sd, faults: f}, err
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &SMPResult{
-		StockShootdowns: stockSd, SharedShootdowns: sharedSd,
-		StockFaults: stockF, SharedFaults: sharedF,
+		StockShootdowns: stock.shootdowns, SharedShootdowns: shared.shootdowns,
+		StockFaults: stock.faults, SharedFaults: shared.faults,
 	}, nil
 }
 
@@ -318,15 +333,22 @@ func (s *Session) ChromeFamily() (*ChromeFamilyResult, error) {
 		}
 		return len(pages), helper.MM.Counters.FileFaults, nil
 	}
-	n, stock, err := measure(core.Stock())
+	type familyMeasure struct {
+		pages  int
+		faults uint64
+	}
+	stock, shared, err := sweep.Pair(s.workers(), "chrome-family", func(variant bool) (familyMeasure, error) {
+		cfg := core.Stock()
+		if variant {
+			cfg = core.SharedPTP()
+		}
+		n, f, err := measure(cfg)
+		return familyMeasure{pages: n, faults: f}, err
+	})
 	if err != nil {
 		return nil, err
 	}
-	_, shared, err := measure(core.SharedPTP())
-	if err != nil {
-		return nil, err
-	}
-	return &ChromeFamilyResult{Pages: n, StockFaults: stock, SharedFaults: shared}, nil
+	return &ChromeFamilyResult{Pages: stock.pages, StockFaults: stock.faults, SharedFaults: shared.faults}, nil
 }
 
 // String renders the study.

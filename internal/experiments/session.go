@@ -4,11 +4,20 @@
 // counters the paper reads, and renders a plain-text version of the
 // table or figure. The cmd/experiments binary prints them all; the
 // bench_test.go harness exposes each as a testing.B benchmark.
+//
+// The expensive sweeps enumerate independent scenarios (kernel config x
+// layout x application x run), each booting its own simulator, and run
+// them through the internal/sweep worker pool: Session.Parallel selects
+// the worker count, and output is byte-identical for every setting
+// because scenarios are seeded from their identity and merged back in
+// canonical order.
 package experiments
 
 import (
+	"fmt"
 	"sync"
 
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -36,12 +45,32 @@ func Quick() Params {
 	return Params{LaunchRuns: 8, AppRuns: 3, BinderIters: 4000}
 }
 
+// Validate rejects parameters that cannot size a sweep. Every sweep
+// checks its parameters up front so a bad value fails loudly instead of
+// producing empty series and NaN statistics.
+func (p Params) Validate() error {
+	if p.LaunchRuns < 1 {
+		return fmt.Errorf("experiments: LaunchRuns = %d, must be >= 1", p.LaunchRuns)
+	}
+	if p.AppRuns < 1 {
+		return fmt.Errorf("experiments: AppRuns = %d, must be >= 1", p.AppRuns)
+	}
+	if p.BinderIters < 1 {
+		return fmt.Errorf("experiments: BinderIters = %d, must be >= 1", p.BinderIters)
+	}
+	return nil
+}
+
 // Session runs experiments, caching the expensive shared sweeps so that
 // regenerating several figures from the same data (as the paper does)
 // costs one sweep.
 type Session struct {
 	// Params sizes the sweeps.
 	Params Params
+	// Parallel is the worker count for the scenario sweeps: 1 runs them
+	// serially, N >= 2 uses N goroutines, and 0 (or negative) selects
+	// GOMAXPROCS. Output is identical for every setting.
+	Parallel int
 
 	universe     *workload.Universe
 	universeOnce sync.Once
@@ -59,15 +88,35 @@ type Session struct {
 	steadyErr  error
 }
 
-// New creates a session with the given parameters.
+// New creates a session with the given parameters. The session uses
+// GOMAXPROCS sweep workers; set Parallel to override.
 func New(p Params) *Session {
 	return &Session{Params: p}
 }
 
-// Universe returns the session's preloaded-code landscape.
+// workers resolves the session's sweep worker count.
+func (s *Session) workers() int {
+	return sweep.Workers(s.Parallel)
+}
+
+// Universe returns the session's preloaded-code landscape. The universe
+// is immutable after construction, so every sweep worker reads the one
+// shared instance.
 func (s *Session) Universe() *workload.Universe {
 	s.universeOnce.Do(func() {
 		s.universe = workload.DefaultUniverse()
 	})
 	return s.universe
+}
+
+// sweepErr tags a cached sweep error with the sweep that failed. The
+// sync.Once caching means one failed sweep reports the same error to
+// every figure derived from it; naming the sweep keeps that consistent
+// replay diagnosable rather than a mystery error surfacing from, say,
+// Figure 9 long after Figure 7 ran.
+func sweepErr(sweepName string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%s failed: %w", sweepName, err)
 }

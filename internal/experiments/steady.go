@@ -7,10 +7,12 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/android"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -42,61 +44,99 @@ type steadySweep struct {
 func (s *Session) steadyData() (*steadySweep, error) {
 	s.steadyOnce.Do(func() {
 		s.steady, s.steadyErr = s.runSteadySweep()
+		s.steadyErr = sweepErr("steady-state sweep (Figures 10-12)", s.steadyErr)
 	})
 	return s.steady, s.steadyErr
 }
 
+// runSteadySweep fans one scenario per (layout, kernel, application)
+// cell — 2 x 2 x 11 = 44 independent boots — out over the worker pool
+// and merges the cells back in the canonical layout/kernel/app order.
+// The runs within a cell stay sequential: the zygote persists across an
+// app's repeated executions, so later runs warm-start from earlier ones.
 func (s *Session) runSteadySweep() (*steadySweep, error) {
-	sweep := &steadySweep{cells: make(map[steadyKey]map[string]steadyCell)}
-	for _, spec := range workload.Suite() {
-		sweep.apps = append(sweep.apps, spec.Name)
+	if err := s.Params.Validate(); err != nil {
+		return nil, err
 	}
+	sw := &steadySweep{cells: make(map[steadyKey]map[string]steadyCell)}
+	for _, spec := range workload.Suite() {
+		sw.apps = append(sw.apps, spec.Name)
+	}
+	u := s.Universe()
+	type scenarioID struct {
+		key  steadyKey
+		spec workload.AppSpec
+	}
+	var ids []scenarioID
 	for _, layout := range []android.Layout{android.LayoutOriginal, android.Layout2MB} {
 		for _, shared := range []bool{false, true} {
-			cfg := core.Stock()
-			if shared {
-				cfg = core.SharedPTP()
-			}
-			key := steadyKey{shared: shared, layout: layout}
-			sweep.cells[key] = make(map[string]steadyCell)
 			for _, spec := range workload.Suite() {
-				// A fresh system per application isolates its counters;
-				// the zygote persists across this app's repeated runs.
-				sys, err := android.Boot(cfg, layout, s.Universe())
-				if err != nil {
-					return nil, err
-				}
-				prof := workload.BuildProfile(s.Universe(), spec)
-				var cell steadyCell
-				for run := 0; run < s.Params.AppRuns; run++ {
-					app, _, err := sys.LaunchApp(prof, int64(run))
-					if err != nil {
-						return nil, fmt.Errorf("experiments: steady %s %s run %d: %w",
-							cfg.Name(), spec.Name, run, err)
-					}
-					rs, err := app.Run()
-					if err != nil {
-						return nil, fmt.Errorf("experiments: steady %s %s run %d: %w",
-							cfg.Name(), spec.Name, run, err)
-					}
-					cell.fileFaults += float64(rs.FileFaults)
-					cell.ptps += float64(rs.PTPsAllocated)
-					cell.ptesCopied += float64(rs.PTEsCopied)
-					if rs.PTPsLive > 0 {
-						cell.sharedPct += 100 * float64(rs.PTPsShared) / float64(rs.PTPsLive)
-					}
-					sys.Kernel.Exit(app.Proc)
-				}
-				n := float64(s.Params.AppRuns)
-				cell.fileFaults /= n
-				cell.ptps /= n
-				cell.ptesCopied /= n
-				cell.sharedPct /= n
-				sweep.cells[key][spec.Name] = cell
+				ids = append(ids, scenarioID{key: steadyKey{shared: shared, layout: layout}, spec: spec})
 			}
 		}
 	}
-	return sweep, nil
+	scenarios := make([]sweep.Scenario[steadyCell], len(ids))
+	for i, id := range ids {
+		id := id
+		cfg := core.Stock()
+		if id.key.shared {
+			cfg = core.SharedPTP()
+		}
+		scenarios[i] = sweep.Scenario[steadyCell]{
+			Name: fmt.Sprintf("steady/%s/%s/%s", cfg.Name(), id.key.layout, id.spec.Name),
+			Run: func(*rand.Rand) (steadyCell, error) {
+				return s.runSteadyCell(cfg, id.key.layout, id.spec, u)
+			},
+		}
+	}
+	cells, err := sweep.Run(s.workers(), scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range ids {
+		if sw.cells[id.key] == nil {
+			sw.cells[id.key] = make(map[string]steadyCell)
+		}
+		sw.cells[id.key][id.spec.Name] = cells[i]
+	}
+	return sw, nil
+}
+
+// runSteadyCell measures one application's per-run averages under one
+// kernel/layout configuration. A fresh system per application isolates
+// its counters; the zygote persists across the app's repeated runs.
+func (s *Session) runSteadyCell(cfg core.Config, layout android.Layout, spec workload.AppSpec, u *workload.Universe) (steadyCell, error) {
+	sys, err := android.Boot(cfg, layout, u)
+	if err != nil {
+		return steadyCell{}, err
+	}
+	prof := workload.BuildProfile(u, spec)
+	var cell steadyCell
+	for run := 0; run < s.Params.AppRuns; run++ {
+		app, _, err := sys.LaunchApp(prof, int64(run))
+		if err != nil {
+			return steadyCell{}, fmt.Errorf("experiments: steady %s %s run %d: %w",
+				cfg.Name(), spec.Name, run, err)
+		}
+		rs, err := app.Run()
+		if err != nil {
+			return steadyCell{}, fmt.Errorf("experiments: steady %s %s run %d: %w",
+				cfg.Name(), spec.Name, run, err)
+		}
+		cell.fileFaults += float64(rs.FileFaults)
+		cell.ptps += float64(rs.PTPsAllocated)
+		cell.ptesCopied += float64(rs.PTEsCopied)
+		if rs.PTPsLive > 0 {
+			cell.sharedPct += 100 * float64(rs.PTPsShared) / float64(rs.PTPsLive)
+		}
+		sys.Kernel.Exit(app.Proc)
+	}
+	n := float64(s.Params.AppRuns)
+	cell.fileFaults /= n
+	cell.ptps /= n
+	cell.ptesCopied /= n
+	cell.sharedPct /= n
+	return cell, nil
 }
 
 // Figure10Result is the per-application page-fault reduction.

@@ -18,11 +18,12 @@ type FiveNum struct {
 	Min, Q1, Median, Q3, Max float64
 }
 
-// Summarize computes the five-number summary of xs. It panics on an empty
-// input, which always indicates a broken experiment.
+// Summarize computes the five-number summary of xs. An empty sample
+// yields the zero FiveNum; callers that require data should check the
+// input length themselves.
 func Summarize(xs []float64) FiveNum {
 	if len(xs) == 0 {
-		panic("stats: Summarize of empty sample")
+		return FiveNum{}
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
@@ -36,10 +37,12 @@ func Summarize(xs []float64) FiveNum {
 }
 
 // Quantile returns the q-th quantile (0 <= q <= 1) of sorted, using linear
-// interpolation between order statistics (type-7, the R default).
+// interpolation between order statistics (type-7, the R default). An empty
+// sample yields 0; an out-of-range q still panics, as that is a caller
+// bug rather than a data condition.
 func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
-		panic("stats: Quantile of empty sample")
+		return 0
 	}
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v out of range", q))
@@ -60,10 +63,10 @@ func (f FiveNum) String() string {
 		f.Min, f.Q1, f.Median, f.Q3, f.Max)
 }
 
-// Mean returns the arithmetic mean of xs.
+// Mean returns the arithmetic mean of xs, or 0 for an empty sample.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
-		panic("stats: Mean of empty sample")
+		return 0
 	}
 	sum := 0.0
 	for _, x := range xs {
@@ -72,10 +75,10 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// Min returns the smallest element of xs.
+// Min returns the smallest element of xs, or 0 for an empty sample.
 func Min(xs []float64) float64 {
 	if len(xs) == 0 {
-		panic("stats: Min of empty sample")
+		return 0
 	}
 	m := xs[0]
 	for _, x := range xs[1:] {

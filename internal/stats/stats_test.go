@@ -30,13 +30,39 @@ func TestSummarizeDoesNotMutate(t *testing.T) {
 	}
 }
 
-func TestSummarizeEmptyPanics(t *testing.T) {
+func TestEmptyInputsReturnZeroValues(t *testing.T) {
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"Quantile(nil, 0.5)", Quantile(nil, 0.5), 0},
+		{"Quantile(empty, 0)", Quantile([]float64{}, 0), 0},
+		{"Quantile(empty, 1)", Quantile([]float64{}, 1), 0},
+		{"Mean(nil)", Mean(nil), 0},
+		{"Mean(empty)", Mean([]float64{}), 0},
+		{"Min(nil)", Min(nil), 0},
+		{"Min(empty)", Min([]float64{}), 0},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	for _, xs := range [][]float64{nil, {}} {
+		if f := Summarize(xs); f != (FiveNum{}) {
+			t.Errorf("Summarize(%v) = %+v, want zero FiveNum", xs, f)
+		}
+	}
+}
+
+func TestQuantileOutOfRangePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("Summarize(nil) should panic")
+			t.Error("Quantile with q out of [0,1] should panic")
 		}
 	}()
-	Summarize(nil)
+	Quantile([]float64{1, 2}, 1.5)
 }
 
 func TestQuantileInterpolation(t *testing.T) {

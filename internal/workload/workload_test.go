@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sync"
 	"testing"
 )
 
@@ -283,5 +284,45 @@ func TestSampleBiasedProperties(t *testing.T) {
 			t.Fatalf("duplicate page %d in profile", pg)
 		}
 		seen[pg] = true
+	}
+}
+
+// TestUniverseConcurrentUse pins the sharing contract the parallel sweep
+// engine relies on: one Universe is read concurrently by every worker,
+// so BuildProfile, ZygoteSet, and the accessors must be safe for
+// simultaneous readers (run under -race) and must not let one caller's
+// mutations leak into another's view.
+func TestUniverseConcurrentUse(t *testing.T) {
+	u := DefaultUniverse()
+	suite := Suite()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			spec := suite[w%len(suite)]
+			ref := BuildProfile(u, spec)
+			for i := 0; i < 10; i++ {
+				p := BuildProfile(u, spec)
+				if len(p.ZygotePreloaded) != len(ref.ZygotePreloaded) {
+					t.Errorf("profile changed across concurrent builds: %d vs %d pages",
+						len(p.ZygotePreloaded), len(ref.ZygotePreloaded))
+					return
+				}
+				zs := u.ZygoteSet()
+				if len(zs) == 0 {
+					t.Error("empty zygote set")
+					return
+				}
+				zs[0] = -1 // returned slice must be a copy
+				_ = u.TotalCodePages()
+				_ = u.PageSegment(0)
+			}
+		}()
+	}
+	wg.Wait()
+	if u.ZygoteSet()[0] == -1 {
+		t.Error("ZygoteSet returned a live reference to internal state")
 	}
 }
