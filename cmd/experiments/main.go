@@ -6,12 +6,15 @@
 // Usage:
 //
 //	experiments [-quick] [-parallel N] [-launch-runs N] [-app-runs N]
-//	            [-binder-iters N] [-only LIST] [-list]
+//	            [-binder-iters N] [-only LIST] [-list] [-json]
 //
 // -only selects a comma-separated subset, e.g. -only table4,figure7; an
 // unknown name is an error. Explicitly set size flags always override
 // -quick. -parallel controls how many workers the sweeps fan out over;
-// results are byte-identical regardless of the worker count.
+// results are byte-identical regardless of the worker count. -json
+// replaces the text tables with one structured document (schema
+// "sat-experiments/v1", see internal/experiments/report.go), also
+// byte-identical for every -parallel setting.
 package main
 
 import (
@@ -40,6 +43,7 @@ func run(argv []string, out *os.File) error {
 	parallel := fs.Int("parallel", 0, "sweep workers: 1 = serial, N>1 = N workers, 0 = GOMAXPROCS")
 	only := fs.String("only", "", "comma-separated experiments to run (see -list); empty = all")
 	list := fs.Bool("list", false, "list the experiment names and exit")
+	jsonOut := fs.Bool("json", false, "emit one structured JSON document instead of text tables")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -105,6 +109,15 @@ func run(argv []string, out *os.File) error {
 
 	s := experiments.New(params)
 	s.Parallel = *parallel
+
+	if *jsonOut {
+		doc, err := experiments.RunJSON(s, selected)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(doc)
+		return err
+	}
 
 	fmt.Fprintf(out, "Shared Address Translation Revisited (EuroSys 2016) — experiment harness\n")
 	fmt.Fprintf(out, "params: launch-runs=%d app-runs=%d binder-iters=%d parallel=%d\n\n",

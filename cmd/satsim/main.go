@@ -7,22 +7,31 @@
 // Usage:
 //
 //	satsim [-kernel stock|copied|shared|shared-tlb] [-layout original|2mb]
-//	       [-app NAME|all] [-runs N] [-parallel N] [-list]
+//	       [-app NAME|all] [-runs N] [-parallel N] [-json] [-list]
 //
 // -app all sweeps the whole suite, one freshly booted system per
 // application, fanned out over -parallel workers (0 = GOMAXPROCS,
 // 1 = serial); the output order and values are identical regardless of
 // the worker count.
+//
+// -json replaces the text report with one structured document (schema
+// "satsim/v1"): scenario parameters, per-run counters, the system-wide
+// sharing stats, and a full obs.Registry snapshot of every metric source
+// in the booted machine (kernel, per-CPU TLBs and L1 caches, shared L2).
+// Like the text output it is byte-identical for every -parallel setting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
 	"repro/internal/android"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/workload"
@@ -34,6 +43,7 @@ func main() {
 	app := flag.String("app", "Email", "application to run (see -list), or all for the whole suite")
 	runs := flag.Int("runs", 1, "number of consecutive executions, >= 1 (warm starts after the first)")
 	parallel := flag.Int("parallel", 0, "workers for -app all: 1 = serial, N>1 = N workers, 0 = GOMAXPROCS")
+	jsonOut := flag.Bool("json", false, "emit one structured JSON document instead of the text report")
 	list := flag.Bool("list", false, "list the application suite and exit")
 	flag.Parse()
 
@@ -44,13 +54,57 @@ func main() {
 		}
 		return
 	}
-	if err := run(*kernel, *layout, *app, *runs, *parallel); err != nil {
+	if err := run(os.Stdout, *kernel, *layout, *app, *runs, *parallel, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "satsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernelName, layoutName, appName string, runs, parallel int) error {
+// SchemaID identifies the -json document layout.
+const SchemaID = "satsim/v1"
+
+// jsonRun is one execution's counters.
+type jsonRun struct {
+	Run           int     `json:"run"`
+	ForkCycles    uint64  `json:"fork_cycles"`
+	PTPsAtFork    int     `json:"ptps_at_fork"`
+	SharedAtFork  int     `json:"shared_at_fork"`
+	PTEsCopied    uint64  `json:"ptes_copied"`
+	FileFaults    uint64  `json:"file_faults"`
+	PTPsTotal     uint64  `json:"ptps_total"`
+	SharedPTPs    int     `json:"shared_ptps"`
+	MillionCycles float64 `json:"million_cycles"`
+}
+
+// jsonApp is one application's scenario: the boot state, every run, the
+// system-wide sharing stats, and the full metric-source snapshot.
+type jsonApp struct {
+	App         string                       `json:"app"`
+	ZygotePTEs  int                          `json:"zygote_ptes"`
+	Runs        []jsonRun                    `json:"runs"`
+	TotalPTPs   int                          `json:"total_ptps"`
+	SharedPTPs  int                          `json:"shared_ptps"`
+	DistinctPTP int                          `json:"distinct_ptp_frames"`
+	Sources     map[string]map[string]uint64 `json:"sources"`
+}
+
+// jsonDoc is the top-level -json document.
+type jsonDoc struct {
+	Schema string    `json:"schema"`
+	Kernel string    `json:"kernel"`
+	Layout string    `json:"layout"`
+	Runs   int       `json:"runs"`
+	Apps   []jsonApp `json:"apps"`
+}
+
+// appReport carries both renderings of one scenario; the sweep computes
+// both so text and JSON mode stay byte-identical under any worker count.
+type appReport struct {
+	text string
+	doc  jsonApp
+}
+
+func run(w io.Writer, kernelName, layoutName, appName string, runs, parallel int, jsonOut bool) error {
 	if runs < 1 {
 		return fmt.Errorf("-runs must be >= 1 (got %d)", runs)
 	}
@@ -81,55 +135,67 @@ func run(kernelName, layoutName, appName string, runs, parallel int) error {
 	}
 
 	u := workload.DefaultUniverse()
+	var specs []workload.AppSpec
 	if appName == "all" {
-		return runSuite(cfg, layout, u, runs, parallel)
+		specs = workload.Suite()
+	} else {
+		spec, err := workload.SpecByName(appName)
+		if err != nil {
+			return err
+		}
+		specs = []workload.AppSpec{spec}
 	}
-	spec, err := workload.SpecByName(appName)
+
+	reports, err := runSuite(cfg, layout, u, specs, runs, parallel)
 	if err != nil {
 		return err
 	}
-	report, err := runApp(cfg, layout, u, spec, runs)
-	if err != nil {
+
+	if jsonOut {
+		doc := jsonDoc{Schema: SchemaID, Kernel: kernelName, Layout: layoutName, Runs: runs}
+		for _, r := range reports {
+			doc.Apps = append(doc.Apps, r.doc)
+		}
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(out, '\n'))
 		return err
 	}
-	fmt.Print(report)
+	for _, r := range reports {
+		fmt.Fprint(w, r.text)
+	}
 	return nil
 }
 
-// runSuite runs every application in the suite, each in its own freshly
-// booted system, fanned out over the sweep worker pool. Reports print in
-// suite order whatever the completion order was.
-func runSuite(cfg core.Config, layout android.Layout, u *workload.Universe, runs, parallel int) error {
-	suite := workload.Suite()
-	scenarios := make([]sweep.Scenario[string], len(suite))
-	for i, spec := range suite {
+// runSuite runs every selected application, each in its own freshly
+// booted system, fanned out over the sweep worker pool. Reports come
+// back in suite order whatever the completion order was.
+func runSuite(cfg core.Config, layout android.Layout, u *workload.Universe, specs []workload.AppSpec, runs, parallel int) ([]appReport, error) {
+	scenarios := make([]sweep.Scenario[appReport], len(specs))
+	for i, spec := range specs {
 		spec := spec
-		scenarios[i] = sweep.Scenario[string]{
+		scenarios[i] = sweep.Scenario[appReport]{
 			Name: "satsim/" + spec.Name,
-			Run: func(*rand.Rand) (string, error) {
+			Run: func(*rand.Rand) (appReport, error) {
 				return runApp(cfg, layout, u, spec, runs)
 			},
 		}
 	}
-	reports, err := sweep.Run(sweep.Workers(parallel), scenarios)
-	if err != nil {
-		return err
-	}
-	for _, r := range reports {
-		fmt.Print(r)
-	}
-	return nil
+	return sweep.Run(sweep.Workers(parallel), scenarios)
 }
 
 // runApp boots a system, runs one application `runs` times, and returns
-// the rendered report.
-func runApp(cfg core.Config, layout android.Layout, u *workload.Universe, spec workload.AppSpec, runs int) (string, error) {
+// the report in both renderings.
+func runApp(cfg core.Config, layout android.Layout, u *workload.Universe, spec workload.AppSpec, runs int) (appReport, error) {
 	sys, err := android.Boot(cfg, layout, u)
 	if err != nil {
-		return "", err
+		return appReport{}, err
 	}
+	doc := jsonApp{App: spec.Name, ZygotePTEs: sys.Zygote.MM.PT.PopulatedPTEs()}
 	out := fmt.Sprintf("booted %s kernel, %s layout; zygote populated %d PTEs\n",
-		cfg.Name(), layout, sys.Zygote.MM.PT.PopulatedPTEs())
+		cfg.Name(), layout, doc.ZygotePTEs)
 
 	prof := workload.BuildProfile(u, spec)
 	t := stats.NewTable(fmt.Sprintf("%s: %d execution(s)", spec.Name, runs),
@@ -138,11 +204,11 @@ func runApp(cfg core.Config, layout android.Layout, u *workload.Universe, spec w
 	for r := 0; r < runs; r++ {
 		appInst, _, err := sys.LaunchApp(prof, int64(r))
 		if err != nil {
-			return "", err
+			return appReport{}, err
 		}
 		rs, err := appInst.Run()
 		if err != nil {
-			return "", err
+			return appReport{}, err
 		}
 		fs := appInst.Proc.ForkStats
 		t.AddRow(fmt.Sprintf("%d", r+1),
@@ -154,17 +220,35 @@ func runApp(cfg core.Config, layout android.Layout, u *workload.Universe, spec w
 			fmt.Sprintf("%d", rs.PTPsAllocated),
 			fmt.Sprintf("%d", rs.PTPsShared),
 			stats.F(float64(rs.Cycles)/1e6))
+		doc.Runs = append(doc.Runs, jsonRun{
+			Run:           r + 1,
+			ForkCycles:    fs.Cycles,
+			PTPsAtFork:    fs.PTPsAllocated,
+			SharedAtFork:  fs.PTPsShared,
+			PTEsCopied:    rs.PTEsCopied,
+			FileFaults:    rs.FileFaults,
+			PTPsTotal:     rs.PTPsAllocated,
+			SharedPTPs:    rs.PTPsShared,
+			MillionCycles: float64(rs.Cycles) / 1e6,
+		})
 		sys.Kernel.Exit(appInst.Proc)
 	}
 	out += t.String()
 
 	ss := sys.Kernel.SharingStats()
+	doc.TotalPTPs, doc.SharedPTPs, doc.DistinctPTP = ss.TotalPTPs, ss.SharedPTPs, ss.DistinctPTPs
 	out += fmt.Sprintf("system-wide: %d PTP references, %d shared, %d distinct frames\n",
 		ss.TotalPTPs, ss.SharedPTPs, ss.DistinctPTPs)
-	kc := sys.Kernel.Counters
+	kc := sys.Kernel.Snapshot()
 	out += fmt.Sprintf("kernel counters: %d forks, %d PTEs copied at fork, %d PTPs shared at fork,\n"+
 		"  %d unshare ops, %d PTEs copied on unshare, %d PTEs write-protected\n",
-		kc.Forks, kc.PTEsCopiedAtFork, kc.PTPsSharedAtFork,
-		kc.UnshareOps, kc.PTEsCopiedOnUnshare, kc.WriteProtectedPTEs)
-	return out, nil
+		kc["forks"], kc["ptes_copied_at_fork"], kc["ptps_shared_at_fork"],
+		kc["unshare_ops"], kc["ptes_copied_on_unshare"], kc["write_protected_ptes"])
+
+	reg := obs.NewRegistry()
+	for _, s := range sys.Kernel.Sources() {
+		reg.MustRegister(s)
+	}
+	doc.Sources = reg.Snapshot()
+	return appReport{text: out, doc: doc}, nil
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestSuiteParallelByteIdentical checks the text report: the whole-suite
+// sweep must print the same bytes serially and with 4 workers.
+func TestSuiteParallelByteIdentical(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, "shared-tlb", "original", "all", 1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "shared-tlb", "original", "all", 1, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("serial and 4-worker text reports differ")
+	}
+}
+
+// TestJSONParallelByteIdenticalAndSchema checks the -json document: byte
+// identity across worker counts, the schema id, one entry per suite app,
+// and a populated source snapshot including the kernel and per-CPU TLBs.
+func TestJSONParallelByteIdenticalAndSchema(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, "stock", "2mb", "all", 1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "stock", "2mb", "all", 1, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("serial and 4-worker JSON documents differ")
+	}
+
+	var doc jsonDoc
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Schema != SchemaID {
+		t.Fatalf("schema = %q, want %q", doc.Schema, SchemaID)
+	}
+	if want := len(workload.Suite()); len(doc.Apps) != want {
+		t.Fatalf("got %d apps, want %d", len(doc.Apps), want)
+	}
+	for _, app := range doc.Apps {
+		if len(app.Runs) != 1 {
+			t.Fatalf("%s: got %d runs, want 1", app.App, len(app.Runs))
+		}
+		for _, name := range []string{"kernel", "cpu0.mainTLB", "cpu0.L1I", "L2"} {
+			if _, ok := app.Sources[name]; !ok {
+				t.Errorf("%s: source %q missing from snapshot", app.App, name)
+			}
+		}
+	}
+}

@@ -1,11 +1,13 @@
 // Command tracedump applies the paper's measurement methodology (Section
 // 4.1.1) to one application run and dumps the raw material: the
 // /proc/pid/smaps-style region map, the page-fault trace summary, the
-// instruction footprint breakdown, and the Figure 4 sparsity CDF as CSV.
+// instruction footprint breakdown, the Figure 4 sparsity CDF as CSV, and
+// the tail of the kernel's event stream (an obs.Ring capture filtered to
+// the memory-management events, cache traffic excluded).
 //
 // Usage:
 //
-//	tracedump [-app NAME] [-what smaps|faults|footprint|cdf|all] [-json]
+//	tracedump [-app NAME] [-what smaps|faults|footprint|cdf|events|all] [-json]
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"repro/internal/android"
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -24,7 +27,7 @@ import (
 
 func main() {
 	app := flag.String("app", "Email", "application to trace")
-	what := flag.String("what", "all", "smaps, faults, footprint, cdf, or all")
+	what := flag.String("what", "all", "smaps, faults, footprint, cdf, events, or all")
 	asJSON := flag.Bool("json", false, "emit one JSON document instead of text")
 	flag.Parse()
 	if err := run(*app, *what, *asJSON); err != nil {
@@ -72,6 +75,16 @@ func run(appName, what string, asJSON bool) error {
 	ft := &trace.FaultTrace{}
 	ft.Attach(sys.Kernel)
 
+	// Keep the tail of the event stream in a bounded ring, filtered to
+	// the memory-management events (cache fills/evictions would drown
+	// everything else out).
+	const ringCap = 16
+	ring := obs.NewRing(ringCap)
+	ring.SetFilter(func(ev obs.Event) bool {
+		return ev.Kind != obs.EvCacheFill && ev.Kind != obs.EvCacheEvict
+	})
+	sys.Kernel.Subscribe(ring)
+
 	prof := workload.BuildProfile(u, spec)
 	a, _, err := sys.LaunchApp(prof, 1)
 	if err != nil {
@@ -117,6 +130,16 @@ func run(appName, what string, asJSON bool) error {
 		for _, c := range []vm.Category{vm.CatPrivateCode, vm.CatZygoteDynLib,
 			vm.CatZygoteJavaLib, vm.CatZygoteBinary, vm.CatOtherDynLib, vm.CatOther} {
 			fmt.Printf("%-42s %d\n", c, b[c])
+		}
+		fmt.Println()
+	}
+
+	if show("events") {
+		fmt.Printf("# event stream tail for %s: %d events kept of %d seen (ring capacity %d)\n",
+			appName, ring.Len(), ring.Seen(), ringCap)
+		for _, ev := range ring.Events() {
+			fmt.Printf("%-14s src=%-10s pid=%-3d addr=%08x value=%d\n",
+				ev.Kind, ev.Source, ev.PID, ev.Addr, ev.Value)
 		}
 		fmt.Println()
 	}

@@ -17,6 +17,7 @@ import (
 	"math/bits"
 
 	"repro/internal/arch"
+	"repro/internal/obs"
 )
 
 // Config describes one cache level.
@@ -59,7 +60,11 @@ type Cache struct {
 	next       *Cache
 	memLatency int
 	stats      Stats
+	bus        *obs.Bus
 }
+
+// Compile-time check: every Cache is an obs.Source.
+var _ obs.Source = (*Cache)(nil)
 
 // New creates a cache level. next is the lower level; when next is nil a
 // miss at this level costs memLatency additional cycles (main memory).
@@ -98,6 +103,24 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the counters without invalidating any lines.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// AttachBus makes the cache publish fill/evict events to b. A nil bus
+// detaches. The bus applies to this level only; attach each level of a
+// hierarchy separately (or use Hierarchy.AttachBus).
+func (c *Cache) AttachBus(b *obs.Bus) { c.bus = b }
+
+// Snapshot implements obs.Source.
+func (c *Cache) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"accesses":  c.stats.Accesses,
+		"hits":      c.stats.Hits,
+		"misses":    c.stats.Misses,
+		"evictions": c.stats.Evictions,
+	}
+}
+
+// Reset implements obs.Source.
+func (c *Cache) Reset() { c.ResetStats() }
+
 // Access references the line containing pa, filling it on a miss, and
 // returns the total latency in cycles including any lower-level accesses.
 func (c *Cache) Access(pa arch.PhysAddr) int {
@@ -134,8 +157,14 @@ func (c *Cache) Access(pa arch.PhysAddr) int {
 	}
 	if set[victim].valid {
 		c.stats.Evictions++
+		if c.bus.Wants(obs.EvCacheEvict) {
+			c.bus.Publish(obs.Event{Kind: obs.EvCacheEvict, Source: c.cfg.Name, Addr: uint64(pa)})
+		}
 	}
 	set[victim] = line{valid: true, tag: tag, lastUse: c.clock}
+	if c.bus.Wants(obs.EvCacheFill) {
+		c.bus.Publish(obs.Event{Kind: obs.EvCacheFill, Source: c.cfg.Name, Addr: uint64(pa)})
+	}
 	return latency
 }
 
@@ -225,4 +254,11 @@ func (h *Hierarchy) ResetStats() {
 	h.L1I.ResetStats()
 	h.L1D.ResetStats()
 	h.L2.ResetStats()
+}
+
+// AttachBus attaches all three levels to b.
+func (h *Hierarchy) AttachBus(b *obs.Bus) {
+	h.L1I.AttachBus(b)
+	h.L1D.AttachBus(b)
+	h.L2.AttachBus(b)
 }

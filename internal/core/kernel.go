@@ -37,6 +37,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pagetable"
 	"repro/internal/vm"
 )
@@ -203,14 +204,20 @@ type Kernel struct {
 	Counters Counters
 
 	// OnPageFault, when non-nil, observes every page fault the kernel
-	// handles — the hook the trace package uses to collect the page
-	// fault traces of the paper's methodology (Section 4.1.1).
+	// handles.
+	//
+	// Deprecated: OnPageFault is the old single-subscriber hook; it still
+	// fires (before any bus observers) so existing code keeps working,
+	// but new code should use Subscribe with obs.EvPageFault, which
+	// supports any number of observers.
 	OnPageFault func(p *Process, va arch.VirtAddr, kind arch.AccessKind)
 
 	// IPICost is the cycle cost of one inter-processor interrupt used
 	// for a TLB shootdown, charged to the initiating core per remote.
 	IPICost int
 
+	bus          *obs.Bus
+	l2           *cache.Cache
 	cpus         []*cpu.CPU
 	curCPU       *cpu.CPU
 	procs        map[int]*Process
@@ -219,22 +226,41 @@ type Kernel struct {
 	kernelTextPA arch.PhysAddr
 }
 
-// NewKernel boots a single-core kernel over the given amount of physical
-// memory.
-func NewKernel(frames int, cfg Config) (*Kernel, error) {
-	return NewKernelSMP(frames, cfg, 1)
+// Option configures a kernel built by New.
+type Option func(*options)
+
+type options struct {
+	cfg   Config
+	ncpus int
 }
 
-// NewKernelSMP boots a kernel driving ncpus cores, each with private
-// TLBs and L1 caches over one shared L2, as on the Tegra 3. With more
-// than one core, translation changes (unsharing, munmap, mprotect, COW
-// write-protection at fork) invalidate remote TLBs via shootdown IPIs.
-func NewKernelSMP(frames int, cfg Config, ncpus int) (*Kernel, error) {
+// WithConfig selects the kernel variant (default: Stock).
+func WithConfig(cfg Config) Option {
+	return func(o *options) { o.cfg = cfg }
+}
+
+// WithCPUs sets the number of simulated cores (default: 1). Each core
+// gets private TLBs and L1 caches over one shared L2, as on the Tegra 3;
+// with more than one core, translation changes (unsharing, munmap,
+// mprotect, COW write-protection at fork) invalidate remote TLBs via
+// shootdown IPIs.
+func WithCPUs(n int) Option {
+	return func(o *options) { o.ncpus = n }
+}
+
+// New boots a kernel over the given amount of physical memory. With no
+// options it is a single-core stock kernel; see WithConfig and WithCPUs.
+func New(frames int, opts ...Option) (*Kernel, error) {
+	o := options{cfg: Stock(), ncpus: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := o.cfg
 	if cfg.SharePTP && cfg.CopyPTEsAtFork {
 		return nil, fmt.Errorf("core: SharePTP and CopyPTEsAtFork are mutually exclusive")
 	}
-	if ncpus < 1 {
-		return nil, fmt.Errorf("core: need at least one CPU, got %d", ncpus)
+	if o.ncpus < 1 {
+		return nil, fmt.Errorf("core: need at least one CPU, got %d", o.ncpus)
 	}
 	phys := mem.New(frames)
 	k := &Kernel{
@@ -242,6 +268,7 @@ func NewKernelSMP(frames int, cfg Config, ncpus int) (*Kernel, error) {
 		Config:    cfg,
 		ForkCosts: DefaultForkCosts(),
 		IPICost:   2000,
+		bus:       obs.NewBus(),
 		procs:     make(map[int]*Process),
 		nextPID:   1,
 		nextASID:  1,
@@ -257,15 +284,29 @@ func NewKernelSMP(frames int, cfg Config, ncpus int) (*Kernel, error) {
 			return nil, err
 		}
 	}
-	l2 := cache.DefaultL2()
-	for i := 0; i < ncpus; i++ {
-		c := cpu.NewWithCaches(k, cache.HierarchyWithL2(l2))
+	k.l2 = cache.DefaultL2()
+	k.l2.AttachBus(k.bus)
+	for i := 0; i < o.ncpus; i++ {
+		c := cpu.NewWithCaches(k, cache.HierarchyWithL2(k.l2))
 		c.KeepGlobalOnFlush = cfg.ShareTLB
+		c.AttachBus(k.bus)
 		k.cpus = append(k.cpus, c)
 	}
 	k.CPU = k.cpus[0]
 	k.curCPU = k.cpus[0]
 	return k, nil
+}
+
+// NewKernel boots a single-core kernel over the given amount of physical
+// memory. It is a compatibility wrapper around New.
+func NewKernel(frames int, cfg Config) (*Kernel, error) {
+	return New(frames, WithConfig(cfg))
+}
+
+// NewKernelSMP boots a kernel driving ncpus cores. It is a compatibility
+// wrapper around New.
+func NewKernelSMP(frames int, cfg Config, ncpus int) (*Kernel, error) {
+	return New(frames, WithConfig(cfg), WithCPUs(ncpus))
 }
 
 // NumCPUs returns the number of simulated cores.
@@ -274,29 +315,36 @@ func (k *Kernel) NumCPUs() int { return len(k.cpus) }
 // CPUAt returns core i.
 func (k *Kernel) CPUAt(i int) *cpu.CPU { return k.cpus[i] }
 
+// shootdown accounts one remote-core TLB invalidation IPI targeting core i.
+func (k *Kernel) shootdown(i int) {
+	k.Counters.TLBShootdowns++
+	k.curCPU.ChargeKernel(k.IPICost)
+	if k.bus.Wants(obs.EvTLBShootdown) {
+		k.bus.Publish(obs.Event{Kind: obs.EvTLBShootdown, Source: "kernel", Value: uint64(i)})
+	}
+}
+
 // flushASIDAll removes asid's translations from every core: the local
 // flush plus one shootdown IPI per remote core.
 func (k *Kernel) flushASIDAll(asid arch.ASID) {
-	for _, c := range k.cpus {
+	for i, c := range k.cpus {
 		c.Main.FlushASID(asid)
 		c.MicroI.FlushAll()
 		c.MicroD.FlushAll()
 		if c != k.curCPU {
-			k.Counters.TLBShootdowns++
-			k.curCPU.ChargeKernel(k.IPICost)
+			k.shootdown(i)
 		}
 	}
 }
 
 // flushRangeAll removes a range's translations from every core.
 func (k *Kernel) flushRangeAll(start, end arch.VirtAddr, asid arch.ASID) {
-	for _, c := range k.cpus {
+	for i, c := range k.cpus {
 		c.Main.FlushRange(start, end, asid)
 		c.MicroI.FlushRange(start, end, asid)
 		c.MicroD.FlushRange(start, end, asid)
 		if c != k.curCPU {
-			k.Counters.TLBShootdowns++
-			k.curCPU.ChargeKernel(k.IPICost)
+			k.shootdown(i)
 		}
 	}
 }
@@ -582,6 +630,14 @@ func (k *Kernel) Fork(parent *Process, name string) (*Process, error) {
 				fs.PTPsShared++
 				k.Counters.PTPsSharedAtFork++
 				cycles += uint64(k.ForkCosts.PerPTPShare)
+				if k.bus.Wants(obs.EvPTPShare) {
+					k.bus.Publish(obs.Event{
+						Kind:   obs.EvPTPShare,
+						Source: "kernel",
+						PID:    child.PID,
+						Addr:   uint64(arch.VirtAddr(idx) << arch.SectionShift),
+					})
+				}
 				continue
 			}
 			// Not sharable (stack): stock copy of the slot's regions.
@@ -634,6 +690,9 @@ func (k *Kernel) Fork(parent *Process, name string) (*Process, error) {
 	if k.curCPU.Current() != nil {
 		k.curCPU.ChargeKernel(int(cycles))
 	}
+	if k.bus.Wants(obs.EvFork) {
+		k.bus.Publish(obs.Event{Kind: obs.EvFork, Source: "kernel", PID: child.PID, Value: cycles})
+	}
 	return child, nil
 }
 
@@ -664,7 +723,26 @@ func (k *Kernel) unshareSlot(p *Process, idx int) error {
 	k.Counters.UnshareOps++
 	k.Counters.PTEsCopiedOnUnshare += uint64(copied)
 	p.PTEsCopied += uint64(copied)
+	slotBase := uint64(arch.VirtAddr(idx) << arch.SectionShift)
+	if k.bus.Wants(obs.EvUnshare) {
+		k.bus.Publish(obs.Event{
+			Kind:   obs.EvUnshare,
+			Source: "kernel",
+			PID:    p.PID,
+			Addr:   slotBase,
+			Value:  uint64(copied),
+		})
+	}
 	if replaced {
+		if k.bus.Wants(obs.EvPTPCopy) {
+			k.bus.Publish(obs.Event{
+				Kind:   obs.EvPTPCopy,
+				Source: "kernel",
+				PID:    p.PID,
+				Addr:   slotBase,
+				Value:  uint64(copied),
+			})
+		}
 		// Figure 6: clear the level-1 entry and flush the TLB entries
 		// occupied by the current process — on every core it may have
 		// run on — before installing the copy.
@@ -702,6 +780,15 @@ func (k *Kernel) HandlePageFault(ctx *cpu.Context, va arch.VirtAddr, kind arch.A
 	}
 	if k.OnPageFault != nil {
 		k.OnPageFault(p, va, kind)
+	}
+	if k.bus.Wants(obs.EvPageFault) {
+		k.bus.Publish(obs.Event{
+			Kind:   obs.EvPageFault,
+			Source: "kernel",
+			PID:    p.PID,
+			Addr:   uint64(va),
+			Access: uint8(kind),
+		})
 	}
 
 	idx := arch.L1Index(va)

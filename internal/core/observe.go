@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Compile-time check: the kernel is an obs.Source.
+var _ obs.Source = (*Kernel)(nil)
+
+// Bus returns the kernel's event bus: every component of the simulated
+// system (the kernel itself, each core's TLBs, the caches) publishes its
+// events here. Most callers should use Subscribe instead.
+func (k *Kernel) Bus() *obs.Bus { return k.bus }
+
+// Subscribe registers o for the given event kinds (all kinds when none
+// are given) and returns a cancel function. It replaces the deprecated
+// single-subscriber OnPageFault hook: any number of observers may
+// subscribe, and they are dispatched in subscription order.
+func (k *Kernel) Subscribe(o obs.Observer, kinds ...obs.Kind) (cancel func()) {
+	return k.bus.Subscribe(o, kinds...)
+}
+
+// Name implements obs.Source.
+func (k *Kernel) Name() string { return "kernel" }
+
+// Snapshot implements obs.Source.
+func (k *Kernel) Snapshot() map[string]uint64 {
+	c := k.Counters
+	return map[string]uint64{
+		"forks":                  c.Forks,
+		"ptes_copied_at_fork":    c.PTEsCopiedAtFork,
+		"ptps_shared_at_fork":    c.PTPsSharedAtFork,
+		"unshare_ops":            c.UnshareOps,
+		"ptes_copied_on_unshare": c.PTEsCopiedOnUnshare,
+		"write_protected_ptes":   c.WriteProtectedPTEs,
+		"domain_faults":          c.DomainFaults,
+		"tlb_shootdowns":         c.TLBShootdowns,
+	}
+}
+
+// Reset implements obs.Source.
+func (k *Kernel) Reset() { k.Counters = Counters{} }
+
+// Sources returns every metric source of the simulated machine in a
+// stable order: the kernel's own counters, then each core's TLBs and
+// private L1 caches under a "cpuN." prefix, then the shared L2 once.
+// Register them all in an obs.Registry to snapshot the whole system.
+func (k *Kernel) Sources() []obs.Source {
+	out := []obs.Source{k}
+	for i, c := range k.cpus {
+		prefix := fmt.Sprintf("cpu%d.", i)
+		for _, s := range c.Sources() {
+			out = append(out, obs.Prefix(prefix, s))
+		}
+	}
+	out = append(out, k.l2)
+	return out
+}

@@ -1,0 +1,138 @@
+// Tests for the -json report: worker count must not change any byte of
+// the document, and the schema skeleton (experiment names and metric
+// keys) is pinned by a golden file so accidental renames fail loudly.
+// Regenerate the golden with: go test ./internal/experiments -run JSON -update-golden
+
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/schema.golden from the current output")
+
+// schemaSkeleton reduces a report document to its shape: the schema id,
+// the param keys, and each experiment's sorted metric-key list.
+func schemaSkeleton(t *testing.T, doc []byte) string {
+	t.Helper()
+	var rep JSONReport
+	if err := json.Unmarshal(doc, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema: %s\n", rep.Schema)
+	for _, e := range rep.Experiments {
+		fmt.Fprintf(&b, "%s:\n", e.Name)
+		keys := make([]string, 0, len(e.Metrics))
+		for k := range e.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s\n", k)
+		}
+	}
+	return b.String()
+}
+
+// TestJSONSubsetDeterministic is the cheap always-on check: a four-
+// experiment subset must produce byte-identical documents serially and
+// with 4 workers, and the document must carry the schema id.
+func TestJSONSubsetDeterministic(t *testing.T) {
+	sel := map[string]bool{"scalability": true, "cache-pollution": true, "smp": true, "chrome-family": true}
+	serial := New(Quick())
+	serial.Parallel = 1
+	par := New(Quick())
+	par.Parallel = 4
+
+	a, err := RunJSON(serial, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunJSON(par, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("serial and parallel JSON diverge:\nserial:\n%s\nparallel:\n%s", a, b)
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(a, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Schema != SchemaID {
+		t.Fatalf("schema = %q, want %q", rep.Schema, SchemaID)
+	}
+	if len(rep.Experiments) != len(sel) {
+		t.Fatalf("got %d experiments, want %d", len(rep.Experiments), len(sel))
+	}
+	for _, e := range rep.Experiments {
+		if len(e.Metrics) == 0 {
+			t.Errorf("%s: empty metrics", e.Name)
+		}
+	}
+}
+
+// TestJSONFullByteIdenticalAndGoldenSchema runs the whole registry at
+// Quick scale, serially and with 4 workers, requires byte-identical
+// documents, and pins the schema skeleton against testdata/schema.golden.
+func TestJSONFullByteIdenticalAndGoldenSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Quick sessions; skipped in -short mode")
+	}
+	serial := New(Quick())
+	serial.Parallel = 1
+	par := New(Quick())
+	par.Parallel = 4
+
+	a, err := RunJSON(serial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunJSON(par, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := i - 200
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("serial and parallel JSON diverge at byte %d:\nserial: ...%q\nparallel: ...%q",
+			i, a[lo:min(i+200, len(a))], b[lo:min(i+200, len(b))])
+	}
+
+	got := schemaSkeleton(t, a)
+	golden := filepath.Join("testdata", "schema.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("schema skeleton differs from %s; if the change is intentional, "+
+			"bump the schema or regenerate with -update-golden.\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}

@@ -1,0 +1,342 @@
+// Metrics adapters: every experiment result exposes its numbers as a
+// flat map[string]float64, the raw material of cmd/experiments -json.
+//
+// Key conventions, which the golden schema test pins:
+//
+//   - keys are snake_case metric names;
+//   - per-label values append the label after a dot, e.g.
+//     "median_cycles.Stock Android" or "norm_pct.Shared PTP.Email";
+//   - percentages carry a _pct suffix (or a pct_ prefix inherited from
+//     the figure), raw counts and cycles are unsuffixed.
+//
+// Non-finite values (NaN, Inf) are omitted: they cannot be represented
+// in JSON, and an absent key is more honest than a sentinel.
+
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Metricser is implemented by every experiment result: a flat,
+// render-independent view of the numbers the String() table shows.
+type Metricser interface {
+	Metrics() map[string]float64
+}
+
+// Compile-time checks: every registered experiment's result implements
+// Metricser (RunJSON relies on this at runtime via a type assertion).
+var (
+	_ Metricser = (*Table1Result)(nil)
+	_ Metricser = (*Figure2Result)(nil)
+	_ Metricser = (*Figure3Result)(nil)
+	_ Metricser = (*Table2Result)(nil)
+	_ Metricser = (*Figure4Result)(nil)
+	_ Metricser = (*Table3Result)(nil)
+	_ Metricser = (*Table4Result)(nil)
+	_ Metricser = (*Figure7Result)(nil)
+	_ Metricser = (*Figure8Result)(nil)
+	_ Metricser = (*Figure9Result)(nil)
+	_ Metricser = (*Figure10Result)(nil)
+	_ Metricser = (*Figure11Result)(nil)
+	_ Metricser = (*Figure12Result)(nil)
+	_ Metricser = (*PTECopyResult)(nil)
+	_ Metricser = (*Figure13Result)(nil)
+	_ Metricser = (*AblationResult)(nil)
+	_ Metricser = (*SchedulerGroupingResult)(nil)
+	_ Metricser = (*ScalabilityResult)(nil)
+	_ Metricser = (*CachePollutionResult)(nil)
+	_ Metricser = (*SMPResult)(nil)
+	_ Metricser = (*ChromeFamilyResult)(nil)
+)
+
+// put inserts v under key, skipping non-finite values.
+func put(m map[string]float64, key string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	m[key] = v
+}
+
+// putFiveNum flattens a five-number summary under prefix.<label>.
+func putFiveNum(m map[string]float64, prefix, label string, f stats.FiveNum) {
+	put(m, "min_"+prefix+"."+label, f.Min)
+	put(m, "q1_"+prefix+"."+label, f.Q1)
+	put(m, "median_"+prefix+"."+label, f.Median)
+	put(m, "q3_"+prefix+"."+label, f.Q3)
+	put(m, "max_"+prefix+"."+label, f.Max)
+}
+
+// categorySlug gives the short, stable metric-key names of the footprint
+// categories (the table headers of Figures 2 and 3).
+func categorySlug(c vm.Category) string {
+	switch c {
+	case vm.CatPrivateCode:
+		return "private"
+	case vm.CatZygoteDynLib:
+		return "zyg_dynlib"
+	case vm.CatZygoteJavaLib:
+		return "zyg_java"
+	case vm.CatZygoteBinary:
+		return "app_process"
+	case vm.CatOtherDynLib:
+		return "other_dynlib"
+	default:
+		return "other"
+	}
+}
+
+// Metrics implements Metricser.
+func (r *Table1Result) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	for _, row := range r.Rows {
+		put(m, "user_pct."+row.App, row.UserPct)
+		put(m, "kernel_pct."+row.App, row.KernelPct)
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *Figure2Result) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "avg_shared_pct", r.AvgSharedPct)
+	for _, row := range r.Rows {
+		put(m, "total_pages."+row.App, float64(row.Total))
+		for _, c := range figureCategories {
+			put(m, "pages."+categorySlug(c)+"."+row.App, float64(row.Pages[c]))
+		}
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *Figure3Result) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "avg_shared_pct", r.AvgSharedPct)
+	for _, row := range r.Rows {
+		for _, c := range figureCategories {
+			put(m, "fetch_pct."+categorySlug(c)+"."+row.App, row.Shares[c])
+		}
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *Table2Result) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "avg_zygote_pct", r.AvgZygote)
+	put(m, "avg_all_pct", r.AvgAll)
+	for i, a := range r.Apps {
+		for j, b := range r.Apps {
+			if i == j {
+				continue
+			}
+			put(m, "zygote_pct."+a+"|"+b, r.ZygotePct[i][j])
+			put(m, "all_pct."+a+"|"+b, r.AllPct[i][j])
+		}
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *Figure4Result) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "avg_waste_factor", r.AvgWasteFactor)
+	rows := append(append([]Figure4Row(nil), r.Rows...), r.Union)
+	for _, row := range rows {
+		put(m, "tail_at_9."+row.App, row.TailAt9)
+		put(m, "mem_4kb_bytes."+row.App, float64(row.Mem4KB))
+		put(m, "mem_64kb_bytes."+row.App, float64(row.Mem64KB))
+		put(m, "waste_factor."+row.App, row.Waste)
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *Table3Result) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	for _, row := range r.Rows {
+		put(m, "cold_ptes."+row.App, float64(row.Cold))
+		put(m, "warm_ptes."+row.App, float64(row.Warm))
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *Table4Result) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "fork_speedup", r.Speedup)
+	put(m, "copied_slowdown_pct", r.CopiedSlowdownPct)
+	for _, row := range r.Rows {
+		put(m, "fork_cycles."+row.Kernel, float64(row.Cycles))
+		put(m, "ptps_allocated."+row.Kernel, float64(row.PTPsAllocated))
+		put(m, "shared_ptps."+row.Kernel, float64(row.SharedPTPs))
+		put(m, "ptes_copied."+row.Kernel, float64(row.PTEsCopied))
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *Figure7Result) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "speedup_pct_original", r.SpeedupPctOriginal)
+	put(m, "speedup_pct_2mb", r.SpeedupPct2MB)
+	for _, row := range r.Rows {
+		putFiveNum(m, "cycles", row.Config, row.Summary)
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *Figure8Result) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "reduction_pct_original", r.ReductionPctOriginal)
+	put(m, "reduction_pct_2mb", r.ReductionPct2MB)
+	for _, row := range r.Rows {
+		putFiveNum(m, "icache_stalls", row.Config, row.Summary)
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *Figure9Result) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	for _, row := range r.Rows {
+		put(m, "ptps."+row.Config, row.PTPs)
+		put(m, "file_faults."+row.Config, row.FileFaults)
+		put(m, "ptps_norm_pct."+row.Config, row.PTPsNormPct)
+		put(m, "faults_norm_pct."+row.Config, row.FaultsNormPct)
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *Figure10Result) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "avg_reduction_pct", r.AvgReductionPct)
+	for _, row := range r.Rows {
+		put(m, "stock_faults."+row.App, row.StockFaults)
+		put(m, "shared_faults."+row.App, row.SharedFaults)
+		put(m, "reduction_pct."+row.App, row.ReductionPct)
+		put(m, "eliminated_per_run."+row.App, row.Eliminated)
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *Figure11Result) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "avg_reduction_pct_original", r.AvgReductionOriginal)
+	put(m, "avg_reduction_pct_2mb", r.AvgReduction2MB)
+	for label, perApp := range r.NormPct {
+		for app, v := range perApp {
+			put(m, "ptps_norm_pct."+label+"."+app, v)
+		}
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *Figure12Result) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "avg_shared_pct_original", r.AvgOriginal)
+	put(m, "avg_shared_pct_2mb", r.Avg2MB)
+	for layout, perApp := range r.SharedPct {
+		for app, v := range perApp {
+			put(m, "shared_pct."+layout.String()+"."+app, v)
+		}
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *PTECopyResult) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	for label, perApp := range r.Copies {
+		for app, v := range perApp {
+			put(m, "ptes_copied."+label+"."+app, v)
+		}
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *Figure13Result) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "client_improvement_pct", r.ClientImprovementPct)
+	put(m, "server_improvement_pct", r.ServerImprovementPct)
+	for _, row := range r.Rows {
+		mode := "asid_off"
+		if row.ASID {
+			mode = "asid_on"
+		}
+		put(m, "client_stalls."+mode+"."+row.Kernel, float64(row.ClientStalls))
+		put(m, "server_stalls."+mode+"."+row.Kernel, float64(row.ServerStalls))
+		put(m, "client_norm_pct."+mode+"."+row.Kernel, row.ClientNormPct)
+		put(m, "server_norm_pct."+mode+"."+row.Kernel, row.ServerNormPct)
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *AblationResult) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	for _, row := range r.Rows {
+		put(m, "baseline."+row.Metric, row.Baseline)
+		put(m, "variant."+row.Metric, row.Variant)
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *SchedulerGroupingResult) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "itlb_stalls.interleaved", float64(r.Interleaved))
+	put(m, "itlb_stalls.grouped", float64(r.Grouped))
+	put(m, "full_flushes.interleaved", float64(r.FlushesInterleaved))
+	put(m, "full_flushes.grouped", float64(r.FlushesGrouped))
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *ScalabilityResult) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	for _, row := range r.Rows {
+		n := fmt.Sprintf("%d", row.Processes)
+		put(m, "stock_ptp_kb."+n, float64(row.StockPTPKB))
+		put(m, "shared_ptp_kb."+n, float64(row.SharedPTPKB))
+	}
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *CachePollutionResult) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "processes", float64(r.Processes))
+	put(m, "stock_pte_lines", float64(r.StockPTELines))
+	put(m, "shared_pte_lines", float64(r.SharedPTELines))
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *SMPResult) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "stock_shootdowns", float64(r.StockShootdowns))
+	put(m, "shared_shootdowns", float64(r.SharedShootdowns))
+	put(m, "stock_faults", float64(r.StockFaults))
+	put(m, "shared_faults", float64(r.SharedFaults))
+	return m
+}
+
+// Metrics implements Metricser.
+func (r *ChromeFamilyResult) Metrics() map[string]float64 {
+	m := make(map[string]float64)
+	put(m, "inherited_lib_pages", float64(r.Pages))
+	put(m, "stock_faults", float64(r.StockFaults))
+	put(m, "shared_faults", float64(r.SharedFaults))
+	return m
+}

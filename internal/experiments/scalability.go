@@ -238,11 +238,14 @@ func (s *Session) SMP() (*SMPResult, error) {
 				}
 			}
 		}
+		// Read the counters through the uniform obs.Source surface: the
+		// kernel and each address space expose snapshots rather than
+		// having the campaign poke component-private fields.
 		var faults uint64
 		for _, p := range apps {
-			faults += p.MM.Counters.PageFaults
+			faults += p.MM.Snapshot()["page_faults"]
 		}
-		return k.Counters.TLBShootdowns, faults, nil
+		return k.Snapshot()["tlb_shootdowns"], faults, nil
 	}
 	type smpMeasure struct{ shootdowns, faults uint64 }
 	stock, shared, err := sweep.Pair(s.workers(), "smp", func(variant bool) (smpMeasure, error) {
@@ -331,7 +334,7 @@ func (s *Session) ChromeFamily() (*ChromeFamilyResult, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		return len(pages), helper.MM.Counters.FileFaults, nil
+		return len(pages), helper.MM.Snapshot()["file_faults"], nil
 	}
 	type familyMeasure struct {
 		pages  int

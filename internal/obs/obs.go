@@ -1,0 +1,208 @@
+// Package obs is the simulator's observability plane: a deterministic
+// typed event bus, a bounded ring-buffer event capture, and a metrics
+// registry through which every component exposes its counters behind one
+// uniform Source interface.
+//
+// The paper's claims are all counts — soft faults eliminated, PTPs
+// shared, PTE cache lines deduplicated, TLB entries reused across ASIDs —
+// so the whole simulator routes its instrumentation through this package:
+// components publish typed events (page faults, fork/unshare operations,
+// TLB insert/evict/flush/shootdown, cache fill/evict, PTP share/copy) and
+// expose snapshot-able counter sets, and the experiment campaigns consume
+// both instead of poking component-private fields.
+//
+// Determinism rules (the same contract as internal/sweep):
+//
+//   - Publish dispatches to subscribers synchronously, in subscription
+//     order. There are no goroutines, channels, or timestamps anywhere in
+//     the package: replaying the same simulation produces the same event
+//     sequence to every observer, byte for byte.
+//   - Snapshot returns a freshly allocated map on every call; mutating a
+//     returned snapshot never affects the component or later snapshots.
+//   - A bus, ring, or registry is private to one simulated system. The
+//     parallel sweep engine boots one system per scenario, so no
+//     observability state is ever shared between sweep workers.
+package obs
+
+// Kind is the type tag of an Event.
+type Kind uint8
+
+// The event taxonomy. Every kind documents which Event fields it fills
+// beyond Kind and Source.
+const (
+	// EvPageFault is one soft page fault handled by the kernel.
+	// PID is the faulting process, Addr the faulting virtual address,
+	// Access the arch.AccessKind of the faulting access.
+	EvPageFault Kind = iota
+	// EvFork is one completed fork. PID is the child; Value is the
+	// modeled cycle cost of the fork.
+	EvFork
+	// EvUnshare is one unshare operation (Figure 6). PID is the process
+	// unsharing, Addr the base address of the affected 1MB slot, Value
+	// the number of PTEs copied into the private replacement PTP.
+	EvUnshare
+	// EvPTPShare is one PTP attached copy-on-write to a child at fork.
+	// PID is the child, Addr the base address of the shared 1MB slot.
+	EvPTPShare
+	// EvPTPCopy is one PTP physically copied during an unshare (the
+	// detach-without-copy path of process exit publishes no copy). PID
+	// is the copying process, Addr the slot base, Value the PTEs copied.
+	EvPTPCopy
+	// EvTLBInsert is one translation loaded into a TLB. Addr is the
+	// virtual address, Value the ASID.
+	EvTLBInsert
+	// EvTLBEvict is one valid TLB entry evicted by LRU replacement.
+	// Addr is the evicted entry's page base, Value its ASID.
+	EvTLBEvict
+	// EvTLBFlush is one flush operation on a TLB (any granularity).
+	// Value is the number of entries invalidated.
+	EvTLBFlush
+	// EvTLBShootdown is one remote-core TLB invalidation IPI issued by
+	// the kernel. Value is the target core index.
+	EvTLBShootdown
+	// EvCacheFill is one line filled into a cache after a miss. Addr is
+	// the physical line address.
+	EvCacheFill
+	// EvCacheEvict is one valid cache line evicted to make room for a
+	// fill. Addr is the physical address that caused the eviction.
+	EvCacheEvict
+
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case EvPageFault:
+		return "page-fault"
+	case EvFork:
+		return "fork"
+	case EvUnshare:
+		return "unshare"
+	case EvPTPShare:
+		return "ptp-share"
+	case EvPTPCopy:
+		return "ptp-copy"
+	case EvTLBInsert:
+		return "tlb-insert"
+	case EvTLBEvict:
+		return "tlb-evict"
+	case EvTLBFlush:
+		return "tlb-flush"
+	case EvTLBShootdown:
+		return "tlb-shootdown"
+	case EvCacheFill:
+		return "cache-fill"
+	case EvCacheEvict:
+		return "cache-evict"
+	default:
+		return "unknown"
+	}
+}
+
+// Kinds returns every defined event kind, in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Event is one typed observation. The meaning of PID, Addr, Access and
+// Value is kind-specific; see the Kind constants. The package deliberately
+// avoids importing component packages, so addresses are plain uint64.
+type Event struct {
+	// Kind selects the event type.
+	Kind Kind
+	// Source names the component that published the event (for example
+	// "kernel", "mainTLB", "L2").
+	Source string
+	// PID is the process the event concerns, 0 when not applicable.
+	PID int
+	// Addr is the virtual or physical address the event concerns.
+	Addr uint64
+	// Access is the access kind for page-fault events (arch.AccessKind).
+	Access uint8
+	// Value is the kind-specific payload.
+	Value uint64
+}
+
+// Observer receives published events.
+type Observer interface {
+	HandleEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// HandleEvent implements Observer.
+func (f ObserverFunc) HandleEvent(ev Event) { f(ev) }
+
+// subEntry is one subscription on one kind's dispatch list.
+type subEntry struct {
+	id  uint64
+	obs Observer
+}
+
+// Bus is a deterministic multi-subscriber event bus. The zero value is
+// NOT ready to use; create one with NewBus. All methods are nil-safe on
+// the receiver, so components may hold an optional *Bus and publish
+// unconditionally.
+type Bus struct {
+	byKind [numKinds][]subEntry
+	nextID uint64
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Subscribe registers o for the given kinds (all kinds when none are
+// given) and returns a cancel function that removes the subscription.
+// Dispatch order is subscription order, independent of kinds: an observer
+// subscribed earlier always sees an event before one subscribed later.
+func (b *Bus) Subscribe(o Observer, kinds ...Kind) (cancel func()) {
+	b.nextID++
+	id := b.nextID
+	if len(kinds) == 0 {
+		kinds = Kinds()
+	}
+	for _, k := range kinds {
+		b.byKind[k] = append(b.byKind[k], subEntry{id: id, obs: o})
+	}
+	return func() {
+		for k := range b.byKind {
+			list := b.byKind[k]
+			for i := range list {
+				if list[i].id == id {
+					b.byKind[k] = append(list[:i:i], list[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// Wants reports whether any observer is subscribed to kind k. Publishers
+// on hot paths check Wants before building an Event, so an unobserved
+// simulation pays only this test.
+func (b *Bus) Wants(k Kind) bool { return b != nil && len(b.byKind[k]) > 0 }
+
+// Publish dispatches ev synchronously to every subscriber of ev.Kind, in
+// subscription order.
+func (b *Bus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	for _, e := range b.byKind[ev.Kind] {
+		e.obs.HandleEvent(ev)
+	}
+}
+
+// Subscribers returns the number of observers subscribed to kind k.
+func (b *Bus) Subscribers(k Kind) int {
+	if b == nil {
+		return 0
+	}
+	return len(b.byKind[k])
+}

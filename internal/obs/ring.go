@@ -1,0 +1,78 @@
+package obs
+
+// Ring is a bounded event capture: an Observer that keeps the most recent
+// events published to it, overwriting the oldest once full. An optional
+// filter restricts which events are retained. The zero value is unusable;
+// create one with NewRing.
+//
+// Like the rest of the package, Ring is single-threaded and deterministic:
+// it records events in dispatch order with no timestamps.
+type Ring struct {
+	buf    []Event
+	start  int // index of the oldest retained event
+	n      int // number of retained events, <= cap(buf)
+	filter func(Event) bool
+
+	seen    uint64 // events offered (after filtering)
+	dropped uint64 // retained events overwritten by later ones
+}
+
+// NewRing creates a capture holding at most capacity events. capacity
+// must be positive; NewRing panics otherwise, because a zero-capacity
+// ring silently recording nothing is always a caller bug.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("obs: NewRing capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// SetFilter installs a retention predicate: events for which keep returns
+// false are ignored entirely (not counted as seen). A nil keep removes
+// the filter.
+func (r *Ring) SetFilter(keep func(Event) bool) { r.filter = keep }
+
+// HandleEvent implements Observer: it retains ev, overwriting the oldest
+// retained event if the ring is full.
+func (r *Ring) HandleEvent(ev Event) {
+	if r.filter != nil && !r.filter(ev) {
+		return
+	}
+	r.seen++
+	if r.n < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		r.n++
+		return
+	}
+	r.buf[r.start] = ev
+	r.start = (r.start + 1) % r.n
+	r.dropped++
+}
+
+// Events returns the retained events, oldest first, as a fresh slice.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%r.n])
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int { return r.n }
+
+// Seen returns the number of events that passed the filter, including
+// ones since overwritten.
+func (r *Ring) Seen() uint64 { return r.seen }
+
+// Dropped returns the number of retained events that were overwritten
+// because the ring was full.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Reset discards all retained events and zeroes the counters. The filter
+// is kept.
+func (r *Ring) Reset() {
+	r.buf = r.buf[:0]
+	r.start, r.n = 0, 0
+	r.seen, r.dropped = 0, 0
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/obs"
 )
 
 // Entry is one TLB entry.
@@ -107,7 +108,11 @@ type TLB struct {
 	entries []Entry
 	clock   uint64
 	stats   Stats
+	bus     *obs.Bus
 }
+
+// Compile-time check: every TLB is an obs.Source.
+var _ obs.Source = (*TLB)(nil)
 
 // New creates a TLB with the given number of entries.
 func New(name string, entries int) *TLB {
@@ -128,6 +133,36 @@ func (t *TLB) Stats() Stats { return t.stats }
 
 // ResetStats zeroes the counters without touching the entries.
 func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// AttachBus makes the TLB publish insert/evict/flush events to b. A nil
+// bus detaches.
+func (t *TLB) AttachBus(b *obs.Bus) { t.bus = b }
+
+// Snapshot implements obs.Source.
+func (t *TLB) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"hits":            t.stats.Hits,
+		"misses":          t.stats.Misses,
+		"domain_faults":   t.stats.DomainFaults,
+		"perm_faults":     t.stats.PermFaults,
+		"insertions":      t.stats.Insertions,
+		"evictions":       t.stats.Evictions,
+		"flushes":         t.stats.Flushes,
+		"flushed_entries": t.stats.FlushedEntries,
+	}
+}
+
+// Reset implements obs.Source.
+func (t *TLB) Reset() { t.ResetStats() }
+
+// flushed records one flush operation that invalidated n entries.
+func (t *TLB) flushed(n int) {
+	t.stats.Flushes++
+	t.stats.FlushedEntries += uint64(n)
+	if t.bus.Wants(obs.EvTLBFlush) {
+		t.bus.Publish(obs.Event{Kind: obs.EvTLBFlush, Source: t.name, Value: uint64(n)})
+	}
+}
 
 // match reports whether entry e translates va under asid. A global entry
 // ignores the ASID, per the architectural meaning of the global bit; a
@@ -230,6 +265,15 @@ func (t *TLB) Insert(va arch.VirtAddr, asid arch.ASID, frame arch.FrameNum, flag
 	}
 	if t.entries[victim].valid && !t.entries[victim].match(vpn, asid) {
 		t.stats.Evictions++
+		if t.bus.Wants(obs.EvTLBEvict) {
+			v := &t.entries[victim]
+			t.bus.Publish(obs.Event{
+				Kind:   obs.EvTLBEvict,
+				Source: t.name,
+				Addr:   uint64(v.vpn) << arch.PageShift,
+				Value:  uint64(v.asid),
+			})
+		}
 	}
 	large := flags&arch.PTELarge != 0
 	if large {
@@ -247,6 +291,14 @@ func (t *TLB) Insert(va arch.VirtAddr, asid arch.ASID, frame arch.FrameNum, flag
 		lastUse: t.clock,
 	}
 	t.stats.Insertions++
+	if t.bus.Wants(obs.EvTLBInsert) {
+		t.bus.Publish(obs.Event{
+			Kind:   obs.EvTLBInsert,
+			Source: t.name,
+			Addr:   uint64(va),
+			Value:  uint64(asid),
+		})
+	}
 }
 
 // FlushAll invalidates every entry.
@@ -258,8 +310,7 @@ func (t *TLB) FlushAll() {
 		}
 		t.entries[i] = Entry{}
 	}
-	t.stats.Flushes++
-	t.stats.FlushedEntries += uint64(n)
+	t.flushed(n)
 }
 
 // FlushASID invalidates the non-global entries of one address space.
@@ -274,8 +325,7 @@ func (t *TLB) FlushASID(asid arch.ASID) {
 			n++
 		}
 	}
-	t.stats.Flushes++
-	t.stats.FlushedEntries += uint64(n)
+	t.flushed(n)
 }
 
 // FlushNonGlobal invalidates every non-global entry, regardless of ASID.
@@ -293,8 +343,7 @@ func (t *TLB) FlushNonGlobal() int {
 			n++
 		}
 	}
-	t.stats.Flushes++
-	t.stats.FlushedEntries += uint64(n)
+	t.flushed(n)
 	return n
 }
 
@@ -311,8 +360,7 @@ func (t *TLB) FlushVA(va arch.VirtAddr) int {
 			n++
 		}
 	}
-	t.stats.Flushes++
-	t.stats.FlushedEntries += uint64(n)
+	t.flushed(n)
 	return n
 }
 
@@ -327,8 +375,7 @@ func (t *TLB) FlushRange(start, end arch.VirtAddr, asid arch.ASID) int {
 			n++
 		}
 	}
-	t.stats.Flushes++
-	t.stats.FlushedEntries += uint64(n)
+	t.flushed(n)
 	return n
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/vm"
 )
@@ -28,21 +29,36 @@ type FaultEvent struct {
 	Kind arch.AccessKind
 }
 
-// FaultTrace collects the kernel's page-fault stream. Attach installs it
-// on a kernel; it keeps recording until detached.
+// FaultTrace collects the kernel's page-fault stream. Attach subscribes
+// it to the kernel's event bus; it keeps recording until detached.
 type FaultTrace struct {
 	Events []FaultEvent
+
+	cancel func()
 }
 
-// Attach installs the trace on k (replacing any previous hook).
+// Attach subscribes the trace to k's page-fault events. Other observers
+// are unaffected; a second Attach (to the same or another kernel) first
+// detaches.
 func (t *FaultTrace) Attach(k *core.Kernel) {
-	k.OnPageFault = func(p *core.Process, va arch.VirtAddr, kind arch.AccessKind) {
-		t.Events = append(t.Events, FaultEvent{PID: p.PID, VA: va, Kind: kind})
+	t.Detach(k)
+	t.cancel = k.Subscribe(obs.ObserverFunc(func(ev obs.Event) {
+		t.Events = append(t.Events, FaultEvent{
+			PID:  ev.PID,
+			VA:   arch.VirtAddr(ev.Addr),
+			Kind: arch.AccessKind(ev.Access),
+		})
+	}), obs.EvPageFault)
+}
+
+// Detach stops recording. The kernel argument is kept for compatibility
+// and may be nil; the subscription itself knows which bus it is on.
+func (t *FaultTrace) Detach(*core.Kernel) {
+	if t.cancel != nil {
+		t.cancel()
+		t.cancel = nil
 	}
 }
-
-// Detach removes the trace from k.
-func (t *FaultTrace) Detach(k *core.Kernel) { k.OnPageFault = nil }
 
 // ExecPages returns the distinct pages that took fetch faults in process
 // pid, the raw material of the paper's instruction footprint analysis.

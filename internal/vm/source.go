@@ -1,0 +1,25 @@
+package vm
+
+import (
+	"repro/internal/obs"
+)
+
+// Compile-time check: every MM is an obs.Source.
+var _ obs.Source = (*MM)(nil)
+
+// Name implements obs.Source. Per-process address spaces are usually
+// wrapped in obs.Prefix with a process identity when registered.
+func (mm *MM) Name() string { return "vm" }
+
+// Snapshot implements obs.Source.
+func (mm *MM) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"page_faults": mm.Counters.PageFaults,
+		"file_faults": mm.Counters.FileFaults,
+		"anon_faults": mm.Counters.AnonFaults,
+		"cow_breaks":  mm.Counters.COWBreaks,
+	}
+}
+
+// Reset implements obs.Source.
+func (mm *MM) Reset() { mm.Counters = Counters{} }
