@@ -7,6 +7,7 @@
 //
 //	experiments [-quick] [-parallel N] [-launch-runs N] [-app-runs N]
 //	            [-binder-iters N] [-only LIST] [-list] [-json]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // -only selects a comma-separated subset, e.g. -only table4,figure7; an
 // unknown name is an error. Explicitly set size flags always override
@@ -14,7 +15,8 @@
 // results are byte-identical regardless of the worker count. -json
 // replaces the text tables with one structured document (schema
 // "sat-experiments/v1", see internal/experiments/report.go), also
-// byte-identical for every -parallel setting.
+// byte-identical for every -parallel setting. -cpuprofile and
+// -memprofile write pprof captures of the run (see README "Profiling").
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -34,7 +37,7 @@ func main() {
 	}
 }
 
-func run(argv []string, out *os.File) error {
+func run(argv []string, out *os.File) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "use reduced sweep sizes (overridden by any explicitly set size flag)")
 	launchRuns := fs.Int("launch-runs", 0, "launches per config for Figures 7-9 (>=1; default 100, paper >100; overrides -quick)")
@@ -44,6 +47,8 @@ func run(argv []string, out *os.File) error {
 	only := fs.String("only", "", "comma-separated experiments to run (see -list); empty = all")
 	list := fs.Bool("list", false, "list the experiment names and exit")
 	jsonOut := fs.Bool("json", false, "emit one structured JSON document instead of text tables")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -106,6 +111,16 @@ func run(argv []string, out *os.File) error {
 			selected[name] = true
 		}
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	s := experiments.New(params)
 	s.Parallel = *parallel

@@ -8,6 +8,7 @@
 //
 //	satsim [-kernel stock|copied|shared|shared-tlb] [-layout original|2mb]
 //	       [-app NAME|all] [-runs N] [-parallel N] [-json] [-list]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // -app all sweeps the whole suite, one freshly booted system per
 // application, fanned out over -parallel workers (0 = GOMAXPROCS,
@@ -19,6 +20,9 @@
 // sharing stats, and a full obs.Registry snapshot of every metric source
 // in the booted machine (kernel, per-CPU TLBs and L1 caches, shared L2).
 // Like the text output it is byte-identical for every -parallel setting.
+//
+// -cpuprofile and -memprofile write pprof captures of the scenario (see
+// README "Profiling").
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"repro/internal/android"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/workload"
@@ -45,6 +50,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "workers for -app all: 1 = serial, N>1 = N workers, 0 = GOMAXPROCS")
 	jsonOut := flag.Bool("json", false, "emit one structured JSON document instead of the text report")
 	list := flag.Bool("list", false, "list the application suite and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the scenario to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the scenario to this file")
 	flag.Parse()
 
 	if *list {
@@ -54,7 +61,16 @@ func main() {
 		}
 		return
 	}
-	if err := run(os.Stdout, *kernel, *layout, *app, *runs, *parallel, *jsonOut); err != nil {
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satsim:", err)
+		os.Exit(1)
+	}
+	err = run(os.Stdout, *kernel, *layout, *app, *runs, *parallel, *jsonOut)
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "satsim:", err)
 		os.Exit(1)
 	}

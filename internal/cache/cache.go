@@ -51,9 +51,18 @@ type line struct {
 
 // Cache is one level of a physically indexed, physically tagged cache
 // with LRU replacement within each set.
+//
+// Two hot-path refinements over the obvious probe (behaviour-identical,
+// since a tag is resident in at most one way of its set): the way that
+// hit last in each set (mru) is probed first, catching the consecutive
+// same-line references that dominate instruction fetch; and a miss costs
+// a single pass over the set, because the victim (first invalid way, else
+// the LRU way) is tracked during the tag probe instead of by a second
+// scan.
 type Cache struct {
 	cfg        Config
 	sets       [][]line
+	mru        []int32 // per-set way index of the last hit or fill
 	setShift   uint
 	setMask    uint32
 	clock      uint64
@@ -87,6 +96,7 @@ func New(cfg Config, next *Cache, memLatency int) *Cache {
 	return &Cache{
 		cfg:        cfg,
 		sets:       sets,
+		mru:        make([]int32, nSets),
 		setShift:   uint(bits.TrailingZeros(uint(cfg.LineSize))),
 		setMask:    uint32(nSets - 1),
 		next:       next,
@@ -127,13 +137,39 @@ func (c *Cache) Access(pa arch.PhysAddr) int {
 	c.clock++
 	c.stats.Accesses++
 	tag := uint32(pa) >> c.setShift
-	set := c.sets[tag&c.setMask]
+	si := tag & c.setMask
+	set := c.sets[si]
+	if l := &set[c.mru[si]]; l.valid && l.tag == tag {
+		l.lastUse = c.clock
+		c.stats.Hits++
+		return c.cfg.HitLatency
+	}
+	// One pass: probe every way for the tag while tracking the would-be
+	// victim — the first invalid way, else the least recently used
+	// (lastUse values are unique, so "first lowest" is unambiguous).
+	victim, invalid := 0, -1
+	var oldest uint64 = ^uint64(0)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lastUse = c.clock
+		l := &set[i]
+		if !l.valid {
+			if invalid < 0 {
+				invalid = i
+			}
+			continue
+		}
+		if l.tag == tag {
+			l.lastUse = c.clock
 			c.stats.Hits++
+			c.mru[si] = int32(i)
 			return c.cfg.HitLatency
 		}
+		if invalid < 0 && l.lastUse < oldest {
+			victim = i
+			oldest = l.lastUse
+		}
+	}
+	if invalid >= 0 {
+		victim = invalid
 	}
 	c.stats.Misses++
 	latency := c.cfg.HitLatency
@@ -142,19 +178,6 @@ func (c *Cache) Access(pa arch.PhysAddr) int {
 	} else {
 		latency += c.memLatency
 	}
-	victim := 0
-	var oldest uint64 = ^uint64(0)
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			oldest = 0
-			break
-		}
-		if set[i].lastUse < oldest {
-			victim = i
-			oldest = set[i].lastUse
-		}
-	}
 	if set[victim].valid {
 		c.stats.Evictions++
 		if c.bus.Wants(obs.EvCacheEvict) {
@@ -162,6 +185,7 @@ func (c *Cache) Access(pa arch.PhysAddr) int {
 		}
 	}
 	set[victim] = line{valid: true, tag: tag, lastUse: c.clock}
+	c.mru[si] = int32(victim)
 	if c.bus.Wants(obs.EvCacheFill) {
 		c.bus.Publish(obs.Event{Kind: obs.EvCacheFill, Source: c.cfg.Name, Addr: uint64(pa)})
 	}
@@ -172,7 +196,11 @@ func (c *Cache) Access(pa arch.PhysAddr) int {
 // without touching LRU state or counters.
 func (c *Cache) Contains(pa arch.PhysAddr) bool {
 	tag := uint32(pa) >> c.setShift
-	set := c.sets[tag&c.setMask]
+	si := tag & c.setMask
+	set := c.sets[si]
+	if l := &set[c.mru[si]]; l.valid && l.tag == tag {
+		return true
+	}
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			return true

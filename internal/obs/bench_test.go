@@ -1,0 +1,47 @@
+package obs
+
+import "testing"
+
+// BenchmarkPublishUnobserved measures the cost an uninstrumented
+// simulation pays per would-be event: one Wants check, no Event built.
+func BenchmarkPublishUnobserved(b *testing.B) {
+	bus := NewBus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bus.Wants(EvTLBInsert) {
+			bus.Publish(Event{Kind: EvTLBInsert, Addr: uint64(i)})
+		}
+	}
+}
+
+// BenchmarkPublishNilBus measures the detached-component path: every
+// publisher holds an optional *Bus and the nil receiver must be free.
+func BenchmarkPublishNilBus(b *testing.B) {
+	var bus *Bus
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bus.Wants(EvTLBInsert) {
+			bus.Publish(Event{Kind: EvTLBInsert, Addr: uint64(i)})
+		}
+	}
+}
+
+// BenchmarkPublishToRing measures the observed fast path: one subscriber,
+// a full ring overwriting in place. This path must be allocation-free so
+// that attaching a capture does not perturb the simulation's memory
+// behavior.
+func BenchmarkPublishToRing(b *testing.B) {
+	bus := NewBus()
+	ring := NewRing(1024)
+	bus.Subscribe(ring, EvTLBInsert)
+	for i := 0; i < 1024; i++ { // fill to capacity: steady state overwrites
+		bus.Publish(Event{Kind: EvTLBInsert, Addr: uint64(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(Event{Kind: EvTLBInsert, Addr: uint64(i)})
+	}
+}

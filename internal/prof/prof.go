@@ -1,0 +1,56 @@
+// Package prof drives the optional pprof captures behind the
+// -cpuprofile and -memprofile flags of the command-line tools. Both
+// commands share this one lifecycle so the profiles are written the
+// same way: the CPU profile covers exactly the workload (not flag
+// parsing), and the heap profile samples the live set after a forced
+// GC so transient sweep buffers do not drown the structural allocations
+// the profile is meant to expose.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the captures selected by the two file paths; an empty
+// path disables that capture. The returned stop function ends the CPU
+// profile and writes the heap profile; it must run exactly once, after
+// the workload. Start never returns a nil stop alongside a nil error.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+			runtime.GC() // settle the live set before sampling
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

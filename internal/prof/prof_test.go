@@ -1,0 +1,55 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartDisabled(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatalf("Start(\"\", \"\") error: %v", err)
+	}
+	if stop == nil {
+		t.Fatal("Start returned nil stop")
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop error: %v", err)
+	}
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatalf("Start error: %v", err)
+	}
+	// Burn a little CPU and allocate so both profiles have something
+	// to sample; the assertion is only that valid files appear.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1<<12))
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatalf("stop error: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"), ""); err == nil {
+		t.Fatal("Start with uncreatable path: want error, got nil")
+	}
+}

@@ -1,0 +1,98 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// benchFill populates tb with n distinct small pages under ASID 1.
+func benchFill(tb *TLB, n int) {
+	for i := 0; i < n; i++ {
+		tb.Insert(arch.VirtAddr(i)<<arch.PageShift, 1, arch.FrameNum(i),
+			arch.PTEValid|arch.PTEUser|arch.PTEExec, arch.DomainUser)
+	}
+}
+
+// BenchmarkTLBLookupHit measures the resident-entry probe path of a full
+// 128-entry main TLB, cycling through the whole working set so the
+// one-entry MRU register never short-circuits the index.
+func BenchmarkTLBLookupHit(b *testing.B) {
+	tb := New("bench", 128)
+	benchFill(tb, 128)
+	dacr := arch.StockDACR()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, r := tb.Lookup(arch.VirtAddr(i&127)<<arch.PageShift, 1, dacr, arch.AccessFetch); r != Hit {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+// BenchmarkTLBLookupHitMRU measures the repeated-page probe path: the
+// same translation is looked up back to back, as happens for every
+// instruction of a straight-line basic block.
+func BenchmarkTLBLookupHitMRU(b *testing.B) {
+	tb := New("bench", 128)
+	benchFill(tb, 128)
+	dacr := arch.StockDACR()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, r := tb.Lookup(0x1000, 1, dacr, arch.AccessFetch); r != Hit {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+// BenchmarkTLBLookupMiss measures the miss-detection path of a full main
+// TLB: the probe that precedes every hardware page walk.
+func BenchmarkTLBLookupMiss(b *testing.B) {
+	tb := New("bench", 128)
+	benchFill(tb, 128)
+	dacr := arch.StockDACR()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := arch.VirtAddr(1024+(i&1023)) << arch.PageShift
+		if _, r := tb.Lookup(va, 1, dacr, arch.AccessFetch); r != Miss {
+			b.Fatal("unexpected hit")
+		}
+	}
+}
+
+// BenchmarkTLBInsertEvict measures Insert into a full TLB, where every
+// load must also choose and displace the LRU victim.
+func BenchmarkTLBInsertEvict(b *testing.B) {
+	tb := New("bench", 128)
+	benchFill(tb, 128)
+	flags := arch.PTEValid | arch.PTEUser | arch.PTEExec
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := arch.VirtAddr(128+(i&0xFFFFF)) << arch.PageShift
+		tb.Insert(va, 1, arch.FrameNum(i), flags, arch.DomainUser)
+	}
+}
+
+// BenchmarkTLBLookupLargePage measures the probe path when the working
+// set is mapped with 64KB large pages, exercising the masked-VPN index.
+func BenchmarkTLBLookupLargePage(b *testing.B) {
+	tb := New("bench", 128)
+	flags := arch.PTEValid | arch.PTEUser | arch.PTEExec | arch.PTELarge
+	for i := 0; i < 64; i++ {
+		va := arch.VirtAddr(i) << arch.LargePageShift
+		tb.Insert(va, 1, arch.FrameNum(i*arch.PagesPerLargePage), flags, arch.DomainUser)
+	}
+	dacr := arch.StockDACR()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Probe every 4KB page of the 64KB blocks in turn.
+		va := arch.VirtAddr(i&1023) << arch.PageShift
+		if _, r := tb.Lookup(va, 1, dacr, arch.AccessFetch); r != Hit {
+			b.Fatal("unexpected miss")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package tlb
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// The differential property test: the indexed TLB and the reference
+// linear implementation are driven through identical randomized
+// Lookup/Insert/Flush sequences and must agree on every operation's
+// result, every counter, and the entire entry array after every step.
+// This is the proof obligation for the hot-path index (see the package
+// comment): the paper's results are event counts, so the optimization
+// must be count-preserving, and entry-state equality is stronger still.
+
+// diffDACRs is the register mix the ops draw from: stock, zygote,
+// manager-override, deny-user (domain faults on user entries), and
+// all-manager.
+func diffDACRs() []arch.DACR {
+	deny := arch.DACR(0).WithAccess(arch.DomainKernel, arch.DomainClient)
+	var manager arch.DACR
+	for d := uint8(0); d < 4; d++ {
+		manager = manager.WithAccess(d, arch.DomainManager)
+	}
+	return []arch.DACR{
+		arch.StockDACR(),
+		arch.ZygoteDACR(),
+		arch.StockDACR().WithAccess(arch.DomainUser, arch.DomainManager),
+		deny,
+		manager,
+	}
+}
+
+// diffOp applies one random operation to both implementations and fails
+// the test on any divergence in the operation's outcome.
+func diffOp(t *testing.T, rng *rand.Rand, indexed *TLB, ref *linearTLB, dacrs []arch.DACR) {
+	t.Helper()
+	// Address pool: 48 small pages, aliasing the first three 64KB blocks,
+	// plus offsets within pages so VPN extraction is exercised.
+	va := arch.VirtAddr(rng.Intn(48))<<arch.PageShift | arch.VirtAddr(rng.Intn(arch.PageSize))
+	asid := arch.ASID(1 + rng.Intn(3))
+	kind := arch.AccessKind(rng.Intn(3))
+	dacr := dacrs[rng.Intn(len(dacrs))]
+
+	switch r := rng.Intn(100); {
+	case r < 55: // Lookup
+		ge, gr := indexed.Lookup(va, asid, dacr, kind)
+		we, wr := ref.Lookup(va, asid, dacr, kind)
+		if ge != we || gr != wr {
+			t.Fatalf("Lookup(%#x, asid %d, dacr %#x, %v) diverged:\n  indexed (%+v, %v)\n  reference (%+v, %v)",
+				va, asid, dacr, kind, ge, gr, we, wr)
+		}
+	case r < 85: // Insert
+		flags := arch.PTEValid
+		if rng.Intn(100) < 80 {
+			flags |= arch.PTEUser
+		}
+		if rng.Intn(2) == 0 {
+			flags |= arch.PTEExec
+		}
+		if rng.Intn(2) == 0 {
+			flags |= arch.PTEWrite
+		}
+		if rng.Intn(100) < 25 {
+			flags |= arch.PTEGlobal
+		}
+		if rng.Intn(100) < 20 {
+			flags |= arch.PTELarge
+		}
+		frame := arch.FrameNum(rng.Intn(1 << 16))
+		domain := uint8(rng.Intn(4))
+		indexed.Insert(va, asid, frame, flags, domain)
+		ref.Insert(va, asid, frame, flags, domain)
+	case r < 90: // FlushVA (the domain-fault handler / shootdown path)
+		if gn, wn := indexed.FlushVA(va), ref.FlushVA(va); gn != wn {
+			t.Fatalf("FlushVA(%#x) diverged: indexed %d, reference %d", va, gn, wn)
+		}
+	case r < 93: // FlushASID
+		indexed.FlushASID(asid)
+		ref.FlushASID(asid)
+	case r < 96: // FlushRange
+		end := va + arch.VirtAddr(rng.Intn(8))<<arch.PageShift + 1
+		if gn, wn := indexed.FlushRange(va, end, asid), ref.FlushRange(va, end, asid); gn != wn {
+			t.Fatalf("FlushRange(%#x, %#x, asid %d) diverged: indexed %d, reference %d", va, end, asid, gn, wn)
+		}
+	case r < 98: // FlushNonGlobal (no-ASID context switch)
+		if gn, wn := indexed.FlushNonGlobal(), ref.FlushNonGlobal(); gn != wn {
+			t.Fatalf("FlushNonGlobal diverged: indexed %d, reference %d", gn, wn)
+		}
+	default: // FlushAll
+		indexed.FlushAll()
+		ref.FlushAll()
+	}
+}
+
+// diffCompareState fails the test unless both implementations hold
+// identical entries, counters, and occupancy.
+func diffCompareState(t *testing.T, step int, indexed *TLB, ref *linearTLB) {
+	t.Helper()
+	if !slices.Equal(indexed.entries, ref.entries) {
+		for i := range indexed.entries {
+			if indexed.entries[i] != ref.entries[i] {
+				t.Fatalf("step %d: entry %d diverged:\n  indexed %+v\n  reference %+v",
+					step, i, indexed.entries[i], ref.entries[i])
+			}
+		}
+	}
+	if indexed.stats != ref.stats {
+		t.Fatalf("step %d: stats diverged:\n  indexed %+v\n  reference %+v", step, indexed.stats, ref.stats)
+	}
+	gv, gg := indexed.Occupancy()
+	wv, wg := ref.Occupancy()
+	if gv != wv || gg != wg {
+		t.Fatalf("step %d: occupancy diverged: indexed (%d, %d), reference (%d, %d)", step, gv, gg, wv, wg)
+	}
+	if indexed.numValid != wv {
+		t.Fatalf("step %d: numValid %d inconsistent with occupancy %d", step, indexed.numValid, wv)
+	}
+}
+
+func TestDifferentialIndexedVsLinear(t *testing.T) {
+	dacrs := diffDACRs()
+	const opsPerConfig = 12000
+	for _, size := range []int{1, 2, 3, 8, 32, 128} {
+		for _, hw := range []bool{false, true} {
+			name := fmt.Sprintf("size=%d/hw=%v", size, hw)
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(size)*2 + int64(boolToInt(hw))))
+				indexed := New("diff", size)
+				ref := newLinear(size)
+				indexed.DomainMatchInHW = hw
+				ref.DomainMatchInHW = hw
+				for step := 0; step < opsPerConfig; step++ {
+					diffOp(t, rng, indexed, ref, dacrs)
+					diffCompareState(t, step, indexed, ref)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialHWToggle flips DomainMatchInHW mid-sequence (as the
+// DomainMatchStudy boots different configs, a single TLB never toggles —
+// but the MRU register must not carry stale assumptions across a toggle).
+func TestDifferentialHWToggle(t *testing.T) {
+	dacrs := diffDACRs()
+	rng := rand.New(rand.NewSource(99))
+	indexed := New("diff", 16)
+	ref := newLinear(16)
+	for step := 0; step < 20000; step++ {
+		if rng.Intn(200) == 0 {
+			hw := rng.Intn(2) == 0
+			indexed.DomainMatchInHW = hw
+			ref.DomainMatchInHW = hw
+		}
+		diffOp(t, rng, indexed, ref, dacrs)
+		diffCompareState(t, step, indexed, ref)
+	}
+}
+
+// TestDifferentialLargePageHeavy skews toward large pages and aliased
+// small pages so the masked-VPN key and the spill fallback are exercised
+// hard.
+func TestDifferentialLargePageHeavy(t *testing.T) {
+	dacrs := diffDACRs()
+	rng := rand.New(rand.NewSource(7))
+	indexed := New("diff", 8)
+	ref := newLinear(8)
+	for step := 0; step < 15000; step++ {
+		// Only two 64KB blocks: constant aliasing between the one large
+		// mapping and its sixteen small pages, across three ASIDs and
+		// mixed global bits — the worst case for the index.
+		va := arch.VirtAddr(rng.Intn(32)) << arch.PageShift
+		asid := arch.ASID(1 + rng.Intn(3))
+		dacr := dacrs[rng.Intn(len(dacrs))]
+		switch r := rng.Intn(10); {
+		case r < 5:
+			ge, gr := indexed.Lookup(va, asid, dacr, arch.AccessFetch)
+			we, wr := ref.Lookup(va, asid, dacr, arch.AccessFetch)
+			if ge != we || gr != wr {
+				t.Fatalf("Lookup(%#x, asid %d) diverged: indexed (%+v, %v), reference (%+v, %v)",
+					va, asid, ge, gr, we, wr)
+			}
+		case r < 9:
+			flags := arch.PTEValid | arch.PTEUser | arch.PTEExec
+			if rng.Intn(2) == 0 {
+				flags |= arch.PTELarge
+			}
+			if rng.Intn(2) == 0 {
+				flags |= arch.PTEGlobal
+			}
+			indexed.Insert(va, asid, arch.FrameNum(step), flags, arch.DomainUser)
+			ref.Insert(va, asid, arch.FrameNum(step), flags, arch.DomainUser)
+		default:
+			if gn, wn := indexed.FlushVA(va), ref.FlushVA(va); gn != wn {
+				t.Fatalf("FlushVA(%#x) diverged: indexed %d, reference %d", va, gn, wn)
+			}
+		}
+		diffCompareState(t, step, indexed, ref)
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

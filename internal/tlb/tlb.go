@@ -12,16 +12,41 @@
 // shared-TLB design of the paper places zygote-preloaded shared code in a
 // dedicated zygote domain so that global entries loaded by zygote-like
 // processes cannot be used by non-zygote processes.
+//
+// # Hot path
+//
+// Lookup and Insert are the innermost loop of the whole simulator: every
+// simulated instruction probes a micro-TLB and, on a miss, the main TLB.
+// Instead of scanning all entries per probe (the fully associative
+// hardware does that in parallel; software cannot), the TLB keeps an
+// index from the virtual page number to the one slot that can match:
+//
+//   - idx maps key(vpn, large) to a slot, with a spill sentinel (idxMany)
+//     when several entries share a key; the sentinel falls back to the
+//     reference linear scan, so aliasing cases stay exact.
+//   - a one-entry MRU register short-circuits repeated probes of the same
+//     page under the same ASID and DACR, the common case for straight-line
+//     code. Any mutation of the entry array invalidates it.
+//   - a free-slot bitmap and a doubly-linked LRU list (exact, since
+//     lastUse values are unique) make Insert's victim choice O(1).
+//
+// The indexed paths are behaviourally identical to the reference linear
+// implementation (reference.go) — same results, same entry states, same
+// counters — which the differential property test in
+// differential_test.go enforces over randomized operation sequences.
 package tlb
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/arch"
 	"repro/internal/obs"
 )
 
-// Entry is one TLB entry.
+// Entry is one TLB entry. For a 64KB large-page entry, vpn holds the
+// effective (64KB-masked) page number, precomputed at insert time so
+// match never recomputes the mask on the entry side.
 type Entry struct {
 	valid   bool
 	vpn     uint32
@@ -94,6 +119,26 @@ type Stats struct {
 	FlushedEntries uint64
 }
 
+// idxMany is the index spill sentinel: more than one entry currently
+// carries the key, so probes for it take the reference linear scan.
+const idxMany int32 = -1
+
+// mruReg is the one-entry most-recently-used register: the slot of the
+// last Hit, valid only for a probe with the identical (vpn, asid, dacr)
+// and DomainMatchInHW setting, and only while the entry array is
+// unmutated (every Insert and flush clears ok). Under those conditions
+// the probe is guaranteed to resolve at the same slot, because the scan
+// prefix that was skipped could only contain entries that do not match or
+// are domain-denied under the same DACR.
+type mruReg struct {
+	ok   bool
+	hw   bool
+	slot int32
+	vpn  uint32
+	asid arch.ASID
+	dacr arch.DACR
+}
+
 // TLB is one translation buffer, fully associative with LRU replacement.
 type TLB struct {
 	// DomainMatchInHW models the hardware support the paper asks future
@@ -109,6 +154,20 @@ type TLB struct {
 	clock   uint64
 	stats   Stats
 	bus     *obs.Bus
+
+	// Indexed fast path; see the package comment. validBits marks valid
+	// slots (phantom bits past len(entries) are permanently set so the
+	// first-free scan never reports them). lruPrev/lruNext thread the
+	// valid slots in recency order: lruHead is the least and lruTail the
+	// most recently used.
+	idx       map[uint32]int32
+	validBits []uint64
+	numValid  int
+	lruPrev   []int32
+	lruNext   []int32
+	lruHead   int32
+	lruTail   int32
+	mru       mruReg
 }
 
 // Compile-time check: every TLB is an obs.Source.
@@ -119,7 +178,23 @@ func New(name string, entries int) *TLB {
 	if entries <= 0 {
 		panic(fmt.Sprintf("tlb: non-positive size %d", entries))
 	}
-	return &TLB{name: name, entries: make([]Entry, entries)}
+	t := &TLB{
+		name:      name,
+		entries:   make([]Entry, entries),
+		idx:       make(map[uint32]int32, entries),
+		validBits: make([]uint64, (entries+63)/64),
+		lruPrev:   make([]int32, entries),
+		lruNext:   make([]int32, entries),
+		lruHead:   -1,
+		lruTail:   -1,
+	}
+	for i := entries; i < len(t.validBits)*64; i++ {
+		t.validBits[i>>6] |= 1 << (i & 63)
+	}
+	for i := range t.lruPrev {
+		t.lruPrev[i], t.lruNext[i] = -1, -1
+	}
+	return t
 }
 
 // Name returns the TLB's name (for diagnostics).
@@ -164,19 +239,28 @@ func (t *TLB) flushed(n int) {
 	}
 }
 
+// entryKey packs an entry's index key: the stored (pre-masked) VPN and
+// the large-page bit, so 4KB and 64KB entries never collide on a key.
+func entryKey(vpn uint32, large bool) uint32 {
+	k := vpn << 1
+	if large {
+		k |= 1
+	}
+	return k
+}
+
 // match reports whether entry e translates va under asid. A global entry
 // ignores the ASID, per the architectural meaning of the global bit; a
-// 64KB large-page entry matches on the 64KB-aligned page number.
+// 64KB large-page entry matches on the 64KB-aligned page number. Only the
+// query VPN needs masking: e.vpn is pre-masked at insert time.
 func (e *Entry) match(vpn uint32, asid arch.ASID) bool {
 	if !e.valid {
 		return false
 	}
-	evpn, qvpn := e.vpn, vpn
 	if e.large {
-		evpn &^= arch.PagesPerLargePage - 1
-		qvpn &^= arch.PagesPerLargePage - 1
+		vpn &^= arch.PagesPerLargePage - 1
 	}
-	return evpn == qvpn && (e.global || e.asid == asid)
+	return e.vpn == vpn && (e.global || e.asid == asid)
 }
 
 // permit checks the entry's permission bits against the access kind.
@@ -194,6 +278,159 @@ func (e *Entry) permit(kind arch.AccessKind) bool {
 	}
 }
 
+// --- index, bitmap, and LRU-list maintenance --------------------------------
+
+// idxAdd registers the (valid) entry at slot under its key.
+func (t *TLB) idxAdd(slot int32) {
+	k := entryKey(t.entries[slot].vpn, t.entries[slot].large)
+	if _, dup := t.idx[k]; dup {
+		t.idx[k] = idxMany
+	} else {
+		t.idx[k] = slot
+	}
+}
+
+// idxRemove unregisters the (still valid) entry at slot. When the key had
+// spilled, the surviving holders are recounted by a scan — rare, and the
+// scan is the reference behaviour anyway.
+func (t *TLB) idxRemove(slot int32) {
+	k := entryKey(t.entries[slot].vpn, t.entries[slot].large)
+	if t.idx[k] != idxMany {
+		delete(t.idx, k)
+		return
+	}
+	survivor, n := int32(0), 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if int32(i) != slot && e.valid && entryKey(e.vpn, e.large) == k {
+			survivor = int32(i)
+			n++
+		}
+	}
+	switch n {
+	case 0:
+		delete(t.idx, k)
+	case 1:
+		t.idx[k] = survivor
+	}
+}
+
+func (t *TLB) setValid(slot int32) {
+	t.validBits[slot>>6] |= 1 << (slot & 63)
+	t.numValid++
+}
+
+func (t *TLB) clearValid(slot int32) {
+	t.validBits[slot>>6] &^= 1 << (slot & 63)
+	t.numValid--
+}
+
+// lastFree returns the highest invalid slot — the reference scan lets
+// every free slot it passes overwrite its victim choice, so the last one
+// wins. The caller guarantees one exists (numValid < len(entries)); the
+// phantom bits past len(entries) are permanently set and never reported.
+func (t *TLB) lastFree() int32 {
+	for w := len(t.validBits) - 1; w >= 0; w-- {
+		if word := t.validBits[w]; word != ^uint64(0) {
+			return int32(w<<6 + 63 - bits.LeadingZeros64(^word))
+		}
+	}
+	panic("tlb: lastFree on full TLB")
+}
+
+func (t *TLB) lruPushBack(s int32) {
+	t.lruPrev[s], t.lruNext[s] = t.lruTail, -1
+	if t.lruTail >= 0 {
+		t.lruNext[t.lruTail] = s
+	} else {
+		t.lruHead = s
+	}
+	t.lruTail = s
+}
+
+func (t *TLB) lruRemove(s int32) {
+	p, n := t.lruPrev[s], t.lruNext[s]
+	if p >= 0 {
+		t.lruNext[p] = n
+	} else {
+		t.lruHead = n
+	}
+	if n >= 0 {
+		t.lruPrev[n] = p
+	} else {
+		t.lruTail = p
+	}
+	t.lruPrev[s], t.lruNext[s] = -1, -1
+}
+
+func (t *TLB) lruMoveBack(s int32) {
+	if t.lruTail == s {
+		return
+	}
+	t.lruRemove(s)
+	t.lruPushBack(s)
+}
+
+// removeEntry invalidates the entry at slot, maintaining every auxiliary
+// structure. The MRU register must be cleared by the caller (all callers
+// are mutations).
+func (t *TLB) removeEntry(slot int32) {
+	t.idxRemove(slot)
+	t.lruRemove(slot)
+	t.clearValid(slot)
+	t.entries[slot] = Entry{}
+}
+
+// hitAt applies the Hit bookkeeping for the entry at slot and records it
+// in the MRU register.
+func (t *TLB) hitAt(slot int32, vpn uint32, asid arch.ASID, dacr arch.DACR) Entry {
+	e := &t.entries[slot]
+	e.lastUse = t.clock
+	t.lruMoveBack(slot)
+	t.stats.Hits++
+	t.mru = mruReg{ok: true, hw: t.DomainMatchInHW, slot: slot, vpn: vpn, asid: asid, dacr: dacr}
+	return *e
+}
+
+// probe applies the lookup logic of one scan step to the entry at slot.
+// done=false means the scan continues (no match, or domain-denied under
+// hardware domain matching).
+func (t *TLB) probe(slot int32, vpn uint32, asid arch.ASID, dacr arch.DACR, kind arch.AccessKind) (e Entry, r Result, done bool) {
+	ent := &t.entries[slot]
+	if !ent.match(vpn, asid) {
+		return Entry{}, Miss, false
+	}
+	switch dacr.Access(ent.domain) {
+	case arch.DomainNoAccess:
+		if t.DomainMatchInHW {
+			return Entry{}, Miss, false // hardware requires a domain match for a hit
+		}
+		t.stats.DomainFaults++
+		return *ent, DomainFault, true
+	case arch.DomainManager:
+		return t.hitAt(slot, vpn, asid, dacr), Hit, true
+	default: // client: check PTE permission bits
+		if !ent.permit(kind) {
+			t.stats.PermFaults++
+			return *ent, PermFault, true
+		}
+		return t.hitAt(slot, vpn, asid, dacr), Hit, true
+	}
+}
+
+// lookupScan is the reference linear probe order: every slot, ascending.
+// It is the exact fallback for index spills, and what the fast paths must
+// be equivalent to.
+func (t *TLB) lookupScan(vpn uint32, asid arch.ASID, dacr arch.DACR, kind arch.AccessKind) (Entry, Result) {
+	for i := range t.entries {
+		if e, r, done := t.probe(int32(i), vpn, asid, dacr, kind); done {
+			return e, r
+		}
+	}
+	t.stats.Misses++
+	return Entry{}, Miss
+}
+
 // Lookup searches for a translation of va under the current ASID and DACR.
 // On a Hit the matching entry is returned and its LRU state refreshed. A
 // DomainFault or PermFault also returns the matching entry, so the
@@ -201,68 +438,116 @@ func (e *Entry) permit(kind arch.AccessKind) bool {
 func (t *TLB) Lookup(va arch.VirtAddr, asid arch.ASID, dacr arch.DACR, kind arch.AccessKind) (Entry, Result) {
 	t.clock++
 	vpn := arch.VPN(va)
-	for i := range t.entries {
-		e := &t.entries[i]
-		if !e.match(vpn, asid) {
-			continue
+
+	// MRU register: a repeat of the last hitting probe resolves at the
+	// same slot. The prior Hit under the same DACR rules out NoAccess; the
+	// access kind may differ, so permissions are still checked.
+	if t.mru.ok && t.mru.vpn == vpn && t.mru.asid == asid && t.mru.dacr == dacr &&
+		t.mru.hw == t.DomainMatchInHW {
+		slot := t.mru.slot
+		e := &t.entries[slot]
+		if acc := dacr.Access(e.domain); acc != arch.DomainNoAccess {
+			if acc == arch.DomainManager || e.permit(kind) {
+				return t.hitAt(slot, vpn, asid, dacr), Hit
+			}
+			t.stats.PermFaults++
+			return *e, PermFault
 		}
-		switch dacr.Access(e.domain) {
-		case arch.DomainNoAccess:
-			if t.DomainMatchInHW {
-				continue // hardware requires a domain match for a hit
-			}
-			t.stats.DomainFaults++
-			return *e, DomainFault
-		case arch.DomainManager:
-			e.lastUse = t.clock
-			t.stats.Hits++
-			return *e, Hit
-		default: // client: check PTE permission bits
-			if !e.permit(kind) {
-				t.stats.PermFaults++
-				return *e, PermFault
-			}
-			e.lastUse = t.clock
-			t.stats.Hits++
-			return *e, Hit
+	}
+
+	// Index probe: at most one 4KB and one 64KB entry can match; check
+	// them in slot order. A spilled key falls back to the linear scan.
+	s0, ok0 := t.idx[entryKey(vpn, false)]
+	s1, ok1 := t.idx[entryKey(vpn&^(arch.PagesPerLargePage-1), true)]
+	if s0 == idxMany || s1 == idxMany {
+		return t.lookupScan(vpn, asid, dacr, kind)
+	}
+	a, b := s0, s1
+	if !ok0 {
+		a, ok0 = s1, ok1
+		ok1 = false
+	} else if ok1 && s1 < s0 {
+		a, b = s1, s0
+	}
+	if ok0 {
+		if e, r, done := t.probe(a, vpn, asid, dacr, kind); done {
+			return e, r
+		}
+	}
+	if ok1 {
+		if e, r, done := t.probe(b, vpn, asid, dacr, kind); done {
+			return e, r
 		}
 	}
 	t.stats.Misses++
 	return Entry{}, Miss
 }
 
+// findMatch returns the first slot (in slot order) whose entry matches
+// (vpn, asid) and — under hardware domain matching — has the same global
+// kind, or -1. This is Insert's overwrite target.
+func (t *TLB) findMatch(vpn uint32, asid arch.ASID, newGlobal bool) int32 {
+	s0, ok0 := t.idx[entryKey(vpn, false)]
+	s1, ok1 := t.idx[entryKey(vpn&^(arch.PagesPerLargePage-1), true)]
+	if s0 == idxMany || s1 == idxMany {
+		for i := range t.entries {
+			e := &t.entries[i]
+			if e.match(vpn, asid) && !(t.DomainMatchInHW && e.global != newGlobal) {
+				return int32(i)
+			}
+		}
+		return -1
+	}
+	a, b := s0, s1
+	if !ok0 {
+		a, ok0 = s1, ok1
+		ok1 = false
+	} else if ok1 && s1 < s0 {
+		a, b = s1, s0
+	}
+	if ok0 {
+		if e := &t.entries[a]; e.match(vpn, asid) && !(t.DomainMatchInHW && e.global != newGlobal) {
+			return a
+		}
+	}
+	if ok1 {
+		if e := &t.entries[b]; e.match(vpn, asid) && !(t.DomainMatchInHW && e.global != newGlobal) {
+			return b
+		}
+	}
+	return -1
+}
+
 // Insert loads a translation, evicting the LRU entry when full. If an
 // entry already translates (vpn, asid/global) it is overwritten in place.
 func (t *TLB) Insert(va arch.VirtAddr, asid arch.ASID, frame arch.FrameNum, flags arch.PTEFlags, domain uint8) {
 	t.clock++
+	t.mru.ok = false
 	vpn := arch.VPN(va)
 	newGlobal := flags&arch.PTEGlobal != 0
-	victim := 0
-	var oldest uint64 = ^uint64(0)
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.match(vpn, asid) {
-			// With hardware domain matching, a global and a non-global
-			// entry for the same page coexist (the domain check picks
-			// the right one); only a same-kind entry is overwritten.
-			if t.DomainMatchInHW && e.global != newGlobal {
-				continue
+
+	// Victim precedence, as in the reference scan: a matching entry,
+	// else the highest free slot, else the LRU entry — skipping, under
+	// hardware domain matching, matching entries of the other global
+	// kind (they coexist rather than being replaced). When every entry
+	// is skipped the reference scan leaves its initial victim, slot 0.
+	victim := t.findMatch(vpn, asid, newGlobal)
+	if victim < 0 {
+		if t.numValid < len(t.entries) {
+			victim = t.lastFree()
+		} else {
+			victim = t.lruHead
+			if t.DomainMatchInHW {
+				for victim >= 0 && t.entries[victim].match(vpn, asid) && t.entries[victim].global != newGlobal {
+					victim = t.lruNext[victim]
+				}
+				if victim < 0 {
+					victim = 0
+				}
 			}
-			victim = i
-			oldest = 0
-			break
-		}
-		if !e.valid {
-			victim = i
-			oldest = 0
-			// Keep scanning: a matching entry must win over a free slot.
-			continue
-		}
-		if oldest != 0 && e.lastUse < oldest {
-			victim = i
-			oldest = e.lastUse
 		}
 	}
+
 	if t.entries[victim].valid && !t.entries[victim].match(vpn, asid) {
 		t.stats.Evictions++
 		if t.bus.Wants(obs.EvTLBEvict) {
@@ -274,6 +559,9 @@ func (t *TLB) Insert(va arch.VirtAddr, asid arch.ASID, frame arch.FrameNum, flag
 				Value:  uint64(v.asid),
 			})
 		}
+	}
+	if t.entries[victim].valid {
+		t.removeEntry(victim)
 	}
 	large := flags&arch.PTELarge != 0
 	if large {
@@ -290,6 +578,9 @@ func (t *TLB) Insert(va arch.VirtAddr, asid arch.ASID, frame arch.FrameNum, flag
 		flags:   flags,
 		lastUse: t.clock,
 	}
+	t.idxAdd(victim)
+	t.setValid(victim)
+	t.lruPushBack(victim)
 	t.stats.Insertions++
 	if t.bus.Wants(obs.EvTLBInsert) {
 		t.bus.Publish(obs.Event{
@@ -303,13 +594,24 @@ func (t *TLB) Insert(va arch.VirtAddr, asid arch.ASID, frame arch.FrameNum, flag
 
 // FlushAll invalidates every entry.
 func (t *TLB) FlushAll() {
-	n := 0
+	t.mru.ok = false
+	n := t.numValid
 	for i := range t.entries {
-		if t.entries[i].valid {
-			n++
-		}
 		t.entries[i] = Entry{}
 	}
+	clear(t.idx)
+	size := len(t.entries)
+	for i := range t.validBits {
+		t.validBits[i] = 0
+	}
+	for i := size; i < len(t.validBits)*64; i++ {
+		t.validBits[i>>6] |= 1 << (i & 63)
+	}
+	t.numValid = 0
+	for i := range t.lruPrev {
+		t.lruPrev[i], t.lruNext[i] = -1, -1
+	}
+	t.lruHead, t.lruTail = -1, -1
 	t.flushed(n)
 }
 
@@ -317,11 +619,12 @@ func (t *TLB) FlushAll() {
 // Global entries survive: that is precisely what lets zygote-like
 // processes retain each other's shared-code translations.
 func (t *TLB) FlushASID(asid arch.ASID) {
+	t.mru.ok = false
 	n := 0
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && !e.global && e.asid == asid {
-			*e = Entry{}
+			t.removeEntry(int32(i))
 			n++
 		}
 	}
@@ -335,11 +638,12 @@ func (t *TLB) FlushASID(asid arch.ASID) {
 // space (and domain protection locks other processes out), so only the
 // private translations must go.
 func (t *TLB) FlushNonGlobal() int {
+	t.mru.ok = false
 	n := 0
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && !e.global {
-			*e = Entry{}
+			t.removeEntry(int32(i))
 			n++
 		}
 	}
@@ -349,14 +653,30 @@ func (t *TLB) FlushNonGlobal() int {
 
 // FlushVA invalidates every entry matching the given virtual address,
 // regardless of ASID or global bit. The domain-fault handler uses this to
-// evict the global entries a non-zygote process tripped over.
+// evict the global entries a non-zygote process tripped over. The index
+// resolves the (at most two, bar spills) slots directly: an entry is
+// affected exactly when its stored VPN equals VPN(va).
 func (t *TLB) FlushVA(va arch.VirtAddr) int {
+	t.mru.ok = false
 	vpn := arch.VPN(va)
+	s0, ok0 := t.idx[entryKey(vpn, false)]
+	s1, ok1 := t.idx[entryKey(vpn, true)]
 	n := 0
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.vpn == vpn {
-			*e = Entry{}
+	if s0 == idxMany || s1 == idxMany {
+		for i := range t.entries {
+			e := &t.entries[i]
+			if e.valid && e.vpn == vpn {
+				t.removeEntry(int32(i))
+				n++
+			}
+		}
+	} else {
+		if ok0 {
+			t.removeEntry(s0)
+			n++
+		}
+		if ok1 {
+			t.removeEntry(s1)
 			n++
 		}
 	}
@@ -366,12 +686,13 @@ func (t *TLB) FlushVA(va arch.VirtAddr) int {
 
 // FlushRange invalidates entries translating any page in [start, end).
 func (t *TLB) FlushRange(start, end arch.VirtAddr, asid arch.ASID) int {
+	t.mru.ok = false
 	lo, hi := arch.VPN(start), arch.VPN(end-1)
 	n := 0
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.vpn >= lo && e.vpn <= hi && (e.global || e.asid == asid) {
-			*e = Entry{}
+			t.removeEntry(int32(i))
 			n++
 		}
 	}
