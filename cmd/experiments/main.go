@@ -142,13 +142,15 @@ func run(argv []string, out *os.File) (err error) {
 		if len(selected) > 0 && !selected[e.Name] {
 			continue
 		}
-		start := time.Now()
+		start := time.Now() //satlint:ignore nondet progress timing goes to stderr, never into results
 		r, err := e.Run(s)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.Name, err)
 		}
 		fmt.Fprintln(out, r.String())
-		fmt.Fprintf(out, "[%s regenerated in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(out)
+		//satlint:ignore nondet progress timing goes to stderr, never into results
+		fmt.Fprintf(os.Stderr, "[%s regenerated in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }

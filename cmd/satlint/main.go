@@ -1,0 +1,165 @@
+// Command satlint machine-checks the simulator's determinism and
+// observability invariants: the conventions that keep counts and JSON
+// output bit-for-bit identical across serial and -parallel runs, which
+// golden tests can only probe and review can only hope to remember.
+//
+// It is a multichecker over five project-specific analyzers:
+//
+//	deprecated     forbid new uses of module symbols marked "// Deprecated:"
+//	maporder       forbid map iteration that feeds ordered output
+//	nondet         forbid wall-clock time and globally-seeded randomness
+//	obsguard       require Bus.Wants (or a nil-bus check) around event publication
+//	snapshotfresh  require Snapshot() to return a freshly allocated map
+//
+// Usage:
+//
+//	satlint [-list] [package ...]
+//	go vet -vettool=$(command -v satlint) ./...
+//
+// Standalone mode type-checks the module from source and analyzes the
+// named packages ("./..." for everything, the default). The tool also
+// speaks the go vet -vettool unitchecker protocol, which is how CI runs
+// it: the go command supplies compiler export data per package, making
+// the sweep incremental and build-cached.
+//
+// A finding can be silenced, with attribution, by an ignore directive on
+// the offending line or the line above:
+//
+//	//satlint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// The reason is mandatory; a reasonless directive suppresses nothing and
+// is itself a finding. Exit status: 0 clean, 1 driver error, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/satlint"
+)
+
+func main() {
+	os.Exit(run(os.Args, os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	args := argv[1:]
+	// The go vet -vettool handshake probes the tool's identity and flag
+	// set before handing it per-package work.
+	if len(args) == 1 && args[0] == "-V=full" {
+		printVersion(argv[0], stdout)
+		return 0
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+
+	fs := flag.NewFlagSet("satlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print analyzer names and docs, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		printList(stdout)
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return framework.RunVet(rest[0], satlint.Analyzers(), stderr)
+	}
+	return standalone(rest, stdout, stderr)
+}
+
+// printVersion implements -V=full in the form the go command's build
+// cache requires: "name version devel ... buildID=<content hash>".
+func printVersion(arg0 string, w io.Writer) {
+	h := sha256.New()
+	if self, err := os.Executable(); err == nil {
+		if f, err := os.Open(self); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Fprintf(w, "%s version devel comments-go-here buildID=%x\n",
+		filepath.Base(arg0), h.Sum(nil))
+}
+
+// printList implements -list: one line per analyzer plus its doc.
+func printList(w io.Writer) {
+	for _, a := range satlint.Analyzers() {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(w, "%-14s %s\n", a.Name, doc)
+	}
+}
+
+// standalone loads the module from source and analyzes the requested
+// packages: "./..." (default) for the whole module, or directory paths.
+func standalone(patterns []string, stdout, stderr io.Writer) int {
+	root, err := framework.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "satlint:", err)
+		return 1
+	}
+	loader, err := framework.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "satlint:", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var units []*framework.Unit
+	for _, pat := range patterns {
+		us, err := load(loader, root, pat)
+		if err != nil {
+			fmt.Fprintln(stderr, "satlint:", err)
+			return 1
+		}
+		units = append(units, us...)
+	}
+	findings := 0
+	for _, unit := range units {
+		diags, err := framework.RunAnalyzers(unit, satlint.Analyzers())
+		if err != nil {
+			fmt.Fprintln(stderr, "satlint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: [%s] %s\n", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "satlint: %d finding(s)\n", findings)
+		return 2
+	}
+	return 0
+}
+
+func load(loader *framework.Loader, root, pattern string) ([]*framework.Unit, error) {
+	if pattern == "./..." || pattern == "..." {
+		return loader.LoadAll()
+	}
+	dir, err := filepath.Abs(strings.TrimSuffix(pattern, "/..."))
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("package %q is outside the module at %s", pattern, root)
+	}
+	importPath := loader.ModulePath()
+	if rel != "." {
+		importPath += "/" + filepath.ToSlash(rel)
+	}
+	return loader.LoadDir(dir, importPath)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/satlint"
+)
+
+// wantAnalyzers is the contract: the suite registers exactly these five.
+var wantAnalyzers = []string{
+	"deprecated", "maporder", "nondet", "obsguard", "snapshotfresh",
+}
+
+func TestSuiteRegistersAllAnalyzers(t *testing.T) {
+	got := satlint.Analyzers()
+	if len(got) != len(wantAnalyzers) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(wantAnalyzers))
+	}
+	for i, a := range got {
+		if a.Name != wantAnalyzers[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, wantAnalyzers[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run function", a.Name)
+		}
+	}
+}
+
+func TestListFlagPrintsEveryAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"satlint", "-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("satlint -list exited %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, name := range wantAnalyzers {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q:\n%s", name, out)
+		}
+	}
+	if n := len(strings.Split(strings.TrimSpace(out), "\n")); n != len(wantAnalyzers) {
+		t.Errorf("-list printed %d lines, want %d:\n%s", n, len(wantAnalyzers), out)
+	}
+}
+
+func TestVetHandshake(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"satlint", "-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-V=full exited %d", code)
+	}
+	// The go command parses this line to cache vet results: the last
+	// space-separated field must be a buildID=<hex> token.
+	fields := strings.Fields(strings.TrimSpace(stdout.String()))
+	if len(fields) < 3 || !strings.HasPrefix(fields[len(fields)-1], "buildID=") {
+		t.Errorf("malformed -V=full output: %q", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"satlint", "-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-flags exited %d", code)
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("-flags printed %q, want []", got)
+	}
+}

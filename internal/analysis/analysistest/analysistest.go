@@ -1,0 +1,193 @@
+// Package analysistest runs a satlint analyzer over fixture packages
+// under testdata/src and checks its diagnostics against `// want`
+// comments, mirroring the x/tools package of the same name.
+//
+// A fixture line carrying expectations looks like
+//
+//	_ = time.Now() // want `time\.Now reads the wall clock`
+//
+// with one Go-quoted regexp (backquoted or double-quoted) per expected
+// diagnostic on that line. Diagnostics suppressed by //satlint:ignore
+// directives are filtered before matching, so fixtures can also assert
+// the suppression contract itself.
+//
+// Every directory under testdata/src is registered as an importable
+// package (its path relative to src), and module-internal imports like
+// repro/internal/obs resolve to the real packages, so fixtures exercise
+// analyzers against the actual simulator API.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// Run loads each fixture package (a path under testdata/src) and checks
+// the analyzer's diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *framework.Analyzer, fixturePkgs ...string) {
+	t.Helper()
+	root, err := framework.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := framework.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := registerFixtures(loader, src); err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range fixturePkgs {
+		units, err := loader.LoadDir(filepath.Join(src, filepath.FromSlash(pkg)), pkg)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", pkg, err)
+		}
+		for _, unit := range units {
+			diags, err := framework.RunAnalyzers(unit, []*framework.Analyzer{a})
+			if err != nil {
+				t.Fatalf("running %s over %q: %v", a.Name, unit.ImportPath, err)
+			}
+			match(t, unit, diags)
+		}
+	}
+}
+
+// registerFixtures makes every directory under src importable by its
+// relative path.
+func registerFixtures(loader *framework.Loader, src string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		hasGo := false
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				hasGo = true
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		loader.AddPath(filepath.ToSlash(rel), path)
+		return nil
+	})
+}
+
+// expectation is one want regexp awaiting a diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+func match(t *testing.T, unit *framework.Unit, diags []framework.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, unit)
+	for _, d := range diags {
+		pos := unit.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %s, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants parses `// want` comments from every fixture file.
+func collectWants(t *testing.T, unit *framework.Unit) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWant(t, unit.Fset, c)...)
+			}
+		}
+	}
+	return wants
+}
+
+func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
+	t.Helper()
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	var out []*expectation
+	for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+		lit, remainder, err := cutStringLit(rest)
+		if err != nil {
+			t.Fatalf("%s: bad want comment: %v", pos, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp: %v", pos, err)
+		}
+		out = append(out, &expectation{
+			file: pos.Filename, line: pos.Line, re: re, raw: lit,
+		})
+		rest = remainder
+	}
+	return out
+}
+
+// cutStringLit splits one leading Go string literal (quoted or
+// backquoted) off s.
+func cutStringLit(s string) (lit, rest string, err error) {
+	if s == "" {
+		return "", "", fmt.Errorf("empty expectation")
+	}
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated backquoted expectation")
+		}
+		return s[1 : 1+end], s[2+end:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '"' && s[i-1] != '\\' {
+				unq, err := strconv.Unquote(s[:i+1])
+				return unq, s[i+1:], err
+			}
+		}
+		return "", "", fmt.Errorf("unterminated quoted expectation")
+	default:
+		return "", "", fmt.Errorf("expectation must be a quoted or backquoted regexp")
+	}
+}

@@ -1,0 +1,194 @@
+// Package deprecated defines a satlint analyzer that flags new uses of
+// module-internal symbols carrying a "// Deprecated:" doc comment — the
+// standard Go convention — such as core.Kernel.OnPageFault, superseded
+// by Kernel.Subscribe in the observability rework. The declaring package
+// itself is exempt: it must keep honoring the symbol for compatibility.
+//
+// The analyzer resolves each used object to its declaration site and
+// reads the deprecation notice from the source file, so it works both in
+// the standalone driver (everything type-checked from source) and under
+// `go vet -vettool` (declarations found through export-data positions).
+package deprecated
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// ModulePaths lists the import-path prefixes whose symbols are subject
+// to deprecation checking. Only this module's own API is policed;
+// standard-library deprecations are the stock go vet's business.
+// analysistest overrides this to point at fixture packages.
+var ModulePaths = []string{"repro"}
+
+// Analyzer flags uses of deprecated module symbols.
+var Analyzer = &framework.Analyzer{
+	Name: "deprecated",
+	Doc: `forbid new uses of module symbols marked "// Deprecated:"
+
+A symbol whose doc comment contains a "Deprecated:" paragraph (func,
+method, type, const, var, or struct field such as Kernel.OnPageFault)
+must not gain new references outside its declaring package; use the
+replacement the notice names. The declaring package may keep honoring
+the symbol without annotation.`,
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	cache := newDeclCache()
+	passPath := strings.TrimSuffix(framework.BasePath(pass.Pkg.Path()), "_test")
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if obj.Pkg().Path() == passPath {
+				return true // declaring package keeps honoring its own symbols
+			}
+			if !inModule(obj.Pkg().Path()) {
+				return true
+			}
+			pos := pass.Fset.Position(obj.Pos())
+			if pos.Filename == "" {
+				return true
+			}
+			if why, ok := cache.notice(pos.Filename, pos.Line, obj.Name()); ok {
+				pass.Reportf(id.Pos(), "use of deprecated symbol %s.%s: %s",
+					obj.Pkg().Name(), qualifiedName(obj), why)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func inModule(path string) bool {
+	for _, m := range ModulePaths {
+		if path == m || strings.HasPrefix(path, m+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// qualifiedName renders methods and fields as Type.Name when the
+// receiver/parent type is recoverable, else just the name.
+func qualifiedName(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named := framework.NamedOf(sig.Recv().Type()); named != nil {
+				return named.Obj().Name() + "." + obj.Name()
+			}
+		}
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		// The declaring struct is not recorded on the object; the name
+		// alone plus the notice text is enough to act on.
+		return obj.Name()
+	}
+	return obj.Name()
+}
+
+// declCache lazily parses declaring files and indexes deprecation
+// notices by (line, name) of the declared identifier.
+type declCache struct {
+	files map[string]map[lineName]string
+}
+
+type lineName struct {
+	line int
+	name string
+}
+
+func newDeclCache() *declCache {
+	return &declCache{files: map[string]map[lineName]string{}}
+}
+
+// notice returns the deprecation text for the symbol declared at
+// file:line with the given name, if any.
+func (c *declCache) notice(file string, line int, name string) (string, bool) {
+	idx, ok := c.files[file]
+	if !ok {
+		idx = indexFile(file)
+		c.files[file] = idx
+	}
+	why, ok := idx[lineName{line, name}]
+	return why, ok
+}
+
+// indexFile parses one source file and records every declared identifier
+// whose doc comment deprecates it. Parse failures yield an empty index:
+// a symbol we cannot resolve is simply not reported.
+func indexFile(filename string) map[lineName]string {
+	idx := map[lineName]string{}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, nil, parser.ParseComments)
+	if err != nil {
+		return idx
+	}
+	record := func(id *ast.Ident, docs ...*ast.CommentGroup) {
+		for _, doc := range docs {
+			if why, ok := deprecationNotice(doc); ok {
+				idx[lineName{fset.Position(id.Pos()).Line, id.Name}] = why
+				return
+			}
+		}
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			record(d.Name, d.Doc)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				var groupDoc *ast.CommentGroup
+				if len(d.Specs) == 1 {
+					groupDoc = d.Doc
+				}
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					record(s.Name, s.Doc, groupDoc)
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						record(name, s.Doc, groupDoc)
+					}
+				}
+			}
+		}
+	}
+	// Struct fields and interface methods, at any nesting depth.
+	ast.Inspect(f, func(n ast.Node) bool {
+		field, ok := n.(*ast.Field)
+		if !ok {
+			return true
+		}
+		for _, name := range field.Names {
+			record(name, field.Doc)
+		}
+		return true
+	})
+	return idx
+}
+
+// deprecationNotice extracts the text after "Deprecated:" from a doc
+// comment, per the standard Go convention.
+func deprecationNotice(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "Deprecated:"); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}

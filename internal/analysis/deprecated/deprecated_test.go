@@ -1,0 +1,18 @@
+package deprecated_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/deprecated"
+)
+
+func TestDeprecated(t *testing.T) {
+	old := deprecated.ModulePaths
+	deprecated.ModulePaths = []string{"deprapi", "deprfix"}
+	defer func() { deprecated.ModulePaths = old }()
+
+	// deprapi first: the declaring package may keep honoring its own
+	// deprecated symbols, so it must produce no findings at all.
+	analysistest.Run(t, deprecated.Analyzer, "deprapi", "deprfix")
+}

@@ -1,0 +1,37 @@
+// Package deprapi declares the symbols the deprecated-analyzer fixture
+// consumes: a mix of current API and symbols carrying the standard
+// "Deprecated:" doc convention, mirroring core.Kernel.OnPageFault.
+package deprapi
+
+// OldLaunch runs a launch the pre-sweep way.
+//
+// Deprecated: use Launch instead.
+func OldLaunch() {}
+
+// Launch runs a launch.
+func Launch() {}
+
+// Kernel mimics core.Kernel's callback-to-bus migration.
+type Kernel struct {
+	// OnPageFault is called on every page fault.
+	//
+	// Deprecated: subscribe on the event bus instead.
+	OnPageFault func(pid int)
+
+	// Subscribe is the replacement registration point.
+	Subscribe func(pid int)
+}
+
+// MaxProcs is the legacy process cap.
+//
+// Deprecated: the cap is per-scenario now.
+const MaxProcs = 64
+
+// boot shows the declaring-package exemption: deprapi may keep honoring
+// its own deprecated symbols without annotation.
+func boot(k *Kernel) {
+	OldLaunch()
+	if k.OnPageFault != nil {
+		k.OnPageFault(MaxProcs)
+	}
+}

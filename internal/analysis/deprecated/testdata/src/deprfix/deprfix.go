@@ -1,0 +1,22 @@
+// Package deprfix exercises the deprecated analyzer: cross-package uses
+// of "Deprecated:" symbols are findings; current API and annotated
+// stragglers are not.
+package deprfix
+
+import "deprapi"
+
+func use() {
+	deprapi.OldLaunch() // want `use of deprecated symbol deprapi\.OldLaunch: use Launch instead`
+	deprapi.Launch()
+
+	var k deprapi.Kernel
+	k.OnPageFault = nil // want `use of deprecated symbol deprapi\.OnPageFault: subscribe on the event bus instead`
+	k.Subscribe = nil
+
+	_ = deprapi.MaxProcs // want `use of deprecated symbol deprapi\.MaxProcs: the cap is per-scenario now`
+}
+
+func migrating() {
+	//satlint:ignore deprecated migration scheduled for the next sweep rework
+	deprapi.OldLaunch()
+}

@@ -1,0 +1,89 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //satlint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+}
+
+// IgnoreSet is every //satlint:ignore directive of one analysis unit.
+//
+// The directive grammar is
+//
+//	//satlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// and a directive suppresses the named analyzers' diagnostics on the
+// directive's own line (trailing-comment placement) and on the line
+// immediately after it (own-line placement above the flagged code). The
+// reason is mandatory: a directive without one suppresses nothing and is
+// itself reported, so every silenced finding carries its justification
+// in the source.
+type IgnoreSet struct {
+	directives []ignoreDirective
+	// Malformed holds one diagnostic (analyzer "satlint") per directive
+	// that names no analyzer or gives no reason.
+	Malformed []Diagnostic
+}
+
+// ParseIgnores extracts the ignore directives from every comment in the
+// files.
+func ParseIgnores(fset *token.FileSet, files []*ast.File) *IgnoreSet {
+	s := &IgnoreSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s.parse(fset, c)
+			}
+		}
+	}
+	return s
+}
+
+func (s *IgnoreSet) parse(fset *token.FileSet, c *ast.Comment) {
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return // block comments cannot carry directives
+	}
+	text, ok = strings.CutPrefix(strings.TrimSpace(text), "satlint:ignore")
+	if !ok {
+		return
+	}
+	names, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+	if names == "" || strings.TrimSpace(reason) == "" {
+		s.Malformed = append(s.Malformed, Diagnostic{
+			Pos:      c.Pos(),
+			Analyzer: "satlint",
+			Message:  "malformed //satlint:ignore directive: need analyzer name(s) and a reason",
+		})
+		return
+	}
+	d := ignoreDirective{
+		file:      fset.Position(c.Pos()).Filename,
+		line:      fset.Position(c.Pos()).Line,
+		analyzers: map[string]bool{},
+	}
+	for _, n := range strings.Split(names, ",") {
+		d.analyzers[strings.TrimSpace(n)] = true
+	}
+	s.directives = append(s.directives, d)
+}
+
+// Suppressed reports whether diagnostic d is covered by a directive.
+func (s *IgnoreSet) Suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, dir := range s.directives {
+		if dir.file == pos.Filename &&
+			(dir.line == pos.Line || dir.line == pos.Line-1) &&
+			dir.analyzers[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}

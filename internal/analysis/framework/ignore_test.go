@@ -1,0 +1,96 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestIgnoreSuppressesOwnAndNextLine(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	//satlint:ignore nondet timing is for humans
+	_ = 1
+	_ = 2
+}
+`)
+	ign := ParseIgnores(fset, files)
+	if len(ign.Malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", ign.Malformed)
+	}
+	file := fset.File(files[0].Pos())
+	diagAt := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{Pos: file.LineStart(line), Analyzer: analyzer, Message: "x"}
+	}
+	if !ign.Suppressed(fset, diagAt(4, "nondet")) {
+		t.Error("directive must suppress on its own line")
+	}
+	if !ign.Suppressed(fset, diagAt(5, "nondet")) {
+		t.Error("directive must suppress on the next line")
+	}
+	if ign.Suppressed(fset, diagAt(6, "nondet")) {
+		t.Error("directive must not reach two lines down")
+	}
+	if ign.Suppressed(fset, diagAt(5, "maporder")) {
+		t.Error("directive must only suppress the named analyzer")
+	}
+}
+
+func TestIgnoreMultipleAnalyzers(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//satlint:ignore nondet,maporder fixture exercises both
+func f() {}
+`)
+	ign := ParseIgnores(fset, files)
+	file := fset.File(files[0].Pos())
+	for _, a := range []string{"nondet", "maporder"} {
+		if !ign.Suppressed(fset, Diagnostic{Pos: file.LineStart(4), Analyzer: a}) {
+			t.Errorf("comma list must cover %s", a)
+		}
+	}
+	if ign.Suppressed(fset, Diagnostic{Pos: file.LineStart(4), Analyzer: "obsguard"}) {
+		t.Error("unlisted analyzer must not be suppressed")
+	}
+}
+
+func TestReasonlessIgnoreIsMalformedAndInert(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//satlint:ignore nondet
+func f() {}
+
+//satlint:ignore
+func g() {}
+`)
+	ign := ParseIgnores(fset, files)
+	if len(ign.Malformed) != 2 {
+		t.Fatalf("got %d malformed diagnostics, want 2", len(ign.Malformed))
+	}
+	for _, d := range ign.Malformed {
+		if d.Analyzer != "satlint" {
+			t.Errorf("malformed diagnostic attributed to %q, want satlint", d.Analyzer)
+		}
+		if !strings.Contains(d.Message, "need analyzer name(s) and a reason") {
+			t.Errorf("unexpected malformed message %q", d.Message)
+		}
+	}
+	// A reasonless directive suppresses nothing.
+	file := fset.File(files[0].Pos())
+	if ign.Suppressed(fset, Diagnostic{Pos: file.LineStart(4), Analyzer: "nondet"}) {
+		t.Error("reasonless directive must not suppress")
+	}
+}

@@ -1,0 +1,129 @@
+package framework
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// vetConfig mirrors the JSON configuration file the go command hands a
+// -vettool for each package it vets (the unitchecker protocol). Only the
+// fields this driver consumes are declared; unknown fields are ignored
+// by the decoder.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVet executes one `go vet -vettool` unit: it reads the vet config at
+// cfgPath, type-checks the unit's files against the compiler export data
+// the go command prepared, runs the analyzers, and prints diagnostics to
+// w in file:line:col form. The returned code is the process exit status
+// the protocol expects: 0 clean, 1 driver failure, 2 findings.
+//
+// satlint keeps no cross-package facts, so the mandatory "vetx" facts
+// output is always an empty file and dependency facts are never read.
+func RunVet(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(w, "satlint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "satlint: parsing vet config %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command requires the facts file to exist even when a unit
+	// fails, so write it before doing anything that can error out.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(w, "satlint: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(w, "satlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		fh, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		return struct {
+			io.Reader
+			io.Closer
+		}{bufio.NewReader(fh), fh}, nil
+	})
+	info := newInfo()
+	var tcErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { tcErrs = append(tcErrs, err) },
+	}
+	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if len(tcErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "satlint: typechecking %s: %v\n", cfg.ImportPath, tcErrs[0])
+		return 1
+	}
+
+	unit := &Unit{
+		ImportPath: cfg.ImportPath, Dir: cfg.Dir, Fset: fset,
+		Files: files, Pkg: pkg, Info: info,
+	}
+	diags, err := RunAnalyzers(unit, analyzers)
+	if err != nil {
+		fmt.Fprintf(w, "satlint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,120 @@
+// Package nondet defines a satlint analyzer that flags sources of
+// run-to-run nondeterminism: wall-clock reads and globally-seeded
+// randomness. The simulator's contract (see internal/sweep and
+// internal/obs) is that serial and parallel runs are byte-identical, so
+// no counter or output may ever derive from time.Now or from math/rand's
+// shared global source, and every rand.Rand must be seeded from scenario
+// identity (sweep.Seed, a plumbed seed value, or a constant).
+package nondet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer flags wall-clock calls, globally-seeded math/rand use, and
+// rand.NewSource seeds that do not flow from scenario identity.
+var Analyzer = &framework.Analyzer{
+	Name: "nondet",
+	Doc: `forbid wall-clock time and globally-seeded randomness
+
+The simulator promises byte-identical output across serial and -parallel
+runs. This analyzer flags every use of time.Now/Since/Until and friends,
+every call through math/rand's process-global generator (rand.Intn,
+rand.Float64, rand.Seed, ...), and — outside _test.go files — every
+rand.NewSource whose seed expression neither is a constant, nor calls a
+Seed helper (sweep.Seed), nor mentions a plumbed seed identifier.`,
+	Run: run,
+}
+
+// wallClock lists package time functions that read the wall clock or
+// schedule against it.
+var wallClock = []string{
+	"Now", "Since", "Until", "Tick", "NewTicker", "NewTimer", "After", "AfterFunc",
+}
+
+// globalRand lists package-level math/rand functions backed by the
+// process-global, scheduling-dependent source.
+var globalRand = []string{
+	"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n", "Uint32", "Uint64",
+	"Float32", "Float64", "ExpFloat64", "NormFloat64", "Perm", "Shuffle",
+	"Read", "Seed",
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				checkIdent(pass, n)
+			case *ast.CallExpr:
+				checkNewSource(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkIdent flags any use (call or value) of a banned function.
+func checkIdent(pass *framework.Pass, id *ast.Ident) {
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	if framework.IsPkgFunc(fn, "time", wallClock...) {
+		pass.Reportf(id.Pos(),
+			"time.%s reads the wall clock; simulator output must be deterministic (emit timings on stderr behind an ignore directive if they are for humans)",
+			fn.Name())
+	}
+	if framework.IsPkgFunc(fn, "math/rand", globalRand...) ||
+		framework.IsPkgFunc(fn, "math/rand/v2", globalRand...) {
+		pass.Reportf(id.Pos(),
+			"rand.%s draws from the process-global generator; use a rand.Rand seeded from scenario identity (sweep.Seed) instead",
+			fn.Name())
+	}
+}
+
+// checkNewSource enforces, outside test files, that rand.NewSource seeds
+// flow from scenario identity: a constant, a call to a Seed helper, or
+// an expression mentioning a seed-named identifier.
+func checkNewSource(pass *framework.Pass, call *ast.CallExpr) {
+	fn := framework.CalledFunc(pass.TypesInfo, call)
+	if !framework.IsPkgFunc(fn, "math/rand", "NewSource") || len(call.Args) != 1 {
+		return
+	}
+	if pass.IsTestFile(call.Pos()) {
+		return // tests may derive seeds from local case structure
+	}
+	if seedFlows(pass, call.Args[0]) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"rand.NewSource seed does not flow from scenario identity; derive it from sweep.Seed, a plumbed seed value, or a constant")
+}
+
+// seedFlows reports whether the seed expression is constant, calls a
+// Seed helper, or mentions an identifier or field named like a seed.
+func seedFlows(pass *framework.Pass, seed ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[seed]; ok && tv.Value != nil {
+		return true
+	}
+	flows := false
+	ast.Inspect(seed, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := framework.CalledFunc(pass.TypesInfo, n); fn != nil && fn.Name() == "Seed" {
+				flows = true
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(n.Name), "seed") {
+				flows = true
+			}
+		}
+		return !flows
+	})
+	return flows
+}

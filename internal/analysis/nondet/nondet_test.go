@@ -1,0 +1,12 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nondet"
+)
+
+func TestNondet(t *testing.T) {
+	analysistest.Run(t, nondet.Analyzer, "nondetfix")
+}

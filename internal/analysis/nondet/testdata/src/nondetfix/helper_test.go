@@ -1,0 +1,9 @@
+package nondetfix
+
+import "math/rand"
+
+// Test files may derive seeds from local case structure: the NewSource
+// provenance rule is suspended here, so no diagnostic is expected.
+func testOnlySource(caseIndex int64) *rand.Rand {
+	return rand.New(rand.NewSource(caseIndex))
+}

@@ -1,0 +1,44 @@
+// Package nondetfix exercises the nondet analyzer: wall-clock reads,
+// global math/rand use, and rand.NewSource seed provenance.
+package nondetfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Seed mimics sweep.Seed: scenario identity hashed to an int64.
+func Seed(parts ...string) int64 { return int64(len(parts)) }
+
+// clockValue stands in for any value with no scenario provenance.
+func clockValue() int64 { return 0 }
+
+func wallClock() {
+	_ = time.Now()              // want `time\.Now reads the wall clock`
+	_ = time.Since(time.Time{}) // want `time\.Since reads the wall clock`
+	t := time.NewTimer(0)       // want `time\.NewTimer reads the wall clock`
+	_ = t
+}
+
+func globalRand() {
+	_ = rand.Intn(10)                  // want `rand\.Intn draws from the process-global generator`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global generator`
+}
+
+func unseededSource() *rand.Rand {
+	return rand.New(rand.NewSource(clockValue())) // want `rand\.NewSource seed does not flow from scenario identity`
+}
+
+func goodSources(name string, cfgSeed int64) {
+	_ = rand.New(rand.NewSource(Seed(name)))  // Seed helper: accepted
+	_ = rand.New(rand.NewSource(42))          // constant: accepted
+	_ = rand.New(rand.NewSource(cfgSeed + 1)) // plumbed seed identifier: accepted
+}
+
+func ignored() {
+	_ = time.Now() //satlint:ignore nondet progress timing for humans, never in results
+	//satlint:ignore nondet own-line placement covers the line below
+	_ = time.Now()
+	//satlint:ignore maporder directive names a different analyzer, so nondet still fires
+	_ = time.Now() // want `time\.Now reads the wall clock`
+}

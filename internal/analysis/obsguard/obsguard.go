@@ -1,0 +1,153 @@
+// Package obsguard defines a satlint analyzer enforcing the hot-path
+// observability invariant from the PR 2 event-bus work: components must
+// not construct or publish obs events unless someone is listening.
+// Every obs.Bus.Publish call and every obs.Event composite literal must
+// be dominated by a Bus.Wants(kind) test (or an explicit nil-bus check)
+// on the same bus, so an unobserved simulation pays one branch, not an
+// allocation plus dynamic dispatch, per event site.
+package obsguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// obsPath is the bus package whose publish sites are checked.
+const obsPath = "repro/internal/obs"
+
+// Analyzer flags unguarded event publication and construction.
+var Analyzer = &framework.Analyzer{
+	Name: "obsguard",
+	Doc: `require Bus.Wants (or a nil-bus check) around event publication
+
+Publishing to the obs bus from simulator hot paths must be guarded:
+
+    if b.bus.Wants(obs.EvTLBInsert) {
+        b.bus.Publish(obs.Event{...})
+    }
+
+so that building the Event struct and dispatching it cost nothing when
+nobody subscribed. This analyzer flags obs.Bus.Publish calls and
+obs.Event literals that no enclosing if statement guards with a Wants
+call on the same bus expression or a bus nil-check. The obs package
+itself and _test.go files (which exercise the bus directly) are exempt.`,
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if framework.BasePath(pass.Pkg.Path()) == obsPath {
+		return nil // the bus implementation tests itself unguarded
+	}
+	framework.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkPublish(pass, n, stack)
+		case *ast.CompositeLit:
+			checkEventLit(pass, n, stack)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkPublish flags b.Publish(...) not enclosed in a Wants/nil guard on
+// the same bus expression b.
+func checkPublish(pass *framework.Pass, call *ast.CallExpr, stack []ast.Node) {
+	fn := framework.CalledFunc(pass.TypesInfo, call)
+	if !framework.IsMethodOf(fn, obsPath, "Bus", "Publish") {
+		return
+	}
+	if pass.IsTestFile(call.Pos()) {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return // method value; out of scope
+	}
+	recv := types.ExprString(sel.X)
+	if !guarded(pass, stack, recv) {
+		pass.Reportf(call.Pos(),
+			"%s.Publish is not dominated by a %s.Wants(kind) or nil-bus guard (hot-path invariant: unobserved runs must not build or dispatch events)",
+			recv, recv)
+	}
+}
+
+// checkEventLit flags obs.Event{...} construction outside any guard.
+// A literal that is itself the argument of a Publish call is skipped:
+// the Publish check reports that site once.
+func checkEventLit(pass *framework.Pass, lit *ast.CompositeLit, stack []ast.Node) {
+	if !framework.IsNamedType(pass.TypesInfo.TypeOf(lit), obsPath, "Event") {
+		return
+	}
+	if pass.IsTestFile(lit.Pos()) {
+		return
+	}
+	if len(stack) > 0 {
+		if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok {
+			if framework.IsMethodOf(framework.CalledFunc(pass.TypesInfo, call), obsPath, "Bus", "Publish") {
+				return
+			}
+		}
+	}
+	if !guarded(pass, stack, "") {
+		pass.Reportf(lit.Pos(),
+			"obs.Event constructed outside a Bus.Wants guard (hot-path invariant: build events only when observed)")
+	}
+}
+
+// guarded reports whether some enclosing if statement's condition
+// contains a Bus.Wants call — on the given receiver expression when
+// recv is non-empty — or a nil comparison of a *obs.Bus value.
+func guarded(pass *framework.Pass, stack []ast.Node, recv string) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		// Only a guard if we are inside the body (not the condition or
+		// the else branch of the very statement being tested).
+		if i+1 < len(stack) && stack[i+1] != ifStmt.Body {
+			continue
+		}
+		if condGuards(pass, ifStmt.Cond, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+func condGuards(pass *framework.Pass, cond ast.Expr, recv string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := framework.CalledFunc(pass.TypesInfo, n)
+			if framework.IsMethodOf(fn, obsPath, "Bus", "Wants") {
+				if recv == "" {
+					found = true
+				} else if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+					types.ExprString(sel.X) == recv {
+					found = true
+				}
+			}
+		case *ast.BinaryExpr:
+			// A `bus != nil` (or inverted) comparison also counts.
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if framework.IsNamedType(pass.TypesInfo.TypeOf(side), obsPath, "Bus") &&
+					(recv == "" || types.ExprString(side) == recv) {
+					other := n.X
+					if side == n.X {
+						other = n.Y
+					}
+					if id, ok := ast.Unparen(other).(*ast.Ident); ok && id.Name == "nil" {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package obsguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obsguard"
+)
+
+func TestObsguard(t *testing.T) {
+	analysistest.Run(t, obsguard.Analyzer, "obsguardfix")
+}

@@ -1,0 +1,53 @@
+// Package obsguardfix exercises the obsguard analyzer against the real
+// obs.Bus API: unguarded publication and construction are findings;
+// Wants guards, nil-bus guards, and ignore directives silence them.
+package obsguardfix
+
+import "repro/internal/obs"
+
+type comp struct {
+	bus *obs.Bus
+}
+
+func (c *comp) unguardedPublish(pid int) {
+	c.bus.Publish(obs.Event{Kind: obs.EvPageFault, PID: pid}) // want `c\.bus\.Publish is not dominated by a c\.bus\.Wants\(kind\) or nil-bus guard`
+}
+
+func (c *comp) unguardedLiteral(pid int) obs.Event {
+	return obs.Event{Kind: obs.EvPageFault, PID: pid} // want `obs\.Event constructed outside a Bus\.Wants guard`
+}
+
+// wrongBus shows that a Wants guard on a different bus does not cover
+// this one.
+func (c *comp) wrongBus(other *obs.Bus, pid int) {
+	if other.Wants(obs.EvPageFault) {
+		c.bus.Publish(obs.Event{Kind: obs.EvPageFault, PID: pid}) // want `c\.bus\.Publish is not dominated`
+	}
+}
+
+func (c *comp) guardedByWants(pid int) {
+	if c.bus.Wants(obs.EvPageFault) {
+		c.bus.Publish(obs.Event{Kind: obs.EvPageFault, PID: pid})
+	}
+}
+
+func (c *comp) guardedByNilCheck(pid int) {
+	if c.bus != nil {
+		c.bus.Publish(obs.Event{Kind: obs.EvPageFault, PID: pid})
+	}
+}
+
+// guardedConstruction: a literal bound to a variable inside the guard is
+// accepted, and publishing it through the same guard too.
+func (c *comp) guardedConstruction(pid int) {
+	if c.bus.Wants(obs.EvPageFault) {
+		ev := obs.Event{Kind: obs.EvPageFault, PID: pid}
+		c.bus.Publish(ev)
+	}
+}
+
+// ignored shows the escape hatch for deliberate unguarded publication.
+func (c *comp) ignored(pid int) {
+	//satlint:ignore obsguard cold path, runs once per scenario
+	c.bus.Publish(obs.Event{Kind: obs.EvPageFault, PID: pid})
+}

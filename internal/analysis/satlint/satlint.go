@@ -1,0 +1,25 @@
+// Package satlint assembles the project's analyzer suite: the five
+// invariant checks cmd/satlint runs as a multichecker. The set is
+// defined here, away from the command, so tests can assert registration
+// and future analyzers have one place to plug in.
+package satlint
+
+import (
+	"repro/internal/analysis/deprecated"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/nondet"
+	"repro/internal/analysis/obsguard"
+	"repro/internal/analysis/snapshotfresh"
+)
+
+// Analyzers returns the full suite in stable (alphabetical) order.
+func Analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		deprecated.Analyzer,
+		maporder.Analyzer,
+		nondet.Analyzer,
+		obsguard.Analyzer,
+		snapshotfresh.Analyzer,
+	}
+}

@@ -1,0 +1,164 @@
+// Package snapshotfresh defines a satlint analyzer enforcing the
+// obs.Source contract: Snapshot() must return a freshly allocated map on
+// every call, so callers may retain or mutate the result without
+// aliasing component state or later snapshots. Returning a map held in
+// the receiver — directly, through a field chain, or via a local alias —
+// hands callers a live window into the component's counters; the
+// serial-vs-parallel byte-identity tests only catch that once someone
+// mutates it, long after the fact.
+package snapshotfresh
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer flags Snapshot methods returning receiver-held maps.
+var Analyzer = &framework.Analyzer{
+	Name: "snapshotfresh",
+	Doc: `require Snapshot() to return a freshly allocated map
+
+obs.Source.Snapshot promises a fresh map per call. This analyzer flags
+any method named Snapshot with a map result whose return value is the
+receiver itself, a field reached from the receiver, a package-level map,
+or a local variable aliasing one of those. Returning a composite
+literal, a map built with make, or another call's result is accepted.`,
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Snapshot" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if !returnsMap(pass, fd) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func returnsMap(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(fd.Type.Results.List[0].Type)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+func checkBody(pass *framework.Pass, fd *ast.FuncDecl) {
+	recv := receiverObj(pass, fd)
+	aliases := localAliases(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested function returns are not Snapshot's
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		if stale, why := staleExpr(pass, ret.Results[0], recv, aliases, 0); stale {
+			pass.Reportf(ret.Pos(),
+				"Snapshot returns %s; the obs.Source contract requires a freshly allocated map per call", why)
+		}
+		return true
+	})
+}
+
+// receiverObj resolves the receiver variable, or nil for unnamed ones.
+func receiverObj(pass *framework.Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// localAliases maps each short-declared local variable to its single
+// initializer expression, so `m := c.counters; return m` resolves to the
+// field access.
+func localAliases(pass *framework.Pass, fd *ast.FuncDecl) map[types.Object]ast.Expr {
+	out := map[types.Object]ast.Expr{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				out[obj] = as.Rhs[i]
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				// Reassignment: the alias no longer reliably points at
+				// its initializer; drop it to stay conservative.
+				delete(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// staleExpr reports whether e evaluates to a map owned by the receiver
+// or by package state, with a description of what was returned.
+func staleExpr(pass *framework.Pass, e ast.Expr, recv types.Object, aliases map[types.Object]ast.Expr, depth int) (bool, string) {
+	if depth > 8 {
+		return false, ""
+	}
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		if obj == nil {
+			return false, ""
+		}
+		if obj == recv {
+			return true, "the receiver itself"
+		}
+		if init, ok := aliases[obj]; ok {
+			return staleExpr(pass, init, recv, aliases, depth+1)
+		}
+		if isPkgLevelVar(obj) {
+			return true, "package-level map " + obj.Name()
+		}
+	case *ast.SelectorExpr:
+		root := framework.RootIdent(x)
+		if root == nil {
+			return false, ""
+		}
+		obj := pass.TypesInfo.Uses[root]
+		if obj == nil {
+			return false, ""
+		}
+		if obj == recv {
+			return true, "receiver field " + types.ExprString(x)
+		}
+		if init, ok := aliases[obj]; ok {
+			// A field of an aliased struct copy still shares map values.
+			if stale, _ := staleExpr(pass, init, recv, aliases, depth+1); stale {
+				return true, "receiver state via local alias " + root.Name
+			}
+		}
+		if isPkgLevelVar(obj) {
+			return true, "package-level state " + types.ExprString(x)
+		}
+	}
+	return false, ""
+}
+
+func isPkgLevelVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,12 @@
+package snapshotfresh_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapshotfresh"
+)
+
+func TestSnapshotfresh(t *testing.T) {
+	analysistest.Run(t, snapshotfresh.Analyzer, "snapfix")
+}

@@ -1,0 +1,55 @@
+// Package snapfix exercises the snapshotfresh analyzer: Snapshot
+// methods must return freshly allocated maps, never receiver state.
+package snapfix
+
+type stale struct {
+	counts map[string]uint64
+}
+
+func (s *stale) Snapshot() map[string]uint64 {
+	return s.counts // want `Snapshot returns receiver field s\.counts; the obs\.Source contract requires a freshly allocated map`
+}
+
+type aliased struct {
+	counts map[string]uint64
+}
+
+func (a *aliased) Snapshot() map[string]uint64 {
+	m := a.counts
+	return m // want `Snapshot returns receiver field a\.counts`
+}
+
+var processCounts = map[string]uint64{}
+
+type global struct{}
+
+func (global) Snapshot() map[string]uint64 {
+	return processCounts // want `Snapshot returns package-level map processCounts`
+}
+
+type fresh struct {
+	counts map[string]uint64
+}
+
+// Snapshot copies into a new map: the contract, accepted.
+func (f *fresh) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+type literal struct {
+	faults uint64
+}
+
+// Snapshot returning a composite literal is accepted.
+func (l *literal) Snapshot() map[string]uint64 {
+	return map[string]uint64{"faults": l.faults}
+}
+
+// notASource has a Snapshot free function (no receiver): out of scope.
+func Snapshot() map[string]uint64 {
+	return processCounts
+}

@@ -32,6 +32,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/cache"
@@ -349,7 +350,8 @@ func (k *Kernel) flushRangeAll(start, end arch.VirtAddr, asid arch.ASID) {
 	}
 }
 
-// Processes returns the live process table.
+// Processes returns the live process table, ordered by PID so callers
+// observe the same sequence on every run.
 func (k *Kernel) Processes() []*Process {
 	out := make([]*Process, 0, len(k.procs))
 	for _, p := range k.procs {
@@ -357,6 +359,7 @@ func (k *Kernel) Processes() []*Process {
 			out = append(out, p)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
 	return out
 }
 
