@@ -7,7 +7,7 @@
 //
 //	experiments [-quick] [-parallel N] [-launch-runs N] [-app-runs N]
 //	            [-binder-iters N] [-only LIST] [-list] [-json]
-//	            [-cpuprofile FILE] [-memprofile FILE]
+//	            [-nocheckpoint] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -only selects a comma-separated subset, e.g. -only table4,figure7; an
 // unknown name is an error. Explicitly set size flags always override
@@ -15,8 +15,11 @@
 // results are byte-identical regardless of the worker count. -json
 // replaces the text tables with one structured document (schema
 // "sat-experiments/v1", see internal/experiments/report.go), also
-// byte-identical for every -parallel setting. -cpuprofile and
-// -memprofile write pprof captures of the run (see README "Profiling").
+// byte-identical for every -parallel setting. -nocheckpoint disables
+// boot-checkpoint reuse (internal/checkpoint) so every scenario boots
+// from scratch; results are byte-identical with or without it.
+// -cpuprofile and -memprofile write pprof captures of the run (see
+// README "Profiling").
 package main
 
 import (
@@ -47,6 +50,7 @@ func run(argv []string, out *os.File) (err error) {
 	only := fs.String("only", "", "comma-separated experiments to run (see -list); empty = all")
 	list := fs.Bool("list", false, "list the experiment names and exit")
 	jsonOut := fs.Bool("json", false, "emit one structured JSON document instead of text tables")
+	noCheckpoint := fs.Bool("nocheckpoint", false, "boot every scenario from scratch instead of forking memoized boot checkpoints (A/B timing; output is byte-identical either way)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	if err := fs.Parse(argv); err != nil {
@@ -124,6 +128,7 @@ func run(argv []string, out *os.File) (err error) {
 
 	s := experiments.New(params)
 	s.Parallel = *parallel
+	s.NoCheckpoint = *noCheckpoint
 
 	if *jsonOut {
 		doc, err := experiments.RunJSON(s, selected)

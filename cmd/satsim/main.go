@@ -8,12 +8,15 @@
 //
 //	satsim [-kernel stock|copied|shared|shared-tlb] [-layout original|2mb]
 //	       [-app NAME|all] [-runs N] [-parallel N] [-json] [-list]
-//	       [-cpuprofile FILE] [-memprofile FILE]
+//	       [-nocheckpoint] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -app all sweeps the whole suite, one freshly booted system per
 // application, fanned out over -parallel workers (0 = GOMAXPROCS,
 // 1 = serial); the output order and values are identical regardless of
-// the worker count.
+// the worker count. The boot prefix is simulated once, captured as a
+// checkpoint (internal/checkpoint), and forked copy-on-write for every
+// application; -nocheckpoint boots each from scratch instead, with
+// byte-identical output.
 //
 // -json replaces the text report with one structured document (schema
 // "satsim/v1"): scenario parameters, per-run counters, the system-wide
@@ -34,6 +37,7 @@ import (
 	"os"
 
 	"repro/internal/android"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/prof"
@@ -49,6 +53,7 @@ func main() {
 	runs := flag.Int("runs", 1, "number of consecutive executions, >= 1 (warm starts after the first)")
 	parallel := flag.Int("parallel", 0, "workers for -app all: 1 = serial, N>1 = N workers, 0 = GOMAXPROCS")
 	jsonOut := flag.Bool("json", false, "emit one structured JSON document instead of the text report")
+	noCheckpoint := flag.Bool("nocheckpoint", false, "boot every scenario from scratch instead of forking one boot checkpoint (A/B timing; output is byte-identical either way)")
 	list := flag.Bool("list", false, "list the application suite and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the scenario to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the scenario to this file")
@@ -66,7 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "satsim:", err)
 		os.Exit(1)
 	}
-	err = run(os.Stdout, *kernel, *layout, *app, *runs, *parallel, *jsonOut)
+	err = run(os.Stdout, *kernel, *layout, *app, *runs, *parallel, *jsonOut, *noCheckpoint)
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
 	}
@@ -120,7 +125,7 @@ type appReport struct {
 	doc  jsonApp
 }
 
-func run(w io.Writer, kernelName, layoutName, appName string, runs, parallel int, jsonOut bool) error {
+func run(w io.Writer, kernelName, layoutName, appName string, runs, parallel int, jsonOut, noCheckpoint bool) error {
 	if runs < 1 {
 		return fmt.Errorf("-runs must be >= 1 (got %d)", runs)
 	}
@@ -162,7 +167,7 @@ func run(w io.Writer, kernelName, layoutName, appName string, runs, parallel int
 		specs = []workload.AppSpec{spec}
 	}
 
-	reports, err := runSuite(cfg, layout, u, specs, runs, parallel)
+	reports, err := runSuite(cfg, layout, u, specs, runs, parallel, noCheckpoint)
 	if err != nil {
 		return err
 	}
@@ -188,14 +193,29 @@ func run(w io.Writer, kernelName, layoutName, appName string, runs, parallel int
 // runSuite runs every selected application, each in its own freshly
 // booted system, fanned out over the sweep worker pool. Reports come
 // back in suite order whatever the completion order was.
-func runSuite(cfg core.Config, layout android.Layout, u *workload.Universe, specs []workload.AppSpec, runs, parallel int) ([]appReport, error) {
+func runSuite(cfg core.Config, layout android.Layout, u *workload.Universe, specs []workload.AppSpec, runs, parallel int, noCheckpoint bool) ([]appReport, error) {
+	// Every scenario shares one boot prefix, so the whole suite forks a
+	// single checkpoint image; concurrent workers share the one boot.
+	ckpt := checkpoint.NewCache()
+	boot := func() (*android.System, error) {
+		if noCheckpoint {
+			return android.Boot(cfg, layout, u)
+		}
+		img, err := ckpt.Image(checkpoint.Key(cfg, layout, u, android.Options{}), func() (*android.System, error) {
+			return android.Boot(cfg, layout, u)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return img.Fork(), nil
+	}
 	scenarios := make([]sweep.Scenario[appReport], len(specs))
 	for i, spec := range specs {
 		spec := spec
 		scenarios[i] = sweep.Scenario[appReport]{
 			Name: "satsim/" + spec.Name,
 			Run: func(*rand.Rand) (appReport, error) {
-				return runApp(cfg, layout, u, spec, runs)
+				return runApp(boot, cfg, layout, u, spec, runs)
 			},
 		}
 	}
@@ -204,8 +224,8 @@ func runSuite(cfg core.Config, layout android.Layout, u *workload.Universe, spec
 
 // runApp boots a system, runs one application `runs` times, and returns
 // the report in both renderings.
-func runApp(cfg core.Config, layout android.Layout, u *workload.Universe, spec workload.AppSpec, runs int) (appReport, error) {
-	sys, err := android.Boot(cfg, layout, u)
+func runApp(boot func() (*android.System, error), cfg core.Config, layout android.Layout, u *workload.Universe, spec workload.AppSpec, runs int) (appReport, error) {
+	sys, err := boot()
 	if err != nil {
 		return appReport{}, err
 	}

@@ -53,3 +53,42 @@ func (l *literal) Snapshot() map[string]uint64 {
 func Snapshot() map[string]uint64 {
 	return processCounts
 }
+
+// The checkpoint-image shape: an immutable image wraps a prototype
+// machine shared copy-on-write with its forks. A Snapshot handing out a
+// live map reached through the prototype gives callers a window into
+// state every fork aliases — exactly the leak the image abstraction
+// exists to prevent.
+type protoMachine struct {
+	counters map[string]uint64
+}
+
+type image struct {
+	proto *protoMachine
+}
+
+func (img *image) Snapshot() map[string]uint64 {
+	return img.proto.counters // want `Snapshot returns receiver field img\.proto\.counters`
+}
+
+type imageAliased struct {
+	proto *protoMachine
+}
+
+func (img *imageAliased) Snapshot() map[string]uint64 {
+	p := img.proto
+	return p.counters // want `Snapshot returns receiver state via local alias p`
+}
+
+type imageFresh struct {
+	proto *protoMachine
+}
+
+// Copying the prototype's counters into a new map is the contract.
+func (img *imageFresh) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(img.proto.counters))
+	for k, v := range img.proto.counters {
+		out[k] = v
+	}
+	return out
+}

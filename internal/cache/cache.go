@@ -43,26 +43,37 @@ type Stats struct {
 	Evictions uint64
 }
 
-type line struct {
-	valid   bool
-	tag     uint32
-	lastUse uint64
-}
+// tagInvalid marks an empty way. Real tags are physical addresses
+// shifted right by at least the line-size bits, so they never reach it.
+const tagInvalid = ^uint32(0)
 
 // Cache is one level of a physically indexed, physically tagged cache
 // with LRU replacement within each set.
 //
-// Two hot-path refinements over the obvious probe (behaviour-identical,
-// since a tag is resident in at most one way of its set): the way that
-// hit last in each set (mru) is probed first, catching the consecutive
-// same-line references that dominate instruction fetch; and a miss costs
-// a single pass over the set, because the victim (first invalid way, else
-// the LRU way) is tracked during the tag probe instead of by a second
-// scan.
+// Three hot-path refinements over the obvious probe (behaviour-identical,
+// since a tag is resident in at most one way of its set): the tag that
+// hit last in each set (mruTag) is compared first — one independent load —
+// catching the consecutive same-line references that dominate instruction
+// fetch; an MRU hit skips the recency-stamp store, because the MRU way
+// already holds its set's maximum lastUse and no other way of the set can
+// be touched while it stays MRU, so the within-set order that victim
+// selection compares is unaffected; and the probe loop compares tags
+// only — four or eight contiguous words — deferring victim selection
+// (first invalid way, else the LRU way) to a miss, so hits never load
+// the recency stamps of the other ways.
 type Cache struct {
-	cfg        Config
-	sets       [][]line
-	mru        []int32 // per-set way index of the last hit or fill
+	cfg Config
+	// tags and lastUse are the flat backing store, split
+	// structure-of-arrays: set si occupies [si*assoc : (si+1)*assoc] of
+	// each. Flat indexing saves the dependent slice-header load a
+	// [][]way layout pays on every access; splitting the tags from the
+	// recency stamps keeps a whole probe within a few host cache lines
+	// (the stamps are only touched on a hit or for victim choice), and
+	// cloning the arrays is two flat copies.
+	tags       []uint32
+	lastUse    []uint64
+	assoc      int
+	mruTag     []uint32 // per-set tag of the last hit or fill
 	setShift   uint
 	setMask    uint32
 	clock      uint64
@@ -88,15 +99,20 @@ func New(cfg Config, next *Cache, memLatency int) *Cache {
 	if nSets <= 0 || nSets&(nSets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: set count %d not a positive power of two", cfg.Name, nSets))
 	}
-	sets := make([][]line, nSets)
-	backing := make([]line, nSets*cfg.Assoc)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	tags := make([]uint32, nSets*cfg.Assoc)
+	for i := range tags {
+		tags[i] = tagInvalid
+	}
+	mruTag := make([]uint32, nSets)
+	for i := range mruTag {
+		mruTag[i] = tagInvalid
 	}
 	return &Cache{
 		cfg:        cfg,
-		sets:       sets,
-		mru:        make([]int32, nSets),
+		tags:       tags,
+		lastUse:    make([]uint64, nSets*cfg.Assoc),
+		assoc:      cfg.Assoc,
+		mruTag:     mruTag,
 		setShift:   uint(bits.TrailingZeros(uint(cfg.LineSize))),
 		setMask:    uint32(nSets - 1),
 		next:       next,
@@ -138,38 +154,39 @@ func (c *Cache) Access(pa arch.PhysAddr) int {
 	c.stats.Accesses++
 	tag := uint32(pa) >> c.setShift
 	si := tag & c.setMask
-	set := c.sets[si]
-	if l := &set[c.mru[si]]; l.valid && l.tag == tag {
-		l.lastUse = c.clock
+	if c.mruTag[si] == tag {
 		c.stats.Hits++
 		return c.cfg.HitLatency
 	}
-	// One pass: probe every way for the tag while tracking the would-be
-	// victim — the first invalid way, else the least recently used
-	// (lastUse values are unique, so "first lowest" is unambiguous).
-	victim, invalid := 0, -1
-	var oldest uint64 = ^uint64(0)
-	for i := range set {
-		l := &set[i]
-		if !l.valid {
-			if invalid < 0 {
-				invalid = i
-			}
-			continue
-		}
-		if l.tag == tag {
-			l.lastUse = c.clock
+	base := int(si) * c.assoc
+	set := c.tags[base : base+c.assoc]
+	for i, tg := range set {
+		if tg == tag {
+			c.lastUse[base+i] = c.clock
 			c.stats.Hits++
-			c.mru[si] = int32(i)
+			c.mruTag[si] = tag
 			return c.cfg.HitLatency
 		}
-		if invalid < 0 && l.lastUse < oldest {
+	}
+	// Miss: pick the victim — the first invalid way, else the least
+	// recently used (lastUse values are unique, so "first lowest" is
+	// unambiguous) — over tags the probe above just made hot.
+	victim := -1
+	for i, tg := range set {
+		if tg == tagInvalid {
 			victim = i
-			oldest = l.lastUse
+			break
 		}
 	}
-	if invalid >= 0 {
-		victim = invalid
+	if victim < 0 {
+		victim = 0
+		oldest := ^uint64(0)
+		for i := range set {
+			if lu := c.lastUse[base+i]; lu < oldest {
+				victim = i
+				oldest = lu
+			}
+		}
 	}
 	c.stats.Misses++
 	latency := c.cfg.HitLatency
@@ -178,14 +195,15 @@ func (c *Cache) Access(pa arch.PhysAddr) int {
 	} else {
 		latency += c.memLatency
 	}
-	if set[victim].valid {
+	if set[victim] != tagInvalid {
 		c.stats.Evictions++
 		if c.bus.Wants(obs.EvCacheEvict) {
 			c.bus.Publish(obs.Event{Kind: obs.EvCacheEvict, Source: c.cfg.Name, Addr: uint64(pa)})
 		}
 	}
-	set[victim] = line{valid: true, tag: tag, lastUse: c.clock}
-	c.mru[si] = int32(victim)
+	set[victim] = tag
+	c.lastUse[base+victim] = c.clock
+	c.mruTag[si] = tag
 	if c.bus.Wants(obs.EvCacheFill) {
 		c.bus.Publish(obs.Event{Kind: obs.EvCacheFill, Source: c.cfg.Name, Addr: uint64(pa)})
 	}
@@ -197,12 +215,10 @@ func (c *Cache) Access(pa arch.PhysAddr) int {
 func (c *Cache) Contains(pa arch.PhysAddr) bool {
 	tag := uint32(pa) >> c.setShift
 	si := tag & c.setMask
-	set := c.sets[si]
-	if l := &set[c.mru[si]]; l.valid && l.tag == tag {
-		return true
-	}
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base := int(si) * c.assoc
+	set := c.tags[base : base+c.assoc]
+	for _, tg := range set {
+		if tg == tag {
 			return true
 		}
 	}
@@ -211,24 +227,36 @@ func (c *Cache) Contains(pa arch.PhysAddr) bool {
 
 // FlushAll invalidates every line at this level only.
 func (c *Cache) FlushAll() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = line{}
-		}
+	for i := range c.tags {
+		c.tags[i] = tagInvalid
+	}
+	for i := range c.mruTag {
+		c.mruTag[i] = tagInvalid
 	}
 }
 
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for _, tg := range c.tags {
+		if tg != tagInvalid {
+			n++
 		}
 	}
 	return n
+}
+
+// Clone returns a deep copy of this level for a checkpoint fork, wired
+// to the given lower level and event bus. The line array is one flat
+// copy; nothing is allocated per line or per set.
+func (c *Cache) Clone(next *Cache, bus *obs.Bus) *Cache {
+	d := *c
+	d.tags = append([]uint32(nil), c.tags...)
+	d.lastUse = append([]uint64(nil), c.lastUse...)
+	d.mruTag = append([]uint32(nil), c.mruTag...)
+	d.next = next
+	d.bus = bus
+	return &d
 }
 
 // Hierarchy bundles the three-level cache system of one simulated core
@@ -257,6 +285,13 @@ func HierarchyWithL2(l2 *Cache) *Hierarchy {
 	l1i := New(Config{Name: "L1I", Size: 32 << 10, LineSize: 32, Assoc: 4, HitLatency: 1}, l2, 0)
 	l1d := New(Config{Name: "L1D", Size: 32 << 10, LineSize: 32, Assoc: 4, HitLatency: 1}, l2, 0)
 	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2}
+}
+
+// CloneWithL2 clones one core's private L1 levels over an already-cloned
+// shared L2, for checkpoint forks of SMP machines: clone the L2 once,
+// then each core's hierarchy over it.
+func (h *Hierarchy) CloneWithL2(l2 *Cache, bus *obs.Bus) *Hierarchy {
+	return &Hierarchy{L1I: h.L1I.Clone(l2, bus), L1D: h.L1D.Clone(l2, bus), L2: l2}
 }
 
 // Fetch accesses pa through the instruction side and returns the latency.

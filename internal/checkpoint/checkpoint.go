@@ -1,0 +1,219 @@
+// Package checkpoint provides deterministic snapshot/fork of a complete
+// simulated machine: capture a booted android.System once as an
+// immutable image, then fork runnable copies in O(dirtied-state).
+//
+// The mechanism is the paper's own NEED_COPY trick applied to the
+// simulator itself. An image holds a private clone of the machine whose
+// bulky state — PTE arrays (internal/pagetable), frame metadata chunks
+// (internal/mem), and page-cache contents (internal/vm) — is shared by
+// reference with every fork and copied only on first write, while the
+// small hot state (TLB entries, cache line arrays, CPU contexts,
+// counters) is copied eagerly so forks resume from exactly the captured
+// cycle. Because the image is never run, its shared state is written by
+// nobody; a fork that redlines its own copy never changes the image, so
+// any number of forks behave exactly like fresh boots. That determinism
+// invariant is pinned by the fork-vs-fresh differential tests.
+//
+// Cache memoizes images by a canonical key of the boot parameters
+// (Key), so sweeps that boot the same prefix many times — every
+// campaign in internal/experiments — simulate it once and fork it
+// everywhere.
+package checkpoint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/android"
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// Image is an immutable snapshot of a booted machine. Create with
+// Capture; mint runnable machines with Fork. The image's own machine is
+// never exposed to callers, so nothing can mutate it.
+type Image struct {
+	proto *android.System
+}
+
+// Capture snapshots sys into an immutable image. The snapshot is one
+// machine clone: sys itself stays usable and is not referenced by the
+// image afterwards, so later mutations of sys do not leak in.
+func Capture(sys *android.System) *Image {
+	return &Image{proto: sys.Clone()}
+}
+
+// Fork mints a runnable machine from the image. The fork shares PTE
+// arrays, frame-metadata chunks and page-cache maps with the image
+// copy-on-write and copies only the small hot state, so an unmodified
+// fork allocates nothing per page-table page.
+func (img *Image) Fork() *android.System {
+	return img.proto.Clone()
+}
+
+// Boot is the prefix simulation a Cache memoizes: it boots a fresh
+// machine for the given parameters.
+type Boot func() (*android.System, error)
+
+// centry is one cache slot; once makes concurrent sweep workers asking
+// for the same prefix boot it exactly once.
+type centry struct {
+	once sync.Once
+	img  *Image
+	err  error
+}
+
+// Cache memoizes checkpoint images by prefix key. The zero value is not
+// usable; construct with NewCache. Safe for concurrent use.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]*centry
+}
+
+// NewCache returns an empty image cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]*centry)}
+}
+
+// Image returns the memoized image for key, booting and capturing it on
+// first request. Every concurrent caller with the same key shares one
+// boot. A boot error is memoized too: retrying a deterministic boot
+// cannot succeed.
+func (c *Cache) Image(key string, boot Boot) (*Image, error) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &centry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		sys, err := boot()
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.img = Capture(sys)
+	})
+	return e.img, e.err
+}
+
+// Len returns the number of distinct prefixes cached so far.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Key canonicalizes the boot parameters of android.BootOpts into a
+// memoization key: any two boots with equal keys produce identical
+// machines (boot is deterministic in these parameters), so they may
+// share one image. The universe is keyed by identity — distinct
+// Universe values could carry different preloaded-code landscapes.
+func Key(cfg core.Config, layout android.Layout, u *workload.Universe, opts android.Options) string {
+	return fmt.Sprintf("cfg=%+v layout=%d universe=%p opts=%+v", cfg, layout, u, opts)
+}
+
+// Fingerprint renders the image's complete observable state as a string:
+// kernel and allocator counters, sharing stats, every process's regions,
+// page tables and context, every page-cache file, and every core's TLB,
+// cache and cycle state. Two fingerprints are equal iff the machines are
+// observably identical; the aliasing-hazard tests take one before and
+// after mutating a fork to prove the image never changes.
+func (img *Image) Fingerprint() string {
+	sys := img.proto
+	k := sys.Kernel
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "counters=%+v\n", k.Counters)
+	ps := k.Phys.Stats()
+	fmt.Fprintf(&b, "phys alloc=%d freed=%d inuse=%d kinds=", ps.Allocated, ps.Freed, ps.InUse)
+	kinds := make([]int, 0, len(ps.ByKind))
+	for kind := range ps.ByKind {
+		kinds = append(kinds, int(kind))
+	}
+	sort.Ints(kinds)
+	for _, kind := range kinds {
+		fmt.Fprintf(&b, "%d:%d,", kind, ps.ByKind[mem.FrameKind(kind)])
+	}
+	fmt.Fprintf(&b, "\nsharing=%+v\n", k.SharingStats())
+
+	for _, p := range k.Processes() {
+		fmt.Fprintf(&b, "proc %d %q zygote=%v child=%v alive=%v forkstats=%+v ptescopied=%d\n",
+			p.PID, p.Name, p.IsZygote, p.IsZygoteChild, p.Alive(), p.ForkStats, p.PTEsCopied)
+		fmt.Fprintf(&b, "  ctx asid=%d dacr=%#x stats=%+v\n", p.Ctx.ASID, p.Ctx.DACR, p.Ctx.Stats)
+		fmt.Fprintf(&b, "  mm counters=%+v ptstats=%+v\n", p.MM.Counters, p.MM.PT.Stats())
+		for _, v := range p.MM.VMAs() {
+			name := ""
+			if v.File != nil {
+				name = v.File.Name
+			}
+			fmt.Fprintf(&b, "  vma %#x-%#x prot=%v flags=%d file=%q off=%d name=%q cat=%d\n",
+				v.Start, v.End, v.Prot, v.Flags, name, v.FileOff, v.Name, v.Category)
+		}
+		for idx := 0; idx < arch.L1Entries; idx++ {
+			e := p.MM.PT.L1(idx)
+			if !e.Valid() {
+				continue
+			}
+			fmt.Fprintf(&b, "  l1[%d] frame=%d domain=%d needcopy=%v pop=%d:",
+				idx, e.Table.Frame, e.Domain, e.NeedCopy, e.Table.Populated())
+			for i := 0; i < arch.L2Entries; i++ {
+				if pte := e.Table.PTE(i); pte.Valid() {
+					fmt.Fprintf(&b, " %d=%d/%d/%d", i, pte.Frame, pte.Flags, pte.Soft)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+
+	for _, f := range sys.Files() {
+		if f == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "file %q size=%d resident=%d:", f.Name, f.Size, f.ResidentPages())
+		f.ForEachPage(func(idx int, frame arch.FrameNum) {
+			fmt.Fprintf(&b, " %d=%d", idx, frame)
+		})
+		b.WriteByte('\n')
+	}
+
+	for i := 0; i < k.NumCPUs(); i++ {
+		c := k.CPUAt(i)
+		iv, ig := c.MicroI.Occupancy()
+		dv, dg := c.MicroD.Occupancy()
+		mv, mg := c.Main.Occupancy()
+		fmt.Fprintf(&b, "cpu%d now=%d micro-i=%d/%d micro-d=%d/%d main=%d/%d l1i=%d l1d=%d\n",
+			i, c.Now(), iv, ig, dv, dg, mv, mg,
+			c.Caches.L1I.Occupancy(), c.Caches.L1D.Occupancy())
+	}
+	fmt.Fprintf(&b, "l2=%d\n", k.CPUAt(0).Caches.L2.Occupancy())
+
+	reg := obs.NewRegistry()
+	reg.MustRegister(k.Sources()...)
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := snap[name]
+		keys := make([]string, 0, len(m))
+		for key := range m {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "src %s:", name)
+		for _, key := range keys {
+			fmt.Fprintf(&b, " %s=%d", key, m[key])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

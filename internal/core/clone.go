@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
+
+// ProcessByPID returns the live process with the given PID, or nil.
+func (k *Kernel) ProcessByPID(pid int) *Process { return k.procs[pid] }
+
+// Clone duplicates the whole machine for a checkpoint fork: physical
+// memory is forked copy-on-write, every process's address space is
+// cloned with PTE arrays and page-cache contents shared with the source,
+// and TLBs, caches and CPU contexts are copied so the clone resumes from
+// exactly the captured cycle. The returned CloneCtx lets callers holding
+// direct pointers into the source machine (files, for instance) remap
+// them into the clone.
+//
+// The clone gets a fresh, empty event bus: checkpoints are captured
+// before any subscriber attaches, so an empty bus is indistinguishable
+// from the source's. Observers registered on the source after the clone
+// do not fire for the clone and vice versa.
+func (k *Kernel) Clone() (*Kernel, *vm.CloneCtx) {
+	phys := k.Phys.Fork()
+	cc := vm.NewCloneCtx(phys)
+	k2 := &Kernel{
+		Phys:         phys,
+		Config:       k.Config,
+		ForkCosts:    k.ForkCosts,
+		Counters:     k.Counters,
+		OnPageFault:  k.OnPageFault,
+		IPICost:      k.IPICost,
+		bus:          obs.NewBus(),
+		procs:        make(map[int]*Process, len(k.procs)),
+		nextPID:      k.nextPID,
+		nextASID:     k.nextASID,
+		kernelTextPA: k.kernelTextPA,
+	}
+	k2.l2 = k.l2.Clone(nil, k2.bus)
+
+	// Clone processes in PID order so any allocation the clone performs
+	// (none today, but the invariant is cheap) is deterministic.
+	pids := make([]int, 0, len(k.procs))
+	for pid := range k.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	ctxs := make(map[*cpu.Context]*cpu.Context, len(pids))
+	for _, pid := range pids {
+		p := k.procs[pid]
+		p2 := &Process{
+			PID:           p.PID,
+			Name:          p.Name,
+			MM:            p.MM.CloneShared(cc),
+			IsZygote:      p.IsZygote,
+			IsZygoteChild: p.IsZygoteChild,
+			ForkStats:     p.ForkStats,
+			PTEsCopied:    p.PTEsCopied,
+			kernel:        k2,
+			alive:         p.alive,
+		}
+		ctx := *p.Ctx
+		ctx.PT = p2.MM.PT
+		p2.Ctx = &ctx
+		ctxs[p.Ctx] = p2.Ctx
+		k2.procs[pid] = p2
+	}
+
+	for _, c := range k.cpus {
+		c2 := c.Clone(k2, k2.l2, k2.bus, ctxs)
+		k2.cpus = append(k2.cpus, c2)
+		if c == k.CPU {
+			k2.CPU = c2
+		}
+		if c == k.curCPU {
+			k2.curCPU = c2
+		}
+	}
+	return k2, cc
+}

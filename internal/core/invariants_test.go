@@ -46,8 +46,8 @@ func TestRandomWalkInvariants(t *testing.T) {
 						t.Fatalf("step %d: NEED_COPY PTP frame %d has sharer count %d",
 							step, l1.Table.Frame, got)
 					}
-					for i := range l1.Table.PTEs {
-						pte := l1.Table.PTEs[i]
+					for i := 0; i < arch.L2Entries; i++ {
+						pte := l1.Table.PTE(i)
 						if pte.Valid() && pte.Writable() {
 							t.Fatalf("step %d: writable PTE %d in shared PTP (slot %d of %q)",
 								step, i, idx, p.Name)

@@ -556,6 +556,9 @@ func (k *Kernel) Mprotect(p *Process, start, end arch.VirtAddr, prot vm.Prot) er
 			if pte.Soft&arch.SoftCOW != 0 {
 				flags &^= arch.PTEWrite
 			}
+			// In-place flag edit: privatize the table first so a
+			// checkpoint image sharing the PTE array stays intact.
+			pte = p.MM.PT.PTEForWrite(va)
 			pte.Flags = flags | (pte.Flags & arch.PTEGlobal)
 		}
 	}

@@ -1,0 +1,29 @@
+package cpu
+
+import (
+	"repro/internal/cache"
+	"repro/internal/obs"
+)
+
+// Clone returns a deep copy of this core for a checkpoint fork: TLBs and
+// private caches are cloned over the already-cloned shared L2, the fault
+// handler is replaced with the fork's kernel, and the current context is
+// remapped through ctxs (the fork's Context for each source Context,
+// built while cloning processes). The Sampler is carried over as-is;
+// checkpoints are captured before any sampling subscriber attaches.
+func (c *CPU) Clone(handler FaultHandler, l2 *cache.Cache, bus *obs.Bus, ctxs map[*Context]*Context) *CPU {
+	d := *c
+	d.MicroI = c.MicroI.Clone(bus)
+	d.MicroD = c.MicroD.Clone(bus)
+	d.Main = c.Main.Clone(bus)
+	d.Caches = c.Caches.CloneWithL2(l2, bus)
+	d.Handler = handler
+	if c.cur != nil {
+		nc, ok := ctxs[c.cur]
+		if !ok {
+			panic("cpu: Clone: current context not in remap table")
+		}
+		d.cur = nc
+	}
+	return &d
+}

@@ -39,7 +39,7 @@ type AblationRow struct {
 // an unshare).
 func (s *Session) StackSharingAblation() (*AblationResult, error) {
 	measure := func(cfg core.Config) (forkCycles, faultsToFirstWrite float64, err error) {
-		sys, err := android.Boot(cfg, android.LayoutOriginal, s.Universe())
+		sys, err := s.Boot(cfg, android.LayoutOriginal)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -79,7 +79,7 @@ func (s *Session) StackSharingAblation() (*AblationResult, error) {
 // policy versus copying only referenced (or fork-copied) PTEs.
 func (s *Session) CopyReferencedAblation() (*AblationResult, error) {
 	measure := func(cfg core.Config) (ptesCopied, extraFaults float64, err error) {
-		sys, err := android.Boot(cfg, android.LayoutOriginal, s.Universe())
+		sys, err := s.Boot(cfg, android.LayoutOriginal)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -120,7 +120,7 @@ func (s *Session) CopyReferencedAblation() (*AblationResult, error) {
 // the per-PTE protect cost.
 func (s *Session) L1WriteProtectAblation() (*AblationResult, error) {
 	measure := func(perPTEProtect int) (float64, error) {
-		sys, err := android.Boot(core.SharedPTP(), android.LayoutOriginal, s.Universe())
+		sys, err := s.Boot(core.SharedPTP(), android.LayoutOriginal)
 		if err != nil {
 			return 0, err
 		}
@@ -180,8 +180,8 @@ func (r *AblationResult) String() string {
 // and shared address translation compose.
 func (s *Session) LargePageStudy() (*AblationResult, error) {
 	measure := func(large bool) (residentMB, itlbMisses, sharedPTPs float64, err error) {
-		sys, err := android.BootOpts(core.SharedPTP(), android.LayoutOriginal,
-			s.Universe(), android.Options{JavaLargePages: large})
+		sys, err := s.BootOpts(core.SharedPTP(), android.LayoutOriginal,
+			android.Options{JavaLargePages: large})
 		if err != nil {
 			return 0, 0, 0, err
 		}

@@ -1,0 +1,44 @@
+// The fork-vs-fresh differential contract at the report level: a session
+// forking memoized boot checkpoints must emit the same bytes as one that
+// boots every scenario from scratch, and turning checkpoints on must not
+// disturb the serial-vs-parallel byte identity.
+
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// diffParams keeps the differential sessions cheap: the selected
+// experiments still cross kernel configs, zygote forks, full app
+// launches and the Binder IPC path.
+var diffParams = Params{LaunchRuns: 2, AppRuns: 1, BinderIters: 100}
+
+var diffSelection = map[string]bool{"table4": true, "figure13": true, "smp": true}
+
+func runDoc(t *testing.T, parallel int, noCheckpoint bool) []byte {
+	t.Helper()
+	s := New(diffParams)
+	s.Parallel = parallel
+	s.NoCheckpoint = noCheckpoint
+	doc, err := RunJSON(s, diffSelection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestForkVsFreshByteIdentical(t *testing.T) {
+	forked := runDoc(t, 1, false)
+	fresh := runDoc(t, 1, true)
+	if !bytes.Equal(forked, fresh) {
+		t.Fatalf("checkpointed and fresh-boot reports diverge:\nforked:\n%s\nfresh:\n%s", forked, fresh)
+	}
+	// Checkpoints on, 4 workers racing for the shared images: still the
+	// same bytes.
+	par := runDoc(t, 4, false)
+	if !bytes.Equal(forked, par) {
+		t.Fatalf("serial and parallel checkpointed reports diverge:\nserial:\n%s\nparallel:\n%s", forked, par)
+	}
+}

@@ -44,7 +44,7 @@ func (s *Session) Table3() (*Table3Result, error) {
 		scenarios[i] = sweep.Scenario[Table3Row]{
 			Name: "table3/" + spec.Name,
 			Run: func(*rand.Rand) (Table3Row, error) {
-				sys, err := android.Boot(core.SharedPTP(), android.LayoutOriginal, u)
+				sys, err := s.Boot(core.SharedPTP(), android.LayoutOriginal)
 				if err != nil {
 					return Table3Row{}, err
 				}
@@ -138,7 +138,6 @@ type Table4Row struct {
 // the minimum-cycles round reported.
 func (s *Session) Table4() (*Table4Result, error) {
 	const rounds = 40
-	u := s.Universe()
 	kernels := []core.Config{core.SharedPTP(), core.Stock(), core.CopiedPTEs()}
 	scenarios := make([]sweep.Scenario[Table4Row], len(kernels))
 	for i, cfg := range kernels {
@@ -146,7 +145,7 @@ func (s *Session) Table4() (*Table4Result, error) {
 		scenarios[i] = sweep.Scenario[Table4Row]{
 			Name: "table4/" + cfg.Name(),
 			Run: func(*rand.Rand) (Table4Row, error) {
-				sys, err := android.Boot(cfg, android.LayoutOriginal, u)
+				sys, err := s.Boot(cfg, android.LayoutOriginal)
 				if err != nil {
 					return Table4Row{}, err
 				}

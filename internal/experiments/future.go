@@ -26,7 +26,7 @@ import (
 // denied entry simply does not hit and the walk proceeds directly.
 func (s *Session) DomainMatchStudy() (*AblationResult, error) {
 	measure := func(hwMatch bool) (domainFaults, daemonCycles float64, err error) {
-		sys, err := android.Boot(core.SharedPTPTLB(), android.LayoutOriginal, s.Universe())
+		sys, err := s.Boot(core.SharedPTPTLB(), android.LayoutOriginal)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -126,7 +126,7 @@ type SchedulerGroupingResult struct {
 // number of protective flushes.
 func (s *Session) SchedulerGrouping() (*SchedulerGroupingResult, error) {
 	run := func(grouped bool) (uint64, int, error) {
-		sys, err := android.Boot(core.SharedPTPTLB(), android.LayoutOriginal, s.Universe())
+		sys, err := s.Boot(core.SharedPTPTLB(), android.LayoutOriginal)
 		if err != nil {
 			return 0, 0, err
 		}

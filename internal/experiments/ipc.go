@@ -49,7 +49,6 @@ func (s *Session) Figure13() (*Figure13Result, error) {
 	if err := s.Params.Validate(); err != nil {
 		return nil, fmt.Errorf("figure 13: %w", err)
 	}
-	u := s.Universe()
 	kernels := []core.Config{core.Stock(), core.SharedPTP(), core.SharedPTPTLB()}
 	var scenarios []sweep.Scenario[android.BinderResult]
 	for _, useASID := range []bool{false, true} {
@@ -58,7 +57,7 @@ func (s *Session) Figure13() (*Figure13Result, error) {
 			scenarios = append(scenarios, sweep.Scenario[android.BinderResult]{
 				Name: fmt.Sprintf("figure13/%s/asid=%v", cfg.Name(), useASID),
 				Run: func(*rand.Rand) (android.BinderResult, error) {
-					sys, err := android.Boot(cfg, android.LayoutOriginal, u)
+					sys, err := s.Boot(cfg, android.LayoutOriginal)
 					if err != nil {
 						return android.BinderResult{}, err
 					}

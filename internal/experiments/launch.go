@@ -99,7 +99,7 @@ func (s *Session) runLaunchSweep() (*launchSweep, error) {
 // launch seeds its own PRNG from (app seed, run index) inside LaunchApp,
 // so the series is a pure function of the configuration.
 func (s *Session) runLaunchSeries(cfg LaunchConfig, spec workload.AppSpec, u *workload.Universe) (launchSeries, error) {
-	sys, err := android.Boot(cfg.Kernel, cfg.Layout, u)
+	sys, err := s.Boot(cfg.Kernel, cfg.Layout)
 	if err != nil {
 		return launchSeries{}, err
 	}

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"repro/internal/android"
@@ -86,7 +87,7 @@ func (s *Session) runMotivation() (*motivationData, error) {
 // runMotivationApp runs one application on a freshly booted stock system
 // while collecting its page-fault trace and PC samples.
 func (s *Session) runMotivationApp(spec workload.AppSpec, u *workload.Universe) (appMotivation, error) {
-	sys, err := android.Boot(core.Stock(), android.LayoutOriginal, u)
+	sys, err := s.Boot(core.Stock(), android.LayoutOriginal)
 	if err != nil {
 		return appMotivation{}, err
 	}
@@ -253,12 +254,21 @@ func (s *Session) Figure3() (*Figure3Result, error) {
 			total += n
 		}
 		shares := make(map[vm.Category]float64)
-		var shared float64
 		for c, n := range am.fetches {
-			pct := 100 * float64(n) / float64(total)
-			shares[c] = pct
+			shares[c] = 100 * float64(n) / float64(total)
+		}
+		// Sum the shared categories in fixed numeric order: float
+		// addition is not associative, so letting map-iteration order
+		// pick the order would make the last digits run-dependent.
+		cats := make([]vm.Category, 0, len(shares))
+		for c := range shares {
+			cats = append(cats, c)
+		}
+		sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+		var shared float64
+		for _, c := range cats {
 			if c.IsSharedCode() {
-				shared += pct
+				shared += shares[c]
 			}
 		}
 		r.Rows = append(r.Rows, Figure3Row{App: am.spec.Name, Shares: shares})

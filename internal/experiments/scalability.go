@@ -46,7 +46,7 @@ func (s *Session) Scalability() (*ScalabilityResult, error) {
 	u := s.Universe()
 
 	measure := func(cfg core.Config, n int) (int, error) {
-		sys, err := android.Boot(cfg, android.LayoutOriginal, u)
+		sys, err := s.Boot(cfg, android.LayoutOriginal)
 		if err != nil {
 			return 0, err
 		}
@@ -124,7 +124,7 @@ func (s *Session) CachePollution() (*CachePollutionResult, error) {
 	const nPages = 512
 
 	measure := func(cfg core.Config) (int, error) {
-		sys, err := android.Boot(cfg, android.LayoutOriginal, s.Universe())
+		sys, err := s.Boot(cfg, android.LayoutOriginal)
 		if err != nil {
 			return 0, err
 		}
@@ -203,8 +203,7 @@ type SMPResult struct {
 // faults: a PTE populated by the app on core 0 serves the app on core 3).
 func (s *Session) SMP() (*SMPResult, error) {
 	measure := func(cfg core.Config) (uint64, uint64, error) {
-		sys, err := android.BootOpts(cfg, android.LayoutOriginal, s.Universe(),
-			android.Options{CPUs: 4})
+		sys, err := s.BootOpts(cfg, android.LayoutOriginal, android.Options{CPUs: 4})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -299,7 +298,7 @@ type ChromeFamilyResult struct {
 // it refaults every page.
 func (s *Session) ChromeFamily() (*ChromeFamilyResult, error) {
 	measure := func(cfg core.Config) (int, uint64, error) {
-		sys, err := android.Boot(cfg, android.LayoutOriginal, s.Universe())
+		sys, err := s.Boot(cfg, android.LayoutOriginal)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -17,6 +17,9 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/android"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -71,9 +74,17 @@ type Session struct {
 	// serially, N >= 2 uses N goroutines, and 0 (or negative) selects
 	// GOMAXPROCS. Output is identical for every setting.
 	Parallel int
+	// NoCheckpoint disables boot-prefix checkpoint reuse: every scenario
+	// boots its machine from scratch, as before internal/checkpoint
+	// existed. Escape hatch for A/B timing and the fork-vs-fresh
+	// differential tests; results are byte-identical either way.
+	NoCheckpoint bool
 
 	universe     *workload.Universe
 	universeOnce sync.Once
+
+	ckptOnce sync.Once
+	ckpt     *checkpoint.Cache
 
 	motOnce sync.Once
 	mot     *motivationData
@@ -107,6 +118,34 @@ func (s *Session) Universe() *workload.Universe {
 		s.universe = workload.DefaultUniverse()
 	})
 	return s.universe
+}
+
+// Boot brings up a machine for the given kernel configuration and
+// library layout — the common prefix every scenario of every campaign
+// simulates before diverging. Unless NoCheckpoint is set, the prefix is
+// simulated once per distinct parameter set, captured as an immutable
+// checkpoint image, and forked copy-on-write for each caller; forks are
+// byte-identical to fresh boots (pinned by the differential tests).
+func (s *Session) Boot(cfg core.Config, layout android.Layout) (*android.System, error) {
+	return s.BootOpts(cfg, layout, android.Options{})
+}
+
+// BootOpts is Boot with explicit android.Options.
+func (s *Session) BootOpts(cfg core.Config, layout android.Layout, opts android.Options) (*android.System, error) {
+	u := s.Universe()
+	if s.NoCheckpoint {
+		return android.BootOpts(cfg, layout, u, opts)
+	}
+	s.ckptOnce.Do(func() {
+		s.ckpt = checkpoint.NewCache()
+	})
+	img, err := s.ckpt.Image(checkpoint.Key(cfg, layout, u, opts), func() (*android.System, error) {
+		return android.BootOpts(cfg, layout, u, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return img.Fork(), nil
 }
 
 // sweepErr tags a cached sweep error with the sweep that failed. The

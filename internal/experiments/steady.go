@@ -106,7 +106,7 @@ func (s *Session) runSteadySweep() (*steadySweep, error) {
 // kernel/layout configuration. A fresh system per application isolates
 // its counters; the zygote persists across the app's repeated runs.
 func (s *Session) runSteadyCell(cfg core.Config, layout android.Layout, spec workload.AppSpec, u *workload.Universe) (steadyCell, error) {
-	sys, err := android.Boot(cfg, layout, u)
+	sys, err := s.Boot(cfg, layout)
 	if err != nil {
 		return steadyCell{}, err
 	}

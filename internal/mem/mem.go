@@ -3,6 +3,13 @@
 // of the Linux struct page that the shared-address-translation design
 // relies on — in particular the mapcount field, which the paper reuses to
 // maintain the number of processes sharing a page-table page.
+//
+// Frame metadata is stored in fixed-size chunks that a Fork shares
+// copy-on-write between the parent and the child PhysMem: a chunk is
+// copied the first time either side writes any frame in it, so a forked
+// machine that never touches a region of physical memory never pays for
+// its metadata (the checkpoint/fork facility in internal/checkpoint is
+// built on this).
 package mem
 
 import (
@@ -74,11 +81,24 @@ type Stats struct {
 	ByKind map[FrameKind]int
 }
 
+// chunkFrames is the number of frames whose metadata shares one
+// copy-on-write chunk. 4096 frames of metadata is ~100KB: small enough
+// that a single dirtied frame does not drag much dead weight along,
+// large enough that a full copy of physical memory is a few dozen chunk
+// headers.
+const chunkFrames = 4096
+
 // PhysMem is the physical memory allocator. The zero value is not usable;
 // construct with New.
 type PhysMem struct {
-	mu       sync.Mutex
-	frames   []Frame
+	mu      sync.Mutex
+	nframes int
+	// chunks[i] holds the metadata for frames [i*chunkFrames,
+	// (i+1)*chunkFrames). owned[i] records whether this PhysMem may
+	// write chunk i in place; after a Fork both sides drop ownership of
+	// every chunk and re-earn it by copying on first write.
+	chunks   [][]Frame
+	owned    []bool
 	freeList []arch.FrameNum
 	next     arch.FrameNum
 	stats    Stats
@@ -89,14 +109,78 @@ func New(frames int) *PhysMem {
 	if frames <= 0 {
 		panic(fmt.Sprintf("mem: non-positive frame count %d", frames))
 	}
-	return &PhysMem{
-		frames: make([]Frame, frames),
-		stats:  Stats{ByKind: make(map[FrameKind]int)},
+	nChunks := (frames + chunkFrames - 1) / chunkFrames
+	m := &PhysMem{
+		nframes: frames,
+		chunks:  make([][]Frame, nChunks),
+		owned:   make([]bool, nChunks),
+		stats:   Stats{ByKind: make(map[FrameKind]int)},
 	}
+	for i := range m.chunks {
+		n := frames - i*chunkFrames
+		if n > chunkFrames {
+			n = chunkFrames
+		}
+		m.chunks[i] = make([]Frame, n)
+		m.owned[i] = true
+	}
+	return m
+}
+
+// Fork returns a copy-on-write duplicate of this physical memory: frame
+// metadata chunks are shared by reference and both sides lose write
+// ownership, so the first mutation of a chunk — on either side — copies
+// it. Allocator bookkeeping (free list, bump pointer, stats) is copied
+// eagerly; it is tiny compared to the frame array.
+func (m *PhysMem) Fork() *PhysMem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.owned {
+		m.owned[i] = false
+	}
+	f := &PhysMem{
+		nframes:  m.nframes,
+		chunks:   append([][]Frame(nil), m.chunks...),
+		owned:    make([]bool, len(m.owned)),
+		freeList: append([]arch.FrameNum(nil), m.freeList...),
+		next:     m.next,
+		stats:    m.stats,
+	}
+	f.stats.ByKind = make(map[FrameKind]int, len(m.stats.ByKind))
+	for k, v := range m.stats.ByKind {
+		f.stats.ByKind[k] = v
+	}
+	return f
 }
 
 // NumFrames returns the total number of frames in this physical memory.
-func (m *PhysMem) NumFrames() int { return len(m.frames) }
+func (m *PhysMem) NumFrames() int { return m.nframes }
+
+// writableLocked returns the metadata for frame n from a chunk this
+// PhysMem owns, copying the chunk first if it is still shared with a
+// fork ancestor or descendant.
+func (m *PhysMem) writableLocked(n arch.FrameNum) *Frame {
+	if int(n) >= m.nframes {
+		panic(fmt.Sprintf("mem: frame %d out of range (%d frames)", n, m.nframes))
+	}
+	ci := int(n) / chunkFrames
+	if !m.owned[ci] {
+		c := make([]Frame, len(m.chunks[ci]))
+		copy(c, m.chunks[ci])
+		m.chunks[ci] = c
+		m.owned[ci] = true
+	}
+	return &m.chunks[ci][int(n)%chunkFrames]
+}
+
+// frameLocked returns the metadata for frame n for reading only; the
+// chunk may still be shared with another PhysMem.
+func (m *PhysMem) frameLocked(n arch.FrameNum) *Frame {
+	if int(n) >= m.nframes {
+		panic(fmt.Sprintf("mem: frame %d out of range (%d frames)", n, m.nframes))
+	}
+	return &m.chunks[int(n)/chunkFrames][int(n)%chunkFrames]
+}
 
 // Alloc allocates one frame for the given use. It returns an error when
 // physical memory is exhausted.
@@ -112,13 +196,13 @@ func (m *PhysMem) Alloc(kind FrameKind) (arch.FrameNum, error) {
 	case len(m.freeList) > 0:
 		n = m.freeList[len(m.freeList)-1]
 		m.freeList = m.freeList[:len(m.freeList)-1]
-	case int(m.next) < len(m.frames):
+	case int(m.next) < m.nframes:
 		n = m.next
 		m.next++
 	default:
-		return 0, fmt.Errorf("mem: out of physical memory (%d frames)", len(m.frames))
+		return 0, fmt.Errorf("mem: out of physical memory (%d frames)", m.nframes)
 	}
-	f := &m.frames[n]
+	f := m.writableLocked(n)
 	f.Num = n
 	f.Kind = kind
 	f.MapCount = 0
@@ -145,15 +229,15 @@ func (m *PhysMem) AllocRange(n, align int, kind FrameKind) (arch.FrameNum, error
 	if rem := int(base) % align; rem != 0 {
 		base += arch.FrameNum(align - rem)
 	}
-	if int(base)+n > len(m.frames) {
-		return 0, fmt.Errorf("mem: out of contiguous physical memory (%d frames)", len(m.frames))
+	if int(base)+n > m.nframes {
+		return 0, fmt.Errorf("mem: out of contiguous physical memory (%d frames)", m.nframes)
 	}
 	for f := m.next; f < base; f++ {
 		m.freeList = append(m.freeList, f)
 	}
 	m.next = base + arch.FrameNum(n)
 	for i := 0; i < n; i++ {
-		fr := &m.frames[base+arch.FrameNum(i)]
+		fr := m.writableLocked(base + arch.FrameNum(i))
 		fr.Num = base + arch.FrameNum(i)
 		fr.Kind = kind
 		fr.MapCount = 0
@@ -177,6 +261,7 @@ func (m *PhysMem) Free(n arch.FrameNum) {
 	if f.MapCount != 0 {
 		panic(fmt.Sprintf("mem: freeing frame %d with mapcount %d", n, f.MapCount))
 	}
+	f = m.writableLocked(n)
 	m.stats.ByKind[f.Kind]--
 	f.Kind = FrameFree
 	m.stats.Freed++
@@ -184,19 +269,13 @@ func (m *PhysMem) Free(n arch.FrameNum) {
 	m.freeList = append(m.freeList, n)
 }
 
-// Frame returns the metadata for frame n. The returned pointer stays valid
-// for the life of the PhysMem; callers mutate MapCount through it.
+// Frame returns the metadata for frame n. Callers may mutate MapCount
+// through the returned pointer, so the frame's chunk is privatized
+// first; the pointer stays valid until the next Fork of this PhysMem.
 func (m *PhysMem) Frame(n arch.FrameNum) *Frame {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.frameLocked(n)
-}
-
-func (m *PhysMem) frameLocked(n arch.FrameNum) *Frame {
-	if int(n) >= len(m.frames) {
-		panic(fmt.Sprintf("mem: frame %d out of range (%d frames)", n, len(m.frames)))
-	}
-	return &m.frames[n]
+	return m.writableLocked(n)
 }
 
 // Get is like MapCount bookkeeping in Linux: it increments the frame's
@@ -208,6 +287,7 @@ func (m *PhysMem) Get(n arch.FrameNum) int {
 	if f.Kind == FrameFree {
 		panic(fmt.Sprintf("mem: get on free frame %d", n))
 	}
+	f = m.writableLocked(n)
 	f.MapCount++
 	return f.MapCount
 }
@@ -226,6 +306,7 @@ func (m *PhysMem) Put(n arch.FrameNum) int {
 	if f.MapCount <= 0 {
 		panic(fmt.Sprintf("mem: put on frame %d with mapcount %d", n, f.MapCount))
 	}
+	f = m.writableLocked(n)
 	f.MapCount--
 	return f.MapCount
 }
@@ -254,4 +335,18 @@ func (m *PhysMem) InUseByKind(kind FrameKind) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.stats.ByKind[kind]
+}
+
+// SharedChunks reports how many metadata chunks this PhysMem does not
+// own (i.e. still shares with a fork relative). Test helper for the
+// zero-copy fork guarantees.
+func (m *PhysMem) SharedChunks() (shared, total int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, own := range m.owned {
+		if !own {
+			shared++
+		}
+	}
+	return shared, len(m.owned)
 }

@@ -1,0 +1,145 @@
+// Tests for the simulator-level copy-on-write sharing of PTE arrays
+// between a page table and its checkpoint clones: a clone shares storage
+// until either side writes, the first write privatizes exactly the
+// written table, and the other side's view never changes.
+
+package pagetable
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+)
+
+// buildPT makes a page table with two populated L2 tables.
+func buildPT(t *testing.T) (*PageTable, *mem.PhysMem) {
+	t.Helper()
+	phys := mem.New(4096)
+	pt, err := New(phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, va := range []arch.VirtAddr{0x1000, 0x2000, 0x400000} {
+		if _, err := pt.EnsureL2(arch.L1Index(va), 1); err != nil {
+			t.Fatal(err)
+		}
+		f, err := phys.Alloc(mem.FrameAnon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt.Set(va, PTE{Frame: f, Flags: arch.PTEValid | arch.PTEWrite})
+	}
+	return pt, phys
+}
+
+func TestCloneSharesStorageUntilWrite(t *testing.T) {
+	pt, phys := buildPT(t)
+	tables := make(map[*L2Table]*L2Table)
+	clone := pt.CloneShared(phys, tables)
+
+	for i := 0; i < arch.L1Entries; i++ {
+		a, b := pt.L1(i), clone.L1(i)
+		if (a.Table == nil) != (b.Table == nil) {
+			t.Fatalf("l1[%d]: clone shape differs", i)
+		}
+		if a.Table == nil {
+			continue
+		}
+		if !a.Table.SharesStorage(b.Table) {
+			t.Errorf("l1[%d]: clone does not share PTE storage before any write", i)
+		}
+		if a.Table.Populated() != b.Table.Populated() {
+			t.Errorf("l1[%d]: populated %d != %d", i, a.Table.Populated(), b.Table.Populated())
+		}
+	}
+
+	// Writing the clone privatizes only the covering table and leaves
+	// the original's entry untouched.
+	const va = arch.VirtAddr(0x1000)
+	orig := pt.PTEAt(va)
+	before := *orig
+	clone.Set(va, PTE{Frame: 99, Flags: arch.PTEValid})
+	if pt.L1(arch.L1Index(va)).Table.SharesStorage(clone.L1(arch.L1Index(va)).Table) {
+		t.Error("written table still shares storage with the original")
+	}
+	if *orig != before {
+		t.Errorf("original PTE changed by clone write: %+v -> %+v", before, *orig)
+	}
+	if got := clone.PTEAt(va); got.Frame != 99 {
+		t.Errorf("clone PTE frame = %d, want 99", got.Frame)
+	}
+	other := arch.L1Index(arch.VirtAddr(0x400000))
+	if !pt.L1(other).Table.SharesStorage(clone.L1(other).Table) {
+		t.Error("unwritten table lost its shared storage")
+	}
+}
+
+func TestOriginalWritePrivatizesToo(t *testing.T) {
+	pt, phys := buildPT(t)
+	clone := pt.CloneShared(phys, make(map[*L2Table]*L2Table))
+
+	// COW is symmetric: the original writing must not leak into the
+	// clone either (the image is cloned from a live system at capture).
+	const va = arch.VirtAddr(0x2000)
+	cloneBefore := *clone.PTEAt(va)
+	pt.Set(va, PTE{Frame: 77, Flags: arch.PTEValid})
+	if got := *clone.PTEAt(va); got != cloneBefore {
+		t.Errorf("clone PTE changed by original write: %+v -> %+v", cloneBefore, got)
+	}
+}
+
+func TestPTEForWritePrivatizes(t *testing.T) {
+	pt, phys := buildPT(t)
+	clone := pt.CloneShared(phys, make(map[*L2Table]*L2Table))
+
+	const va = arch.VirtAddr(0x1000)
+	origBefore := *pt.PTEAt(va)
+	p := clone.PTEForWrite(va)
+	p.Flags &^= arch.PTEWrite
+	if got := *pt.PTEAt(va); got != origBefore {
+		t.Errorf("original PTE changed through clone's PTEForWrite: %+v -> %+v", origBefore, got)
+	}
+	if clone.PTEAt(va).Writable() {
+		t.Error("clone PTE still writable after flag edit")
+	}
+}
+
+func TestWriteProtectTablePrivatizes(t *testing.T) {
+	pt, phys := buildPT(t)
+	clone := pt.CloneShared(phys, make(map[*L2Table]*L2Table))
+
+	const va = arch.VirtAddr(0x1000)
+	idx := arch.L1Index(va)
+	if !pt.PTEAt(va).Writable() {
+		t.Fatal("fixture PTE should start writable")
+	}
+	clone.WriteProtectTable(idx)
+	if !pt.PTEAt(va).Writable() {
+		t.Error("WriteProtectTable on the clone write-protected the original")
+	}
+	if clone.PTEAt(va).Writable() {
+		t.Error("WriteProtectTable left the clone writable")
+	}
+}
+
+func TestSharedPTPClonesOnce(t *testing.T) {
+	// An L2Table attached to two address spaces (a simulated-kernel
+	// shared PTP) must resolve to ONE clone via the identity map, so the
+	// intra-machine sharing structure survives the fork.
+	pt, phys := buildPT(t)
+	pt2, err := New(phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const va = arch.VirtAddr(0x1000)
+	idx := arch.L1Index(va)
+	pt2.AttachShared(idx, pt.L1(idx).Table, 1)
+
+	tables := make(map[*L2Table]*L2Table)
+	c1 := pt.CloneShared(phys, tables)
+	c2 := pt2.CloneShared(phys, tables)
+	if c1.L1(idx).Table != c2.L1(idx).Table {
+		t.Error("shared PTP cloned into two distinct tables; sharing structure lost")
+	}
+}

@@ -20,6 +20,14 @@
 // existing mapcount field of the PTP's page structure. The spare NEED_COPY
 // software bit in the level-1 entry marks the PTP as shared and managed
 // copy-on-write.
+//
+// Orthogonally to that simulated NEED_COPY protocol, the simulator itself
+// shares PTE arrays copy-on-write between a checkpointed machine image
+// and its forks (internal/checkpoint): CloneShared duplicates a page
+// table in O(level-1 entries), leaving every 1KB PTE array shared with a
+// cow mark that the mutating operations clear by copying the array on
+// first write. The simulated kernel never observes this second level of
+// sharing — reads and counter bookkeeping are unaffected.
 package pagetable
 
 import (
@@ -56,14 +64,51 @@ type L2Table struct {
 	// PTP shared by many processes occupies one set of cache lines
 	// where private page tables would occupy one set per process.
 	Frame arch.FrameNum
-	// PTEs are the 256 entries.
-	PTEs [arch.L2Entries]PTE
+
+	// ptes points at the 256 entries. A checkpoint fork shares the
+	// array between the image's table and the fork's (cow set on both);
+	// mutators privatize with ensurePrivate before writing. Within one
+	// machine the simulated kernel's own PTP sharing still works by
+	// pointing two L1 entries at the same *L2Table, so privatizing in
+	// place keeps the write visible to every simulated sharer.
+	ptes *[arch.L2Entries]PTE
+	cow  bool
 
 	populated int
 }
 
+// newL2Table returns an empty private table backed by frame f.
+func newL2Table(f arch.FrameNum) *L2Table {
+	return &L2Table{Frame: f, ptes: new([arch.L2Entries]PTE)}
+}
+
+// ensurePrivate gives the table its own PTE array, copying the shared
+// one on first write after a checkpoint fork.
+func (t *L2Table) ensurePrivate() {
+	if t.cow {
+		arr := *t.ptes
+		t.ptes = &arr
+		t.cow = false
+	}
+}
+
+// cloneShared returns a struct copy of t whose PTE array is shared
+// copy-on-write with t; both sides are marked cow.
+func (t *L2Table) cloneShared() *L2Table {
+	t.cow = true
+	c := *t
+	return &c
+}
+
 // Populated returns the number of valid entries in the table.
 func (t *L2Table) Populated() int { return t.populated }
+
+// PTE returns entry i by value.
+func (t *L2Table) PTE(i int) PTE { return t.ptes[i] }
+
+// SharesStorage reports whether t and o currently share one PTE array.
+// Test helper for the checkpoint fork's zero-copy guarantee.
+func (t *L2Table) SharesStorage(o *L2Table) bool { return t.ptes == o.ptes }
 
 // PTEPhysAddr returns the physical address of the hardware word of entry
 // l2idx inside this PTP, used to model the cache footprint of page walks.
@@ -126,6 +171,30 @@ func New(phys *mem.PhysMem) (*PageTable, error) {
 	return pt, nil
 }
 
+// CloneShared duplicates this page table for a checkpoint fork in
+// O(level-1 entries): every referenced L2Table is cloned as a struct
+// sharing its PTE array copy-on-write with the original. tables is the
+// clone's identity map — an L2Table referenced from several address
+// spaces (a simulated-kernel shared PTP) must map to one clone so the
+// sharing structure survives the fork; pass the same map for every page
+// table cloned into one machine. phys is the fork's physical memory.
+func (pt *PageTable) CloneShared(phys *mem.PhysMem, tables map[*L2Table]*L2Table) *PageTable {
+	c := &PageTable{phys: phys, l1Frames: pt.l1Frames, stats: pt.stats}
+	for i := range pt.l1 {
+		e := pt.l1[i]
+		if e.Table != nil {
+			ct, ok := tables[e.Table]
+			if !ok {
+				ct = e.Table.cloneShared()
+				tables[e.Table] = ct
+			}
+			e.Table = ct
+		}
+		c.l1[i] = e
+	}
+	return c
+}
+
 // Stats returns a snapshot of this table's counters.
 func (pt *PageTable) Stats() Stats { return pt.stats }
 
@@ -159,7 +228,7 @@ func (pt *PageTable) EnsureL2(l1idx int, domain uint8) (*L2Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pagetable: allocating PTP for slot %d: %w", l1idx, err)
 	}
-	t := &L2Table{Frame: f}
+	t := newL2Table(f)
 	pt.phys.Get(f) // sharer count 1: this address space
 	e.Table = t
 	e.Domain = domain
@@ -221,7 +290,7 @@ func (pt *PageTable) Lookup(va arch.VirtAddr) (PTE, L1Entry, arch.FaultStatus) {
 	if e.Table == nil {
 		return PTE{}, e, arch.FaultTranslation
 	}
-	pte := e.Table.PTEs[arch.L2Index(va)]
+	pte := e.Table.ptes[arch.L2Index(va)]
 	if !pte.Valid() {
 		return pte, e, arch.FaultTranslation
 	}
@@ -229,14 +298,31 @@ func (pt *PageTable) Lookup(va arch.VirtAddr) (PTE, L1Entry, arch.FaultStatus) {
 }
 
 // PTEAt returns a pointer to the leaf PTE for va, or nil when no
-// second-level table covers va. Mutating through the pointer bypasses the
-// populated-count bookkeeping; use Set and Clear instead.
+// second-level table covers va, for reading. Mutating through the
+// pointer bypasses the populated-count bookkeeping and — after a
+// checkpoint fork — would write through a PTE array still shared with
+// the immutable image; mutators use Set, Clear, or PTEForWrite.
 func (pt *PageTable) PTEAt(va arch.VirtAddr) *PTE {
 	e := pt.l1[arch.L1Index(va)]
 	if e.Table == nil {
 		return nil
 	}
-	return &e.Table.PTEs[arch.L2Index(va)]
+	return &e.Table.ptes[arch.L2Index(va)]
+}
+
+// PTEForWrite returns a pointer to the leaf PTE for va after privatizing
+// the covering table's PTE array, so in-place flag edits (write
+// protection, permission changes) never leak into a checkpoint image
+// sharing the array. The caller must not flip the entry's Valid bit
+// through the pointer — that would corrupt the populated count; use Set
+// and Clear for that.
+func (pt *PageTable) PTEForWrite(va arch.VirtAddr) *PTE {
+	e := pt.l1[arch.L1Index(va)]
+	if e.Table == nil {
+		return nil
+	}
+	e.Table.ensurePrivate()
+	return &e.Table.ptes[arch.L2Index(va)]
 }
 
 // Set writes the leaf PTE for va. The covering second-level table must
@@ -251,7 +337,8 @@ func (pt *PageTable) Set(va arch.VirtAddr, pte PTE) {
 	if e.NeedCopy {
 		panic(fmt.Sprintf("pagetable: Set at %#x through NEED_COPY entry", va))
 	}
-	slot := &e.Table.PTEs[arch.L2Index(va)]
+	e.Table.ensurePrivate()
+	slot := &e.Table.ptes[arch.L2Index(va)]
 	wasValid := slot.Valid()
 	*slot = pte
 	if pte.Valid() && !wasValid {
@@ -275,7 +362,7 @@ func (pt *PageTable) SetShared(va arch.VirtAddr, pte PTE) {
 	if e.Table == nil {
 		panic(fmt.Sprintf("pagetable: SetShared at %#x without L2 table", va))
 	}
-	slot := &e.Table.PTEs[arch.L2Index(va)]
+	slot := &e.Table.ptes[arch.L2Index(va)]
 	if slot.Valid() {
 		panic(fmt.Sprintf("pagetable: SetShared over valid entry at %#x", va))
 	}
@@ -285,6 +372,8 @@ func (pt *PageTable) SetShared(va arch.VirtAddr, pte PTE) {
 	if pte.Writable() {
 		panic(fmt.Sprintf("pagetable: SetShared with writable PTE at %#x", va))
 	}
+	e.Table.ensurePrivate()
+	slot = &e.Table.ptes[arch.L2Index(va)]
 	*slot = pte
 	e.Table.populated++
 	pt.stats.PTEsSet++
@@ -317,10 +406,10 @@ func (pt *PageTable) Clear(va arch.VirtAddr) PTE {
 	if e.NeedCopy {
 		panic(fmt.Sprintf("pagetable: Clear at %#x through NEED_COPY entry", va))
 	}
-	slot := &e.Table.PTEs[arch.L2Index(va)]
-	old := *slot
+	old := e.Table.ptes[arch.L2Index(va)]
 	if old.Valid() {
-		*slot = PTE{}
+		e.Table.ensurePrivate()
+		e.Table.ptes[arch.L2Index(va)] = PTE{}
 		e.Table.populated--
 		pt.stats.PTEsCleared++
 	}
@@ -358,10 +447,10 @@ func (pt *PageTable) UnsharePTPFunc(l1idx int, keep func(PTE) bool) (ptesCopied 
 	if err != nil {
 		return 0, fmt.Errorf("pagetable: unshare slot %d: %w", l1idx, err)
 	}
-	fresh := &L2Table{Frame: f}
-	for i := range shared.PTEs {
-		if shared.PTEs[i].Valid() && (keep == nil || keep(shared.PTEs[i])) {
-			fresh.PTEs[i] = shared.PTEs[i]
+	fresh := newL2Table(f)
+	for i := range shared.ptes {
+		if shared.ptes[i].Valid() && (keep == nil || keep(shared.ptes[i])) {
+			fresh.ptes[i] = shared.ptes[i]
 			fresh.populated++
 			ptesCopied++
 		}
@@ -384,9 +473,10 @@ func (pt *PageTable) WriteProtectTable(l1idx int) int {
 		return 0
 	}
 	n := 0
-	for i := range e.Table.PTEs {
-		p := &e.Table.PTEs[i]
-		if p.Valid() && p.Writable() {
+	for i := range e.Table.ptes {
+		if p := e.Table.ptes[i]; p.Valid() && p.Writable() {
+			e.Table.ensurePrivate()
+			p := &e.Table.ptes[i]
 			p.Flags &^= arch.PTEWrite
 			p.Soft |= arch.SoftCOW
 			n++

@@ -160,14 +160,18 @@ type TLB struct {
 	// first-free scan never reports them). lruPrev/lruNext thread the
 	// valid slots in recency order: lruHead is the least and lruTail the
 	// most recently used.
-	idx       map[uint32]int32
+	idx       idxTable
 	validBits []uint64
 	numValid  int
-	lruPrev   []int32
-	lruNext   []int32
-	lruHead   int32
-	lruTail   int32
-	mru       mruReg
+	// numLarge counts the valid 64KB entries. Most workload phases hold
+	// none, so lookups skip the second (large-key) index probe entirely
+	// when it is zero.
+	numLarge int
+	lruPrev  []int32
+	lruNext  []int32
+	lruHead  int32
+	lruTail  int32
+	mru      mruReg
 }
 
 // Compile-time check: every TLB is an obs.Source.
@@ -181,7 +185,7 @@ func New(name string, entries int) *TLB {
 	t := &TLB{
 		name:      name,
 		entries:   make([]Entry, entries),
-		idx:       make(map[uint32]int32, entries),
+		idx:       newIdxTable(entries),
 		validBits: make([]uint64, (entries+63)/64),
 		lruPrev:   make([]int32, entries),
 		lruNext:   make([]int32, entries),
@@ -282,11 +286,14 @@ func (e *Entry) permit(kind arch.AccessKind) bool {
 
 // idxAdd registers the (valid) entry at slot under its key.
 func (t *TLB) idxAdd(slot int32) {
+	if t.entries[slot].large {
+		t.numLarge++
+	}
 	k := entryKey(t.entries[slot].vpn, t.entries[slot].large)
-	if _, dup := t.idx[k]; dup {
-		t.idx[k] = idxMany
+	if _, dup := t.idx.get(k); dup {
+		t.idx.set(k, idxMany)
 	} else {
-		t.idx[k] = slot
+		t.idx.set(k, slot)
 	}
 }
 
@@ -294,9 +301,12 @@ func (t *TLB) idxAdd(slot int32) {
 // spilled, the surviving holders are recounted by a scan — rare, and the
 // scan is the reference behaviour anyway.
 func (t *TLB) idxRemove(slot int32) {
+	if t.entries[slot].large {
+		t.numLarge--
+	}
 	k := entryKey(t.entries[slot].vpn, t.entries[slot].large)
-	if t.idx[k] != idxMany {
-		delete(t.idx, k)
+	if v, _ := t.idx.get(k); v != idxMany {
+		t.idx.del(k)
 		return
 	}
 	survivor, n := int32(0), 0
@@ -309,9 +319,9 @@ func (t *TLB) idxRemove(slot int32) {
 	}
 	switch n {
 	case 0:
-		delete(t.idx, k)
+		t.idx.del(k)
 	case 1:
-		t.idx[k] = survivor
+		t.idx.set(k, survivor)
 	}
 }
 
@@ -457,8 +467,12 @@ func (t *TLB) Lookup(va arch.VirtAddr, asid arch.ASID, dacr arch.DACR, kind arch
 
 	// Index probe: at most one 4KB and one 64KB entry can match; check
 	// them in slot order. A spilled key falls back to the linear scan.
-	s0, ok0 := t.idx[entryKey(vpn, false)]
-	s1, ok1 := t.idx[entryKey(vpn&^(arch.PagesPerLargePage-1), true)]
+	s0, ok0 := t.idx.get(entryKey(vpn, false))
+	var s1 int32
+	var ok1 bool
+	if t.numLarge != 0 {
+		s1, ok1 = t.idx.get(entryKey(vpn&^(arch.PagesPerLargePage-1), true))
+	}
 	if s0 == idxMany || s1 == idxMany {
 		return t.lookupScan(vpn, asid, dacr, kind)
 	}
@@ -487,8 +501,12 @@ func (t *TLB) Lookup(va arch.VirtAddr, asid arch.ASID, dacr arch.DACR, kind arch
 // (vpn, asid) and — under hardware domain matching — has the same global
 // kind, or -1. This is Insert's overwrite target.
 func (t *TLB) findMatch(vpn uint32, asid arch.ASID, newGlobal bool) int32 {
-	s0, ok0 := t.idx[entryKey(vpn, false)]
-	s1, ok1 := t.idx[entryKey(vpn&^(arch.PagesPerLargePage-1), true)]
+	s0, ok0 := t.idx.get(entryKey(vpn, false))
+	var s1 int32
+	var ok1 bool
+	if t.numLarge != 0 {
+		s1, ok1 = t.idx.get(entryKey(vpn&^(arch.PagesPerLargePage-1), true))
+	}
 	if s0 == idxMany || s1 == idxMany {
 		for i := range t.entries {
 			e := &t.entries[i]
@@ -599,7 +617,8 @@ func (t *TLB) FlushAll() {
 	for i := range t.entries {
 		t.entries[i] = Entry{}
 	}
-	clear(t.idx)
+	t.idx.clear()
+	t.numLarge = 0
 	size := len(t.entries)
 	for i := range t.validBits {
 		t.validBits[i] = 0
@@ -659,8 +678,12 @@ func (t *TLB) FlushNonGlobal() int {
 func (t *TLB) FlushVA(va arch.VirtAddr) int {
 	t.mru.ok = false
 	vpn := arch.VPN(va)
-	s0, ok0 := t.idx[entryKey(vpn, false)]
-	s1, ok1 := t.idx[entryKey(vpn, true)]
+	s0, ok0 := t.idx.get(entryKey(vpn, false))
+	var s1 int32
+	var ok1 bool
+	if t.numLarge != 0 {
+		s1, ok1 = t.idx.get(entryKey(vpn, true))
+	}
 	n := 0
 	if s0 == idxMany || s1 == idxMany {
 		for i := range t.entries {

@@ -1,0 +1,101 @@
+// Checkpoint-fork support: structure-sharing clones of address spaces.
+//
+// A checkpoint fork duplicates a whole machine (internal/checkpoint); the
+// vm layer contributes clones of files and address spaces that share the
+// bulky state — page-cache contents and PTE arrays — with the image and
+// copy it only when written. CloneCtx carries the identity maps that keep
+// the sharing graph intact: two VMAs mapping one File must map one cloned
+// File, and two address spaces sharing one PTP must share its clone.
+package vm
+
+import (
+	"repro/internal/arch"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+)
+
+// CloneCtx is the shared state of one machine clone operation.
+type CloneCtx struct {
+	// Phys is the clone's physical memory (a Fork of the source's).
+	Phys *mem.PhysMem
+	// Tables identity-maps source L2 tables to their clones, preserving
+	// simulated-kernel PTP sharing across the machine clone. Pass it to
+	// PageTable.CloneShared for every address space in the machine.
+	Tables map[*pagetable.L2Table]*pagetable.L2Table
+
+	files map[*File]*File
+}
+
+// NewCloneCtx starts a machine clone targeting the given forked physical
+// memory.
+func NewCloneCtx(phys *mem.PhysMem) *CloneCtx {
+	return &CloneCtx{
+		Phys:   phys,
+		Tables: make(map[*pagetable.L2Table]*pagetable.L2Table),
+		files:  make(map[*File]*File),
+	}
+}
+
+// File returns the clone of f within this machine clone, creating it on
+// first request. Every caller holding the same source file receives the
+// same clone, so page-cache sharing survives the fork. A nil file clones
+// to nil (anonymous regions).
+func (cc *CloneCtx) File(f *File) *File {
+	if f == nil {
+		return nil
+	}
+	if c, ok := cc.files[f]; ok {
+		return c
+	}
+	c := f.cloneShared(cc.Phys)
+	cc.files[f] = c
+	return c
+}
+
+// cloneShared clones the file, sharing its resident page cache with the
+// source: the source's private overlay is first merged into its frozen
+// base (the base is immutable from then on, so sharing it is safe), and
+// the clone starts with that base plus an empty overlay of its own.
+func (f *File) cloneShared(phys *mem.PhysMem) *File {
+	if len(f.pages) > 0 || f.frozen == nil {
+		merged := make(map[int]arch.FrameNum, len(f.frozen)+len(f.pages))
+		for i, fr := range f.frozen {
+			merged[i] = fr
+		}
+		for i, fr := range f.pages {
+			merged[i] = fr
+		}
+		f.frozen = merged
+		f.pages = nil // reallocated lazily on the next write
+	}
+	return &File{
+		Name:   f.Name,
+		Size:   f.Size,
+		phys:   phys,
+		frozen: f.frozen,
+	}
+}
+
+// CloneShared duplicates the address space for a checkpoint fork: the
+// region list is copied with files remapped through cc, the page table is
+// cloned with every PTE array shared copy-on-write, and the counters are
+// carried over so the clone is indistinguishable from the source to the
+// simulated kernel.
+func (mm *MM) CloneShared(cc *CloneCtx) *MM {
+	c := &MM{
+		PT:       mm.PT.CloneShared(cc.Phys, cc.Tables),
+		ASID:     mm.ASID,
+		Counters: mm.Counters,
+		phys:     cc.Phys,
+		vmas:     make([]*VMA, len(mm.vmas)),
+	}
+	// One backing array for all cloned regions: the fork cost stays a
+	// handful of allocations, not one per VMA.
+	arr := make([]VMA, len(mm.vmas))
+	for i, v := range mm.vmas {
+		arr[i] = *v
+		arr[i].File = cc.File(v.File)
+		c.vmas[i] = &arr[i]
+	}
+	return c
+}

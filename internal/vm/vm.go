@@ -126,13 +126,28 @@ type File struct {
 	// Size is the file length in bytes.
 	Size int
 
-	phys  *mem.PhysMem
-	pages map[int]arch.FrameNum
+	phys *mem.PhysMem
+	// pages is this file's private page-cache overlay; frozen is an
+	// immutable base shared structurally with checkpoint clones of the
+	// file. Keys are disjoint: a read-in page lands in pages only when
+	// neither map holds it, and frozen is never written after freezing.
+	pages  map[int]arch.FrameNum
+	frozen map[int]arch.FrameNum
 }
 
 // NewFile creates a file of the given size with an empty page cache.
 func NewFile(phys *mem.PhysMem, name string, size int) *File {
 	return &File{Name: name, Size: size, phys: phys, pages: make(map[int]arch.FrameNum)}
+}
+
+// frameAt returns the cached frame for page idx from the overlay or the
+// frozen base.
+func (f *File) frameAt(idx int) (arch.FrameNum, bool) {
+	if fr, ok := f.pages[idx]; ok {
+		return fr, true
+	}
+	fr, ok := f.frozen[idx]
+	return fr, ok
 }
 
 // PageFrame returns the page-cache frame for page index idx, reading it in
@@ -141,19 +156,46 @@ func (f *File) PageFrame(idx int) (arch.FrameNum, error) {
 	if idx < 0 || idx*arch.PageSize >= f.Size {
 		return 0, fmt.Errorf("vm: page %d beyond EOF of %q (%d bytes)", idx, f.Name, f.Size)
 	}
-	if fr, ok := f.pages[idx]; ok {
+	if fr, ok := f.frameAt(idx); ok {
 		return fr, nil
 	}
 	fr, err := f.phys.Alloc(mem.FramePageCache)
 	if err != nil {
 		return 0, fmt.Errorf("vm: page cache for %q: %w", f.Name, err)
 	}
-	f.pages[idx] = fr
+	f.overlay()[idx] = fr
 	return fr, nil
 }
 
+// overlay returns the private overlay map, allocating it on first write:
+// checkpoint clones start with a nil overlay so an unwritten file costs
+// no allocation per fork.
+func (f *File) overlay() map[int]arch.FrameNum {
+	if f.pages == nil {
+		f.pages = make(map[int]arch.FrameNum)
+	}
+	return f.pages
+}
+
 // ResidentPages returns the number of pages currently in the page cache.
-func (f *File) ResidentPages() int { return len(f.pages) }
+func (f *File) ResidentPages() int { return len(f.pages) + len(f.frozen) }
+
+// ForEachPage calls fn for every resident page-cache page in ascending
+// page order, for state fingerprinting.
+func (f *File) ForEachPage(fn func(idx int, frame arch.FrameNum)) {
+	idxs := make([]int, 0, len(f.pages)+len(f.frozen))
+	for i := range f.frozen {
+		idxs = append(idxs, i)
+	}
+	for i := range f.pages {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		fr, _ := f.frameAt(i)
+		fn(i, fr)
+	}
+}
 
 // LargeFrame returns the base frame of the 64KB-aligned page-cache block
 // backing 64KB chunk index chunk, reading the whole chunk in (16
@@ -165,14 +207,14 @@ func (f *File) LargeFrame(chunk int) (arch.FrameNum, error) {
 	if base < 0 || base*arch.PageSize >= f.Size {
 		return 0, fmt.Errorf("vm: 64KB chunk %d beyond EOF of %q (%d bytes)", chunk, f.Name, f.Size)
 	}
-	if fr, ok := f.pages[base]; ok {
+	if fr, ok := f.frameAt(base); ok {
 		if fr%arch.PagesPerLargePage != 0 {
 			return 0, fmt.Errorf("vm: chunk %d of %q already cached with 4KB frames", chunk, f.Name)
 		}
 		return fr, nil
 	}
 	for i := 0; i < arch.PagesPerLargePage; i++ {
-		if _, ok := f.pages[base+i]; ok {
+		if _, ok := f.frameAt(base + i); ok {
 			return 0, fmt.Errorf("vm: chunk %d of %q partially cached; cannot map large", chunk, f.Name)
 		}
 	}
@@ -181,7 +223,7 @@ func (f *File) LargeFrame(chunk int) (arch.FrameNum, error) {
 		return 0, fmt.Errorf("vm: large page cache for %q: %w", f.Name, err)
 	}
 	for i := 0; i < arch.PagesPerLargePage; i++ {
-		f.pages[base+i] = fr + arch.FrameNum(i)
+		f.overlay()[base+i] = fr + arch.FrameNum(i)
 	}
 	return fr, nil
 }
@@ -549,6 +591,10 @@ func CopyPTERange(parent, child *MM, vma *VMA, lo, hi arch.VirtAddr, mode CopyMo
 			continue
 		}
 		if src.Writable() {
+			// Write protection mutates the parent's table in place, so
+			// take a privatized pointer: after a checkpoint fork the
+			// parent's PTE array may still be shared with the image.
+			src = parent.PT.PTEForWrite(va)
 			src.Flags &^= arch.PTEWrite
 			src.Soft |= arch.SoftCOW
 		}

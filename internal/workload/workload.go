@@ -411,7 +411,7 @@ func sampleBiased(rng *rand.Rand, order []int, n int, bias float64) []int {
 	if n >= len(order) {
 		return append([]int(nil), order...)
 	}
-	chosen := make(map[int]bool, n)
+	chosen := make([]bool, len(order))
 	out := make([]int, 0, n)
 	for len(out) < n {
 		idx := int(float64(len(order)) * math.Pow(rng.Float64(), bias))
