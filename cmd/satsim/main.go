@@ -66,19 +66,60 @@ func main() {
 		}
 		return
 	}
-	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	err := runProfiled(os.Stdout, *kernel, *layout, *app, *runs, *parallel, *jsonOut, *noCheckpoint,
+		*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "satsim:", err)
 		os.Exit(1)
 	}
-	err = run(os.Stdout, *kernel, *layout, *app, *runs, *parallel, *jsonOut, *noCheckpoint)
-	if perr := stopProf(); perr != nil && err == nil {
-		err = perr
+}
+
+// runProfiled wraps run in the pprof capture lifecycle. Validation runs
+// first, so a bad flag never leaves behind a truncated profile of
+// nothing; once profiling starts, teardown is deferred, so the capture
+// is written on every return path — early errors included.
+func runProfiled(w io.Writer, kernelName, layoutName, appName string, runs, parallel int, jsonOut, noCheckpoint bool, cpuProfile, memProfile string) (err error) {
+	if err := validate(kernelName, layoutName, appName, runs, parallel); err != nil {
+		return err
 	}
+	stopProf, err := prof.Start(cpuProfile, memProfile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "satsim:", err)
-		os.Exit(1)
+		return err
 	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+	return run(w, kernelName, layoutName, appName, runs, parallel, jsonOut, noCheckpoint)
+}
+
+// validate rejects bad scenario parameters without side effects; run
+// performs the same checks again as it parses, so callers of run alone
+// (the tests) lose nothing.
+func validate(kernelName, layoutName, appName string, runs, parallel int) error {
+	if runs < 1 {
+		return fmt.Errorf("-runs must be >= 1 (got %d)", runs)
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (got %d)", parallel)
+	}
+	switch kernelName {
+	case "stock", "copied", "shared", "shared-tlb":
+	default:
+		return fmt.Errorf("unknown kernel %q", kernelName)
+	}
+	switch layoutName {
+	case "original", "2mb":
+	default:
+		return fmt.Errorf("unknown layout %q", layoutName)
+	}
+	if appName != "all" {
+		if _, err := workload.SpecByName(appName); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SchemaID identifies the -json document layout.

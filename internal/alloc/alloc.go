@@ -1,0 +1,47 @@
+// Package alloc provides a tiny chunked arena for the simulator's
+// clone-heavy paths. A checkpoint fork (internal/checkpoint) mints
+// hundreds of small objects per machine clone — L2Table clone nodes,
+// TLB and cache headers — whose lifetimes are identical: they live and
+// die with the cloned machine. An arena batches them into a few
+// contiguous chunks, so cloning costs a handful of allocator calls
+// instead of one per object and the objects of one clone sit together
+// in memory.
+//
+// Lifetime rule: an arena belongs to exactly one clone operation, and
+// everything it hands out is owned by the resulting machine. The arena
+// itself may be dropped once the clone completes — returned pointers
+// keep their chunks alive — but it must never be reused for a second
+// machine, or the two machines' lifetimes become entangled.
+package alloc
+
+// Arena allocates values of T from geometrically growing chunks. The
+// zero value is ready to use. Not safe for concurrent use; a clone
+// operation is single-threaded.
+type Arena[T any] struct {
+	chunk []T
+}
+
+// chunk growth bounds: start small so one-off arenas cost little, cap
+// the chunk so a huge clone does not double into pathological blocks.
+const (
+	firstChunk = 64
+	maxChunk   = 4096
+)
+
+// New returns a pointer to a fresh zero T with arena lifetime.
+func (a *Arena[T]) New() *T {
+	if len(a.chunk) == cap(a.chunk) {
+		n := 2 * cap(a.chunk)
+		if n == 0 {
+			n = firstChunk
+		}
+		if n > maxChunk {
+			n = maxChunk
+		}
+		// The previous chunk is deliberately abandoned: pointers already
+		// handed out keep it alive for exactly as long as needed.
+		a.chunk = make([]T, 0, n)
+	}
+	a.chunk = a.chunk[:len(a.chunk)+1]
+	return &a.chunk[len(a.chunk)-1]
+}

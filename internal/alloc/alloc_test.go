@@ -1,0 +1,48 @@
+package alloc
+
+import "testing"
+
+// TestPointerStability pins the arena contract: a pointer handed out
+// stays valid and keeps its value across later growth.
+func TestPointerStability(t *testing.T) {
+	var a Arena[int]
+	const n = 3 * maxChunk
+	ptrs := make([]*int, n)
+	for i := 0; i < n; i++ {
+		p := a.New()
+		*p = i
+		ptrs[i] = p
+	}
+	for i, p := range ptrs {
+		if *p != i {
+			t.Fatalf("*ptrs[%d] = %d after growth, want %d", i, *p, i)
+		}
+	}
+}
+
+// TestZeroed pins that New returns zero values even when a chunk slot
+// is reused... it never is: chunks are abandoned, not recycled, so every
+// slot is handed out exactly once and is zero.
+func TestZeroed(t *testing.T) {
+	var a Arena[[4]uint64]
+	for i := 0; i < 2*firstChunk; i++ {
+		if *a.New() != ([4]uint64{}) {
+			t.Fatalf("New() returned non-zero value at allocation %d", i)
+		}
+	}
+}
+
+// TestAllocationAmortized pins the point of the arena: far fewer
+// allocator calls than objects.
+func TestAllocationAmortized(t *testing.T) {
+	var a Arena[[2]uint64]
+	allocs := testing.AllocsPerRun(1, func() {
+		for i := 0; i < 1024; i++ {
+			a.New()
+		}
+	})
+	// 1024 objects cost at most a handful of chunk allocations.
+	if allocs > 8 {
+		t.Fatalf("1024 arena objects cost %v allocations, want <= 8", allocs)
+	}
+}

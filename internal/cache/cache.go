@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/alloc"
 	"repro/internal/arch"
 	"repro/internal/obs"
 )
@@ -47,36 +48,82 @@ type Stats struct {
 // shifted right by at least the line-size bits, so they never reach it.
 const tagInvalid = ^uint32(0)
 
+// colOnes has bit 0 of every byte set: shifted left by w it selects
+// column w of an age matrix, and it is the per-byte borrow seed for the
+// zero-byte search in the victim pick.
+const colOnes = uint64(0x0101010101010101)
+
+// mruReg is one set's two-entry MRU register: the last two tags that hit
+// or filled, with the ways they reside in. 16 bytes, so both slots load
+// together on the hit path.
+type mruReg struct {
+	tag  uint32
+	tag2 uint32
+	way  int32
+	way2 int32
+}
+
 // Cache is one level of a physically indexed, physically tagged cache
 // with LRU replacement within each set.
 //
 // Three hot-path refinements over the obvious probe (behaviour-identical,
-// since a tag is resident in at most one way of its set): the tag that
-// hit last in each set (mruTag) is compared first — one independent load —
-// catching the consecutive same-line references that dominate instruction
-// fetch; an MRU hit skips the recency-stamp store, because the MRU way
-// already holds its set's maximum lastUse and no other way of the set can
-// be touched while it stays MRU, so the within-set order that victim
-// selection compares is unaffected; and the probe loop compares tags
-// only — four or eight contiguous words — deferring victim selection
-// (first invalid way, else the LRU way) to a miss, so hits never load
-// the recency stamps of the other ways.
+// since a tag is resident in at most one way of its set): the last two
+// tags that hit in each set (mru) are compared first — one independent
+// 16-byte load — catching both consecutive same-line references and the
+// two-tags-per-set alternation of sequential kernel-text fetch; a
+// first-slot MRU hit skips the recency update, because that way already
+// holds its set's maximum stamp and re-stamping the maximum cannot
+// change any within-set order; and the probe loop compares tags only —
+// four or eight contiguous words — deferring victim selection (first
+// invalid way, else the LRU way) to a miss.
+//
+// Within-set recency is the hardware age-matrix LRU scheme: one 64-bit
+// word per set holds an 8x8 bit matrix where bit j of byte i means "way
+// i used more recently than way j". Recording a use is two masked
+// bit-ops on one word — set row w, clear column w — with no search, no
+// clock, and no stamp array; the LRU victim is the unique valid way
+// whose row is all zero, found branch-free with the zero-byte trick.
+// The matrix induces exactly the order unique last-use timestamps
+// would (bit[i][j] records every pairwise "later than"), so victim
+// choice is identical to the stamped reference implementation — the
+// differential test pins this — at one word per set instead of a word
+// per way, which keeps the recency state resident in the host cache
+// (a per-way stamp array for the simulated L2 alone is 256KB and
+// measurably thrashes it).
 type Cache struct {
 	cfg Config
-	// tags and lastUse are the flat backing store, split
-	// structure-of-arrays: set si occupies [si*assoc : (si+1)*assoc] of
-	// each. Flat indexing saves the dependent slice-header load a
-	// [][]way layout pays on every access; splitting the tags from the
-	// recency stamps keeps a whole probe within a few host cache lines
-	// (the stamps are only touched on a hit or for victim choice), and
-	// cloning the arrays is two flat copies.
-	tags       []uint32
-	lastUse    []uint64
-	assoc      int
-	mruTag     []uint32 // per-set tag of the last hit or fill
+	// tags is the flat backing store: set si occupies
+	// [si*assoc : (si+1)*assoc]. Flat indexing saves the dependent
+	// slice-header load a [][]way layout pays on every access, and
+	// cloning is one flat copy.
+	tags  []uint32
+	assoc int
+	// mru holds each set's two most-recent tags and the ways they live
+	// in. Sequential kernel-text fetch alternates exactly two tags per
+	// set (text twice the L1I's per-way capacity), so a single MRU
+	// register misses every time; the two-entry register catches that
+	// pattern without scanning the set. Unlike a first-slot hit, a
+	// second-slot hit must refresh its way's stamp — hence the way
+	// indices. Invariant: a valid tag in either slot is resident in its
+	// set at the recorded way, so a match is a hit with no probe; the
+	// first slot's way additionally holds the set's maximum stamp, which
+	// is what lets a first-slot hit skip the stamp store entirely.
+	mru []mruReg
+	// age holds each set's LRU age matrix: bit j of byte i set means way
+	// i was used more recently than way j. Rows and columns beyond assoc
+	// stay zero. First-slot MRU hits deliberately skip the update — the
+	// MRU way's row is already full — so the word is only touched when
+	// recency actually changes.
+	age []uint64
+	// colsAll masks the valid columns (low assoc bits) of every byte of
+	// an age word, so the victim search compares ways only against the
+	// ways that exist.
+	colsAll uint64
+	// hitLat duplicates cfg.HitLatency as a flat field so the hit paths
+	// never load through the wide Config struct.
+	hitLat     int
 	setShift   uint
 	setMask    uint32
-	clock      uint64
 	next       *Cache
 	memLatency int
 	stats      Stats
@@ -103,16 +150,22 @@ func New(cfg Config, next *Cache, memLatency int) *Cache {
 	for i := range tags {
 		tags[i] = tagInvalid
 	}
-	mruTag := make([]uint32, nSets)
-	for i := range mruTag {
-		mruTag[i] = tagInvalid
+	mru := make([]mruReg, nSets)
+	for i := range mru {
+		mru[i].tag = tagInvalid
+		mru[i].tag2 = tagInvalid
+	}
+	if cfg.Assoc > 8 {
+		panic(fmt.Sprintf("cache %s: associativity %d exceeds the 8 ways one age-matrix word holds", cfg.Name, cfg.Assoc))
 	}
 	return &Cache{
 		cfg:        cfg,
 		tags:       tags,
-		lastUse:    make([]uint64, nSets*cfg.Assoc),
 		assoc:      cfg.Assoc,
-		mruTag:     mruTag,
+		mru:        mru,
+		age:        make([]uint64, nSets),
+		colsAll:    (uint64(1)<<uint(cfg.Assoc) - 1) * colOnes,
+		hitLat:     cfg.HitLatency,
 		setShift:   uint(bits.TrailingZeros(uint(cfg.LineSize))),
 		setMask:    uint32(nSets - 1),
 		next:       next,
@@ -149,28 +202,69 @@ func (c *Cache) Reset() { c.ResetStats() }
 
 // Access references the line containing pa, filling it on a miss, and
 // returns the total latency in cycles including any lower-level accesses.
+//
+// Both register-hit paths live in this frame, so the hits that dominate
+// real streams cost exactly one call from the fetch loops; the way scan
+// and the miss path live in probe and fill.
 func (c *Cache) Access(pa arch.PhysAddr) int {
-	c.clock++
 	c.stats.Accesses++
 	tag := uint32(pa) >> c.setShift
 	si := tag & c.setMask
-	if c.mruTag[si] == tag {
+	m := &c.mru[si]
+	if m.tag == tag {
 		c.stats.Hits++
-		return c.cfg.HitLatency
+		return c.hitLat
 	}
+	if m.tag2 == tag {
+		return c.hit2(tag, si, m)
+	}
+	return c.probe(pa, tag, si, m)
+}
+
+// probe scans the ways of set si after both register slots have missed:
+// a hit touches the way's age row and rotates the register, a miss
+// falls through to fill. Callers have already counted the access.
+func (c *Cache) probe(pa arch.PhysAddr, tag, si uint32, m *mruReg) int {
 	base := int(si) * c.assoc
 	set := c.tags[base : base+c.assoc]
 	for i, tg := range set {
 		if tg == tag {
-			c.lastUse[base+i] = c.clock
+			c.touch(si, uint(i))
 			c.stats.Hits++
-			c.mruTag[si] = tag
-			return c.cfg.HitLatency
+			*m = mruReg{tag: tag, way: int32(i), tag2: m.tag, way2: m.way}
+			return c.hitLat
 		}
 	}
-	// Miss: pick the victim — the first invalid way, else the least
-	// recently used (lastUse values are unique, so "first lowest" is
-	// unambiguous) — over tags the probe above just made hot.
+	return c.fill(pa, tag, si, base, set, m)
+}
+
+// touch records a use of way w in set si's age matrix: way w becomes
+// more recent than every other way (set row w), and no way remains more
+// recent than w (clear column w). Setting the row also sets bit [w][w];
+// clearing the column clears it again, keeping the diagonal zero.
+func (c *Cache) touch(si uint32, w uint) {
+	w &= 7 // proves both shifts < 64, so no oversized-shift guards
+	a := &c.age[si]
+	*a = (*a | 0xFF<<(8*w)) &^ (colOnes << w)
+}
+
+// hit2 completes a second-slot MRU hit: the resident way is known, so
+// this is a probe hit minus the scan. It is small enough to inline into
+// AccessRun's per-line loop, which matters because two-tag alternation
+// is the dominant pattern of sequential fetch over loops of code.
+func (c *Cache) hit2(tag, si uint32, m *mruReg) int {
+	c.touch(si, uint(m.way2))
+	c.stats.Hits++
+	*m = mruReg{tag: tag, way: m.way2, tag2: m.tag, way2: m.way}
+	return c.hitLat
+}
+
+// fill handles a miss: pick the victim, fetch the line from the next
+// level, and install it.
+func (c *Cache) fill(pa arch.PhysAddr, tag, si uint32, base int, set []uint32, m *mruReg) int {
+	// The first invalid way wins — the tags the probe just scanned are
+	// still hot — otherwise the set is full and the victim is the way at
+	// the back of the recency order.
 	victim := -1
 	for i, tg := range set {
 		if tg == tagInvalid {
@@ -179,35 +273,74 @@ func (c *Cache) Access(pa arch.PhysAddr) int {
 		}
 	}
 	if victim < 0 {
-		victim = 0
-		oldest := ^uint64(0)
-		for i := range set {
-			if lu := c.lastUse[base+i]; lu < oldest {
-				victim = i
-				oldest = lu
-			}
-		}
+		// Full set: the LRU way is the unique valid way whose age-matrix
+		// row is all zero. The zero-byte trick marks the high bit of the
+		// lowest zero byte of y; any parked all-zero rows above assoc sit
+		// in higher bytes, so TrailingZeros lands on the real victim.
+		y := c.age[si] & c.colsAll
+		victim = bits.TrailingZeros64((y-colOnes)&^y&0x8080808080808080) >> 3
 	}
 	c.stats.Misses++
-	latency := c.cfg.HitLatency
+	latency := c.hitLat
 	if c.next != nil {
 		latency += c.next.Access(pa)
 	} else {
 		latency += c.memLatency
 	}
-	if set[victim] != tagInvalid {
+	evicted := set[victim]
+	if evicted != tagInvalid {
 		c.stats.Evictions++
 		if c.bus.Wants(obs.EvCacheEvict) {
 			c.bus.Publish(obs.Event{Kind: obs.EvCacheEvict, Source: c.cfg.Name, Addr: uint64(pa)})
 		}
 	}
 	set[victim] = tag
-	c.lastUse[base+victim] = c.clock
-	c.mruTag[si] = tag
+	c.touch(si, uint(victim))
+	*m = mruReg{tag: tag, way: int32(victim), tag2: m.tag, way2: m.way}
+	// The eviction may have displaced the tag now sitting in the second
+	// MRU slot (the old MRU itself when assoc is 1); drop it so the
+	// register never claims residency for an evicted line.
+	if evicted != tagInvalid && m.tag2 == evicted {
+		m.tag2 = tagInvalid
+	}
 	if c.bus.Wants(obs.EvCacheFill) {
 		c.bus.Publish(obs.Event{Kind: obs.EvCacheFill, Source: c.cfg.Name, Addr: uint64(pa)})
 	}
 	return latency
+}
+
+// AccessRun references n consecutive lines starting with the one holding
+// pa — exactly equivalent to n Access calls at pa, pa+LineSize,
+// pa+2*LineSize, ... — and returns the accumulated stall cycles beyond
+// one pipelined cycle per access, Σ max(latency-1, 0). It exists for the
+// simulator's sequential-fetch loops (straight-line blocks, kernel fault
+// paths), where it keeps the per-line work inside one frame instead of
+// re-entering Access per line.
+func (c *Cache) AccessRun(pa arch.PhysAddr, n int) int {
+	tag := uint32(pa) >> c.setShift
+	lineSize := arch.PhysAddr(1) << c.setShift
+	stall := 0
+	for i := 0; i < n; i++ {
+		si := tag & c.setMask
+		var lat int
+		if m := &c.mru[si]; m.tag == tag {
+			c.stats.Accesses++
+			c.stats.Hits++
+			lat = c.hitLat
+		} else if m.tag2 == tag {
+			c.stats.Accesses++
+			lat = c.hit2(tag, si, m)
+		} else {
+			c.stats.Accesses++
+			lat = c.probe(pa, tag, si, m)
+		}
+		if lat > 1 {
+			stall += lat - 1
+		}
+		tag++
+		pa += lineSize
+	}
+	return stall
 }
 
 // Contains reports whether the line holding pa is resident at this level,
@@ -230,8 +363,12 @@ func (c *Cache) FlushAll() {
 	for i := range c.tags {
 		c.tags[i] = tagInvalid
 	}
-	for i := range c.mruTag {
-		c.mruTag[i] = tagInvalid
+	for i := range c.mru {
+		c.mru[i].tag = tagInvalid
+		c.mru[i].tag2 = tagInvalid
+	}
+	for i := range c.age {
+		c.age[i] = 0
 	}
 }
 
@@ -248,15 +385,23 @@ func (c *Cache) Occupancy() int {
 
 // Clone returns a deep copy of this level for a checkpoint fork, wired
 // to the given lower level and event bus. The line array is one flat
-// copy; nothing is allocated per line or per set.
-func (c *Cache) Clone(next *Cache, bus *obs.Bus) *Cache {
-	d := *c
+// copy; nothing is allocated per line or per set. The header struct
+// comes from a when one is supplied (the per-machine clone arena); nil
+// allocates it directly.
+func (c *Cache) Clone(next *Cache, bus *obs.Bus, a *alloc.Arena[Cache]) *Cache {
+	var d *Cache
+	if a != nil {
+		d = a.New()
+	} else {
+		d = new(Cache)
+	}
+	*d = *c
 	d.tags = append([]uint32(nil), c.tags...)
-	d.lastUse = append([]uint64(nil), c.lastUse...)
-	d.mruTag = append([]uint32(nil), c.mruTag...)
+	d.mru = append([]mruReg(nil), c.mru...)
+	d.age = append([]uint64(nil), c.age...)
 	d.next = next
 	d.bus = bus
-	return &d
+	return d
 }
 
 // Hierarchy bundles the three-level cache system of one simulated core
@@ -290,12 +435,17 @@ func HierarchyWithL2(l2 *Cache) *Hierarchy {
 // CloneWithL2 clones one core's private L1 levels over an already-cloned
 // shared L2, for checkpoint forks of SMP machines: clone the L2 once,
 // then each core's hierarchy over it.
-func (h *Hierarchy) CloneWithL2(l2 *Cache, bus *obs.Bus) *Hierarchy {
-	return &Hierarchy{L1I: h.L1I.Clone(l2, bus), L1D: h.L1D.Clone(l2, bus), L2: l2}
+func (h *Hierarchy) CloneWithL2(l2 *Cache, bus *obs.Bus, a *alloc.Arena[Cache]) *Hierarchy {
+	return &Hierarchy{L1I: h.L1I.Clone(l2, bus, a), L1D: h.L1D.Clone(l2, bus, a), L2: l2}
 }
 
 // Fetch accesses pa through the instruction side and returns the latency.
 func (h *Hierarchy) Fetch(pa arch.PhysAddr) int { return h.L1I.Access(pa) }
+
+// FetchRun accesses n consecutive lines through the instruction side —
+// equivalent to n Fetch calls one line apart — and returns the
+// accumulated stall cycles beyond one pipelined cycle per line.
+func (h *Hierarchy) FetchRun(pa arch.PhysAddr, n int) int { return h.L1I.AccessRun(pa, n) }
 
 // Data accesses pa through the data side and returns the latency.
 func (h *Hierarchy) Data(pa arch.PhysAddr) int { return h.L1D.Access(pa) }

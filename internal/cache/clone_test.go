@@ -14,7 +14,7 @@ func TestCloneCopiesStateAndDetaches(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		a.Access(arch.PhysAddr(i * 64))
 	}
-	b := a.Clone(nil, nil)
+	b := a.Clone(nil, nil, nil)
 	if got, want := b.Occupancy(), a.Occupancy(); got != want {
 		t.Fatalf("clone occupancy = %d, want %d", got, want)
 	}
@@ -34,7 +34,7 @@ func TestCloneAllocationBounded(t *testing.T) {
 	}
 	var sink *Cache
 	allocs := testing.AllocsPerRun(50, func() {
-		sink = a.Clone(nil, nil)
+		sink = a.Clone(nil, nil, nil)
 	})
 	_ = sink
 	if max := 4.0; allocs > max {

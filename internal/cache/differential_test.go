@@ -1,0 +1,216 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// refCache is the obvious implementation the packed-recency Cache must
+// match: per-set linear scan with one last-use timestamp per way, LRU
+// victim by smallest stamp, first invalid way preferred. It exists only
+// for the differential test below and for the BenchmarkReference*
+// benchmarks, which give a same-machine "before" column for
+// BENCH_hotpath.json.
+type refCache struct {
+	cfg        Config
+	tags       [][]uint32
+	stamps     [][]uint64
+	clock      uint64
+	setShift   uint
+	setMask    uint32
+	next       *refCache
+	memLatency int
+	stats      Stats
+}
+
+func newRef(cfg Config, next *refCache, memLatency int) *refCache {
+	nSets := cfg.Size / (cfg.LineSize * cfg.Assoc)
+	r := &refCache{
+		cfg:        cfg,
+		tags:       make([][]uint32, nSets),
+		stamps:     make([][]uint64, nSets),
+		setShift:   uint(log2(cfg.LineSize)),
+		setMask:    uint32(nSets - 1),
+		next:       next,
+		memLatency: memLatency,
+	}
+	for i := range r.tags {
+		r.tags[i] = make([]uint32, cfg.Assoc)
+		r.stamps[i] = make([]uint64, cfg.Assoc)
+		for w := range r.tags[i] {
+			r.tags[i][w] = tagInvalid
+		}
+	}
+	return r
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+func (r *refCache) Access(pa arch.PhysAddr) int {
+	r.stats.Accesses++
+	r.clock++
+	tag := uint32(pa) >> r.setShift
+	si := tag & r.setMask
+	set := r.tags[si]
+	for w, tg := range set {
+		if tg == tag {
+			r.stats.Hits++
+			r.stamps[si][w] = r.clock
+			return r.cfg.HitLatency
+		}
+	}
+	// Miss: first invalid way, else smallest stamp.
+	victim := -1
+	for w, tg := range set {
+		if tg == tagInvalid {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for w := 1; w < len(set); w++ {
+			if r.stamps[si][w] < r.stamps[si][victim] {
+				victim = w
+			}
+		}
+	}
+	r.stats.Misses++
+	latency := r.cfg.HitLatency
+	if r.next != nil {
+		latency += r.next.Access(pa)
+	} else {
+		latency += r.memLatency
+	}
+	if set[victim] != tagInvalid {
+		r.stats.Evictions++
+	}
+	set[victim] = tag
+	r.stamps[si][victim] = r.clock
+	return latency
+}
+
+func (r *refCache) Contains(pa arch.PhysAddr) bool {
+	tag := uint32(pa) >> r.setShift
+	for _, tg := range r.tags[tag&r.setMask] {
+		if tg == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCacheMatchesReference drives the packed-recency Cache and the
+// stamped reference through identical randomized access streams and
+// demands agreement on every access's latency, every counter, and final
+// residency. Victim choice is where the implementations could silently
+// diverge (move-to-front order vs explicit stamps), and a wrong victim
+// shows up here as a latency or residency mismatch a few accesses later.
+func TestCacheMatchesReference(t *testing.T) {
+	geometries := []struct {
+		name string
+		cfg  Config
+	}{
+		{"L1", Config{Name: "L1D", Size: 4 << 10, LineSize: 32, Assoc: 4, HitLatency: 1}},
+		{"L2geom", Config{Name: "L2", Size: 8 << 10, LineSize: 32, Assoc: 8, HitLatency: 10}},
+		{"direct", Config{Name: "DM", Size: 1 << 10, LineSize: 32, Assoc: 1, HitLatency: 1}},
+	}
+	for _, g := range geometries {
+		t.Run(g.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			got := New(g.cfg, nil, 50)
+			want := newRef(g.cfg, nil, 50)
+			// Address pool a few times the cache capacity so sets see
+			// hits, misses, evictions, and re-references of evicted lines.
+			pool := 4 * g.cfg.Size
+			for i := 0; i < 200000; i++ {
+				var pa arch.PhysAddr
+				if rng.Intn(4) == 0 {
+					// Burst: revisit a recent line to exercise MRU paths.
+					pa = arch.PhysAddr(rng.Intn(pool/16)) * 32
+				} else {
+					pa = arch.PhysAddr(rng.Intn(pool))
+				}
+				gl, wl := got.Access(pa), want.Access(pa)
+				if gl != wl {
+					t.Fatalf("access %d (pa=%#x): latency %d, reference %d", i, pa, gl, wl)
+				}
+				if got.stats != want.stats {
+					t.Fatalf("access %d (pa=%#x): stats %+v, reference %+v", i, pa, got.stats, want.stats)
+				}
+			}
+			for pa := arch.PhysAddr(0); pa < arch.PhysAddr(pool); pa += 32 {
+				if g, w := got.Contains(pa), want.Contains(pa); g != w {
+					t.Fatalf("Contains(%#x) = %v, reference %v", pa, g, w)
+				}
+			}
+		})
+	}
+}
+
+// TestHierarchyMatchesReference runs the same property through a
+// two-level hierarchy so recursive fills and L2 evictions are covered.
+func TestHierarchyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l2cfg := Config{Name: "L2", Size: 16 << 10, LineSize: 32, Assoc: 8, HitLatency: 10}
+	l1cfg := Config{Name: "L1D", Size: 2 << 10, LineSize: 32, Assoc: 4, HitLatency: 1}
+	got := New(l1cfg, New(l2cfg, nil, 50), 0)
+	want := newRef(l1cfg, newRef(l2cfg, nil, 50), 0)
+	for i := 0; i < 200000; i++ {
+		pa := arch.PhysAddr(rng.Intn(64 << 10))
+		if gl, wl := got.Access(pa), want.Access(pa); gl != wl {
+			t.Fatalf("access %d (pa=%#x): latency %d, reference %d", i, pa, gl, wl)
+		}
+	}
+	if got.stats != want.stats {
+		t.Fatalf("L1 stats %+v, reference %+v", got.stats, want.stats)
+	}
+	if got.next.stats != want.next.stats {
+		t.Fatalf("L2 stats %+v, reference %+v", got.next.stats, want.next.stats)
+	}
+}
+
+// BenchmarkReferenceAccess mirrors BenchmarkCacheAccess over the stamped
+// reference, so the "before" column of BENCH_hotpath.json can be
+// re-measured on the same machine as the "after" column.
+func BenchmarkReferenceAccess(b *testing.B) {
+	cfg := Config{Name: "L1D", Size: 32 << 10, LineSize: 32, Assoc: 4, HitLatency: 1}
+	b.Run("HitMRU", func(b *testing.B) {
+		c := newRef(cfg, nil, 50)
+		c.Access(0x1000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(0x1000)
+		}
+	})
+	b.Run("Hit", func(b *testing.B) {
+		c := newRef(cfg, nil, 50)
+		setStride := arch.PhysAddr(32 * (32 << 10) / (32 * 4))
+		for w := 0; w < 4; w++ {
+			c.Access(0x1000 + arch.PhysAddr(w)*setStride)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(0x1000 + arch.PhysAddr(i&3)*setStride)
+		}
+	})
+	b.Run("MissEvict", func(b *testing.B) {
+		c := newRef(cfg, nil, 50)
+		setStride := arch.PhysAddr(32 * (32 << 10) / (32 * 4))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(0x1000 + arch.PhysAddr(i&7)*setStride)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+// Tests for checkpoint fork trees: Derived images memoize warmup phases
+// on top of parent images, and the tree invariants are (1) forking a
+// derived image is byte-identical to re-running the warmups sequentially
+// on a fresh boot, and (2) interior nodes stay immutable — mutating a
+// leaf fork, or deriving a child from an interior node, never changes
+// any image up the chain.
+
+package checkpoint
+
+import (
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// warmFork is a deterministic warmup phase: fork one named zygote child
+// and leave it running, so the warmed state differs visibly from the
+// boot state (extra process, dirtied PTPs, fork counters).
+func warmFork(name string) Warm {
+	return func(sys *android.System) error {
+		_, err := sys.ZygoteFork(name)
+		return err
+	}
+}
+
+// warmApp runs one full app launch/run/exit — the heaviest deterministic
+// warmup we have, touching the TLBs, caches, page cache and counters.
+func warmApp(sys *android.System) error {
+	spec := workload.Suite()[0]
+	prof := workload.BuildProfile(sys.Universe, spec)
+	app, _, err := sys.LaunchApp(prof, 1)
+	if err != nil {
+		return err
+	}
+	if _, err := app.Run(); err != nil {
+		return err
+	}
+	sys.Kernel.Exit(app.Proc)
+	return nil
+}
+
+func freshBoot() (*android.System, error) {
+	return android.Boot(core.SharedPTP(), android.LayoutOriginal, workload.DefaultUniverse())
+}
+
+func TestDerivedForkMatchesSequentialWarm(t *testing.T) {
+	c := NewCache()
+	base := func() (*Image, error) { return c.Image("base", freshBoot) }
+	mid := func() (*Image, error) { return c.Derived("base", "A", base, warmFork("warmA")) }
+	leaf, err := c.Derived(DerivedKey("base", "A"), "B", mid, warmApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The linear history: one fresh machine, both warmups run in order.
+	sys, err := freshBoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warmFork("warmA")(sys); err != nil {
+		t.Fatal(err)
+	}
+	if err := warmApp(sys); err != nil {
+		t.Fatal(err)
+	}
+
+	if fingerprintOf(leaf.Fork()) != fingerprintOf(sys) {
+		t.Error("fork of the derived leaf differs from running the warmups sequentially")
+	}
+}
+
+func TestDerivedMemoizesWarmups(t *testing.T) {
+	c := NewCache()
+	boots, warms := 0, 0
+	boot := func() (*android.System, error) {
+		boots++
+		return freshBoot()
+	}
+	parent := func() (*Image, error) { return c.Image("base", boot) }
+	warm := func(sys *android.System) error {
+		warms++
+		return warmFork("w")(sys)
+	}
+
+	a, err := c.Derived("base", "w", parent, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Derived("base", "w", parent, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same derived key returned distinct images")
+	}
+	// A sibling warmup reuses the memoized parent boot.
+	if _, err := c.Derived("base", "w2", parent, warmFork("w2")); err != nil {
+		t.Fatal(err)
+	}
+	if boots != 1 {
+		t.Errorf("parent booted %d times for one tree, want 1", boots)
+	}
+	if warms != 1 {
+		t.Errorf("warmup ran %d times for one derived key, want 1", warms)
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len() = %d, want 3 (base + two derived nodes)", c.Len())
+	}
+}
+
+func TestInteriorNodesImmutable(t *testing.T) {
+	c := NewCache()
+	baseImg, err := c.Image("base", freshBoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := func() (*Image, error) { return c.Image("base", freshBoot) }
+	midImg, err := c.Derived("base", "A", base, warmFork("warmA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseFP := baseImg.Fingerprint()
+	midFP := midImg.Fingerprint()
+
+	// Deriving a leaf from the interior node forks it; the interior image
+	// itself must not change.
+	mid := func() (*Image, error) { return midImg, nil }
+	leafImg, err := c.Derived(DerivedKey("base", "A"), "B", mid, warmApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if midImg.Fingerprint() != midFP {
+		t.Error("deriving a leaf mutated the interior image")
+	}
+
+	// Redlining a leaf fork must not reach any node up the chain.
+	leafFP := leafImg.Fingerprint()
+	exercise(t, leafImg.Fork())
+	if leafImg.Fingerprint() != leafFP {
+		t.Error("mutating a fork changed the leaf image")
+	}
+	if midImg.Fingerprint() != midFP {
+		t.Error("mutating a leaf fork changed the interior image")
+	}
+	if baseImg.Fingerprint() != baseFP {
+		t.Error("mutating a leaf fork changed the root image")
+	}
+	// And the interior node still mints pristine forks.
+	if fingerprintOf(midImg.Fork()) != midFP {
+		t.Error("interior fork minted after leaf mutations differs from its capture")
+	}
+}
+
+func TestDerivedKeySeparatesLineages(t *testing.T) {
+	// Tree keying must distinguish "boot then warm A" from "boot then
+	// warm B", and a chain A-then-B from B-then-A.
+	ab := DerivedKey(DerivedKey("base", "A"), "B")
+	ba := DerivedKey(DerivedKey("base", "B"), "A")
+	if ab == ba {
+		t.Error("key ignores warmup order")
+	}
+	if DerivedKey("base", "A") == DerivedKey("base", "B") {
+		t.Error("key ignores the warmup phase")
+	}
+	if DerivedKey("base", "A") == "base" {
+		t.Error("derived key collides with its parent")
+	}
+}

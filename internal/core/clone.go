@@ -39,7 +39,10 @@ func (k *Kernel) Clone() (*Kernel, *vm.CloneCtx) {
 		nextASID:     k.nextASID,
 		kernelTextPA: k.kernelTextPA,
 	}
-	k2.l2 = k.l2.Clone(nil, k2.bus)
+	// One arena bundle for all cores' small clone objects; it lives and
+	// dies with the cloned machine.
+	arenas := &cpu.CloneArenas{}
+	k2.l2 = k.l2.Clone(nil, k2.bus, &arenas.Caches)
 
 	// Clone processes in PID order so any allocation the clone performs
 	// (none today, but the invariant is cheap) is deterministic.
@@ -69,8 +72,29 @@ func (k *Kernel) Clone() (*Kernel, *vm.CloneCtx) {
 		k2.procs[pid] = p2
 	}
 
+	// A core can be left holding the context of an exited process: Exit
+	// releases the address space but, like Linux's lazy mm, does not force
+	// a context switch, and the next ContextSwitch/charge still compares
+	// and bills against that context. Such a context is unreachable from
+	// the process table, so remap it to a private copy here — identity
+	// semantics survive, but the page-table pointer is dropped: it
+	// references storage the exit already released, and it must never
+	// alias from the clone into the source machine.
 	for _, c := range k.cpus {
-		c2 := c.Clone(k2, k2.l2, k2.bus, ctxs)
+		cur := c.Current()
+		if cur == nil {
+			continue
+		}
+		if _, ok := ctxs[cur]; ok {
+			continue
+		}
+		orphan := *cur
+		orphan.PT = nil
+		ctxs[cur] = &orphan
+	}
+
+	for _, c := range k.cpus {
+		c2 := c.Clone(k2, k2.l2, k2.bus, ctxs, arenas)
 		k2.cpus = append(k2.cpus, c2)
 		if c == k.CPU {
 			k2.CPU = c2

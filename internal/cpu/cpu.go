@@ -289,7 +289,9 @@ func (c *CPU) FetchBlock(va arch.VirtAddr, n int) error {
 	}
 	ctx.Stats.Instructions += uint64(rest)
 	c.charge(rest * c.Costs.BaseInstr)
-	c.tick(va, false, rest)
+	if c.SampleEvery > 0 {
+		c.tick(va, false, rest)
+	}
 	e, r := c.MicroI.Lookup(va, ctx.ASID, ctx.DACR, arch.AccessFetch)
 	if r != tlb.Hit {
 		// The fetch above inserted the translation; a miss here means a
@@ -299,11 +301,11 @@ func (c *CPU) FetchBlock(va arch.VirtAddr, n int) error {
 	pageBase := physAddr(e.Frame(), e.Flags(), va) - arch.PhysAddr(va&arch.PageMask)
 	firstLine := int(va&arch.PageMask) / lineSize
 	lastLine := (int(va&arch.PageMask) + n*instrSize - 1) / lineSize
-	for l := firstLine + 1; l <= lastLine; l++ {
-		lat := c.Caches.Fetch(pageBase + arch.PhysAddr(l*lineSize))
-		if lat > 1 {
-			ctx.Stats.ICacheStallCycles += uint64(lat - 1)
-			c.charge(lat - 1)
+	if lines := lastLine - firstLine; lines > 0 {
+		stall := c.Caches.FetchRun(pageBase+arch.PhysAddr((firstLine+1)*lineSize), lines)
+		if stall > 0 {
+			ctx.Stats.ICacheStallCycles += uint64(stall)
+			c.charge(stall)
 		}
 	}
 	return nil
@@ -318,7 +320,9 @@ func (c *CPU) ChargeUser(instrs int) {
 	}
 	c.cur.Stats.Instructions += uint64(instrs)
 	c.charge(instrs * c.Costs.BaseInstr)
-	c.tick(c.lastFetchVA, false, instrs)
+	if c.SampleEvery > 0 {
+		c.tick(c.lastFetchVA, false, instrs)
+	}
 }
 
 // Touch reads or writes va according to write.
@@ -339,7 +343,9 @@ func (c *CPU) access(va arch.VirtAddr, kind arch.AccessKind) error {
 	if kind == arch.AccessFetch {
 		c.lastFetchVA = va
 	}
-	c.tick(c.lastFetchVA, false, 1)
+	if c.SampleEvery > 0 {
+		c.tick(c.lastFetchVA, false, 1)
+	}
 
 	micro, stall := c.MicroI, &ctx.Stats.ITLBStallCycles
 	mainMisses := &ctx.Stats.ITLBMainMisses
@@ -503,16 +509,17 @@ func (c *CPU) KernelExec(bytes int) {
 		return
 	}
 	const instrSize = 4
+	const lineSize = 32
 	n := bytes / instrSize
 	ctx.Stats.KernelInstructions += uint64(n)
 	c.charge(n * c.Costs.BaseInstr)
-	c.tick(kernelSpaceVA, true, n)
-	for off := 0; off < bytes; off += 32 { // one fetch per line
-		lat := c.Caches.Fetch(ctx.KernelTextPA + arch.PhysAddr(off))
-		if lat > 1 {
-			ctx.Stats.ICacheStallCycles += uint64(lat - 1)
-			c.charge(lat - 1)
-		}
+	if c.SampleEvery > 0 {
+		c.tick(kernelSpaceVA, true, n)
+	}
+	stall := c.Caches.FetchRun(ctx.KernelTextPA, (bytes+lineSize-1)/lineSize)
+	if stall > 0 {
+		ctx.Stats.ICacheStallCycles += uint64(stall)
+		c.charge(stall)
 	}
 }
 
@@ -524,7 +531,9 @@ func (c *CPU) ChargeKernel(cycles int) {
 		c.cur.Stats.KernelInstructions += uint64(cycles)
 	}
 	c.charge(cycles)
-	c.tick(kernelSpaceVA, true, cycles)
+	if c.SampleEvery > 0 {
+		c.tick(kernelSpaceVA, true, cycles)
+	}
 }
 
 // kernelSpaceVA is the pseudo program counter reported for kernel-mode

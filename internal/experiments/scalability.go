@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/android"
 	"repro/internal/arch"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/stats"
@@ -43,21 +44,11 @@ type ScalabilityRow struct {
 // once, so the curve flattens.
 func (s *Session) Scalability() (*ScalabilityResult, error) {
 	counts := []int{1, 2, 4, 8, 16, 32}
-	u := s.Universe()
 
 	measure := func(cfg core.Config, n int) (int, error) {
-		sys, err := s.Boot(cfg, android.LayoutOriginal)
+		sys, err := s.helloSystem(cfg, n)
 		if err != nil {
 			return 0, err
-		}
-		prof := workload.BuildProfile(u, workload.HelloWorldSpec())
-		for i := 0; i < n; i++ {
-			app, _, err := sys.LaunchApp(prof, int64(i))
-			if err != nil {
-				return 0, err
-			}
-			// Keep the process alive: the point is concurrent sharers.
-			_ = app
 		}
 		frames := sys.Kernel.Phys.InUseByKind(mem.FramePageTable)
 		// Remove the per-process root tables (4 frames each, plus the
@@ -86,6 +77,68 @@ func (s *Session) Scalability() (*ScalabilityResult, error) {
 		r.Rows = append(r.Rows, ScalabilityRow{Processes: n, StockPTPKB: kb[2*i], SharedPTPKB: kb[2*i+1]})
 	}
 	return r, nil
+}
+
+// helloSystem returns a machine with n hello-world applications launched
+// and still alive — the scalability measurement state. With checkpoints
+// it is a fork of the depth-n node of the launch chain (see helloImage);
+// the whole 1..32 curve then costs 32 launches instead of 63, and the
+// fork-vs-fresh invariant applied link by link makes the result
+// byte-identical to the NoCheckpoint path, which boots fresh and runs
+// all n launches inline.
+func (s *Session) helloSystem(cfg core.Config, n int) (*android.System, error) {
+	prof := workload.BuildProfile(s.Universe(), workload.HelloWorldSpec())
+	if s.NoCheckpoint {
+		sys, err := s.Boot(cfg, android.LayoutOriginal)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			// Keep the process alive: the point is concurrent sharers.
+			if _, _, err := sys.LaunchApp(prof, int64(i)); err != nil {
+				return nil, err
+			}
+		}
+		return sys, nil
+	}
+	img, err := s.helloImage(cfg, prof, n)
+	if err != nil {
+		return nil, err
+	}
+	return img.Fork(), nil
+}
+
+// helloImage resolves the depth-n node of the hello-world launch chain:
+// node 0 is the plain boot image and node i+1 derives from node i by
+// launching one more app. Each link is keyed "hello-launch/i", so
+// different process counts share every common prefix of the chain — a
+// fork-of-a-fork tree 32 deep at the largest count — and every interior
+// node is an immutable image that no measurement ever runs.
+func (s *Session) helloImage(cfg core.Config, prof *workload.Profile, n int) (*checkpoint.Image, error) {
+	ckpt := s.ckptCache()
+	u := s.Universe()
+	// baseKey is deliberately a separate, never-reassigned variable: the
+	// root thunk closes over it, and closing over the mutated chain key
+	// would make the root resolve to its own caller's entry and deadlock.
+	baseKey := checkpoint.Key(cfg, android.LayoutOriginal, u, android.Options{})
+	node := func() (*checkpoint.Image, error) {
+		return ckpt.Image(baseKey, func() (*android.System, error) {
+			return android.BootOpts(cfg, android.LayoutOriginal, u, android.Options{})
+		})
+	}
+	key := baseKey
+	for i := 0; i < n; i++ {
+		i, parentKey, parent := i, key, node
+		warmKey := fmt.Sprintf("hello-launch/%d", i)
+		key = checkpoint.DerivedKey(parentKey, warmKey)
+		node = func() (*checkpoint.Image, error) {
+			return ckpt.Derived(parentKey, warmKey, parent, func(sys *android.System) error {
+				_, _, err := sys.LaunchApp(prof, int64(i))
+				return err
+			})
+		}
+	}
+	return node()
 }
 
 // String renders the study.

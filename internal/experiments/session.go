@@ -136,16 +136,67 @@ func (s *Session) BootOpts(cfg core.Config, layout android.Layout, opts android.
 	if s.NoCheckpoint {
 		return android.BootOpts(cfg, layout, u, opts)
 	}
-	s.ckptOnce.Do(func() {
-		s.ckpt = checkpoint.NewCache()
-	})
-	img, err := s.ckpt.Image(checkpoint.Key(cfg, layout, u, opts), func() (*android.System, error) {
+	img, err := s.ckptCache().Image(checkpoint.Key(cfg, layout, u, opts), func() (*android.System, error) {
 		return android.BootOpts(cfg, layout, u, opts)
 	})
 	if err != nil {
 		return nil, err
 	}
 	return img.Fork(), nil
+}
+
+// BootWarm is BootOpts followed by a named warmup phase, memoized as a
+// node in the checkpoint fork tree. Scenarios that share a post-boot
+// setup (the scalability launch chain, the scheduler-grouping process
+// setup) name the warmup once and fork its result instead of re-running
+// it: the first caller simulates boot + warm, later callers — and deeper
+// tree nodes chained on top — fork the cached image copy-on-write.
+//
+// warmKey must uniquely name warm's effect: equal (boot params, warmKey)
+// pairs must mean identical warmups. Under NoCheckpoint the warmup runs
+// inline on a fresh boot, byte-identical by the tree invariant.
+func (s *Session) BootWarm(cfg core.Config, layout android.Layout, opts android.Options, warmKey string, warm checkpoint.Warm) (*android.System, error) {
+	img, err := s.warmImage(cfg, layout, opts, warmKey, warm)
+	if err != nil {
+		return nil, err
+	}
+	if img == nil { // NoCheckpoint: boot fresh, warm inline.
+		sys, err := android.BootOpts(cfg, layout, s.Universe(), opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := warm(sys); err != nil {
+			return nil, err
+		}
+		return sys, nil
+	}
+	return img.Fork(), nil
+}
+
+// warmImage resolves the fork-tree node for boot + warm, or nil under
+// NoCheckpoint. Split from BootWarm so chain builders (scalability) can
+// stack Derived calls without forking the interior nodes.
+func (s *Session) warmImage(cfg core.Config, layout android.Layout, opts android.Options, warmKey string, warm checkpoint.Warm) (*checkpoint.Image, error) {
+	if s.NoCheckpoint {
+		return nil, nil
+	}
+	ckpt := s.ckptCache()
+	u := s.Universe()
+	parentKey := checkpoint.Key(cfg, layout, u, opts)
+	return ckpt.Derived(parentKey, warmKey, func() (*checkpoint.Image, error) {
+		return ckpt.Image(parentKey, func() (*android.System, error) {
+			return android.BootOpts(cfg, layout, u, opts)
+		})
+	}, warm)
+}
+
+// ckptCache returns the session's image cache, constructing it on first
+// use.
+func (s *Session) ckptCache() *checkpoint.Cache {
+	s.ckptOnce.Do(func() {
+		s.ckpt = checkpoint.NewCache()
+	})
+	return s.ckpt
 }
 
 // sweepErr tags a cached sweep error with the sweep that failed. The

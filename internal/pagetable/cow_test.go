@@ -36,7 +36,7 @@ func buildPT(t *testing.T) (*PageTable, *mem.PhysMem) {
 func TestCloneSharesStorageUntilWrite(t *testing.T) {
 	pt, phys := buildPT(t)
 	tables := make(map[*L2Table]*L2Table)
-	clone := pt.CloneShared(phys, tables)
+	clone := pt.CloneShared(phys, tables, nil)
 
 	for i := 0; i < arch.L1Entries; i++ {
 		a, b := pt.L1(i), clone.L1(i)
@@ -77,7 +77,7 @@ func TestCloneSharesStorageUntilWrite(t *testing.T) {
 
 func TestOriginalWritePrivatizesToo(t *testing.T) {
 	pt, phys := buildPT(t)
-	clone := pt.CloneShared(phys, make(map[*L2Table]*L2Table))
+	clone := pt.CloneShared(phys, make(map[*L2Table]*L2Table), nil)
 
 	// COW is symmetric: the original writing must not leak into the
 	// clone either (the image is cloned from a live system at capture).
@@ -91,7 +91,7 @@ func TestOriginalWritePrivatizesToo(t *testing.T) {
 
 func TestPTEForWritePrivatizes(t *testing.T) {
 	pt, phys := buildPT(t)
-	clone := pt.CloneShared(phys, make(map[*L2Table]*L2Table))
+	clone := pt.CloneShared(phys, make(map[*L2Table]*L2Table), nil)
 
 	const va = arch.VirtAddr(0x1000)
 	origBefore := *pt.PTEAt(va)
@@ -107,7 +107,7 @@ func TestPTEForWritePrivatizes(t *testing.T) {
 
 func TestWriteProtectTablePrivatizes(t *testing.T) {
 	pt, phys := buildPT(t)
-	clone := pt.CloneShared(phys, make(map[*L2Table]*L2Table))
+	clone := pt.CloneShared(phys, make(map[*L2Table]*L2Table), nil)
 
 	const va = arch.VirtAddr(0x1000)
 	idx := arch.L1Index(va)
@@ -137,8 +137,8 @@ func TestSharedPTPClonesOnce(t *testing.T) {
 	pt2.AttachShared(idx, pt.L1(idx).Table, 1)
 
 	tables := make(map[*L2Table]*L2Table)
-	c1 := pt.CloneShared(phys, tables)
-	c2 := pt2.CloneShared(phys, tables)
+	c1 := pt.CloneShared(phys, tables, nil)
+	c2 := pt2.CloneShared(phys, tables, nil)
 	if c1.L1(idx).Table != c2.L1(idx).Table {
 		t.Error("shared PTP cloned into two distinct tables; sharing structure lost")
 	}

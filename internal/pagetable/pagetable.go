@@ -33,6 +33,7 @@ package pagetable
 import (
 	"fmt"
 
+	"repro/internal/alloc"
 	"repro/internal/arch"
 	"repro/internal/mem"
 )
@@ -92,12 +93,25 @@ func (t *L2Table) ensurePrivate() {
 	}
 }
 
+// CloneArena batches the L2Table clone nodes of one machine clone: they
+// are the most numerous small objects a checkpoint fork allocates (one
+// per referenced PTP per address space), and they all share the clone's
+// lifetime. See the alloc package for the lifetime rules.
+type CloneArena = alloc.Arena[L2Table]
+
 // cloneShared returns a struct copy of t whose PTE array is shared
-// copy-on-write with t; both sides are marked cow.
-func (t *L2Table) cloneShared() *L2Table {
+// copy-on-write with t; both sides are marked cow. The node comes from
+// the arena when one is supplied.
+func (t *L2Table) cloneShared(nodes *CloneArena) *L2Table {
 	t.cow = true
-	c := *t
-	return &c
+	var c *L2Table
+	if nodes != nil {
+		c = nodes.New()
+	} else {
+		c = new(L2Table)
+	}
+	*c = *t
+	return c
 }
 
 // Populated returns the number of valid entries in the table.
@@ -177,15 +191,17 @@ func New(phys *mem.PhysMem) (*PageTable, error) {
 // clone's identity map — an L2Table referenced from several address
 // spaces (a simulated-kernel shared PTP) must map to one clone so the
 // sharing structure survives the fork; pass the same map for every page
-// table cloned into one machine. phys is the fork's physical memory.
-func (pt *PageTable) CloneShared(phys *mem.PhysMem, tables map[*L2Table]*L2Table) *PageTable {
+// table cloned into one machine, and the same arena (nil means plain
+// allocation) — nodes minted from it belong to the cloned machine.
+// phys is the fork's physical memory.
+func (pt *PageTable) CloneShared(phys *mem.PhysMem, tables map[*L2Table]*L2Table, nodes *CloneArena) *PageTable {
 	c := &PageTable{phys: phys, l1Frames: pt.l1Frames, stats: pt.stats}
 	for i := range pt.l1 {
 		e := pt.l1[i]
 		if e.Table != nil {
 			ct, ok := tables[e.Table]
 			if !ok {
-				ct = e.Table.cloneShared()
+				ct = e.Table.cloneShared(nodes)
 				tables[e.Table] = ct
 			}
 			e.Table = ct

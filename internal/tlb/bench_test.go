@@ -96,3 +96,84 @@ func BenchmarkTLBLookupLargePage(b *testing.B) {
 		}
 	}
 }
+
+// The BenchmarkReference* group mirrors the benchmarks above over the
+// linear reference implementation, so BENCH_hotpath.json's before/after
+// columns can be re-measured on one machine in one run.
+
+func refBenchFill(tb *linearTLB, n int) {
+	for i := 0; i < n; i++ {
+		tb.Insert(arch.VirtAddr(i)<<arch.PageShift, 1, arch.FrameNum(i),
+			arch.PTEValid|arch.PTEUser|arch.PTEExec, arch.DomainUser)
+	}
+}
+
+func BenchmarkReferenceTLBLookupHit(b *testing.B) {
+	tb := newLinear(128)
+	refBenchFill(tb, 128)
+	dacr := arch.StockDACR()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, r := tb.Lookup(arch.VirtAddr(i&127)<<arch.PageShift, 1, dacr, arch.AccessFetch); r != Hit {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+func BenchmarkReferenceTLBLookupHitMRU(b *testing.B) {
+	tb := newLinear(128)
+	refBenchFill(tb, 128)
+	dacr := arch.StockDACR()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, r := tb.Lookup(0x1000, 1, dacr, arch.AccessFetch); r != Hit {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+func BenchmarkReferenceTLBLookupMiss(b *testing.B) {
+	tb := newLinear(128)
+	refBenchFill(tb, 128)
+	dacr := arch.StockDACR()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := arch.VirtAddr(1024+(i&1023)) << arch.PageShift
+		if _, r := tb.Lookup(va, 1, dacr, arch.AccessFetch); r != Miss {
+			b.Fatal("unexpected hit")
+		}
+	}
+}
+
+func BenchmarkReferenceTLBInsertEvict(b *testing.B) {
+	tb := newLinear(128)
+	refBenchFill(tb, 128)
+	flags := arch.PTEValid | arch.PTEUser | arch.PTEExec
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := arch.VirtAddr(128+(i&0xFFFFF)) << arch.PageShift
+		tb.Insert(va, 1, arch.FrameNum(i), flags, arch.DomainUser)
+	}
+}
+
+func BenchmarkReferenceTLBLookupLargePage(b *testing.B) {
+	tb := newLinear(128)
+	flags := arch.PTEValid | arch.PTEUser | arch.PTEExec | arch.PTELarge
+	for i := 0; i < 64; i++ {
+		va := arch.VirtAddr(i) << arch.LargePageShift
+		tb.Insert(va, 1, arch.FrameNum(i*arch.PagesPerLargePage), flags, arch.DomainUser)
+	}
+	dacr := arch.StockDACR()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := arch.VirtAddr(i&1023) << arch.PageShift
+		if _, r := tb.Lookup(va, 1, dacr, arch.AccessFetch); r != Hit {
+			b.Fatal("unexpected miss")
+		}
+	}
+}

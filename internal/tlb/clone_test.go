@@ -15,7 +15,7 @@ func TestCloneCopiesStateAndDetaches(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		a.Insert(arch.VirtAddr(i*arch.PageSize), 1, arch.FrameNum(i), arch.PTEValid, 1)
 	}
-	b := a.Clone(nil)
+	b := a.Clone(nil, nil)
 	av, ag := a.Occupancy()
 	bv, bg := b.Occupancy()
 	if av != bv || ag != bg {
@@ -38,7 +38,7 @@ func TestCloneAllocationBounded(t *testing.T) {
 	}
 	var sink *TLB
 	allocs := testing.AllocsPerRun(100, func() {
-		sink = a.Clone(nil)
+		sink = a.Clone(nil, nil)
 	})
 	_ = sink
 	if max := 10.0; allocs > max {

@@ -1,11 +1,12 @@
 // idxTable is the TLB's key-to-slot index: a small open-addressed hash
 // table with linear probing and backward-shift deletion, replacing a Go
 // map on the hottest simulator path (every lookup, insert and targeted
-// flush probes it). Capacity is twice the entry count rounded up to a
-// power of two, so the load factor never exceeds one half and the whole
-// table stays within a few cache lines. Purely an internal layout
-// change: the differential tests against the reference linear TLB pin
-// that behaviour is unchanged.
+// flush probes it). Capacity is four times the entry count rounded up to
+// a power of two: at load factor ≤ 1/4 probe chains are nearly always a
+// single cell, which keeps both get and the backward-shift in del short,
+// and even the main TLB's table is only a few kilobytes. Purely an
+// internal layout change: the differential tests against the reference
+// linear TLB pin that behaviour is unchanged.
 
 package tlb
 
@@ -21,7 +22,7 @@ type idxTable struct {
 
 func newIdxTable(entries int) idxTable {
 	capacity := 1
-	for capacity < 2*entries {
+	for capacity < 4*entries {
 		capacity <<= 1
 	}
 	it := idxTable{

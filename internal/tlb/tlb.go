@@ -467,12 +467,22 @@ func (t *TLB) Lookup(va arch.VirtAddr, asid arch.ASID, dacr arch.DACR, kind arch
 
 	// Index probe: at most one 4KB and one 64KB entry can match; check
 	// them in slot order. A spilled key falls back to the linear scan.
+	// With no large entries resident — most workload phases — the single
+	// 4KB key decides the lookup with no slot ordering to reconcile.
 	s0, ok0 := t.idx.get(entryKey(vpn, false))
-	var s1 int32
-	var ok1 bool
-	if t.numLarge != 0 {
-		s1, ok1 = t.idx.get(entryKey(vpn&^(arch.PagesPerLargePage-1), true))
+	if t.numLarge == 0 {
+		if s0 == idxMany {
+			return t.lookupScan(vpn, asid, dacr, kind)
+		}
+		if ok0 {
+			if e, r, done := t.probe(s0, vpn, asid, dacr, kind); done {
+				return e, r
+			}
+		}
+		t.stats.Misses++
+		return Entry{}, Miss
 	}
+	s1, ok1 := t.idx.get(entryKey(vpn&^(arch.PagesPerLargePage-1), true))
 	if s0 == idxMany || s1 == idxMany {
 		return t.lookupScan(vpn, asid, dacr, kind)
 	}

@@ -1,0 +1,106 @@
+// Aliasing-hazard tests for the page-cache overlay scheme across
+// fork-of-fork chains. Each File clone freezes the source's overlay into
+// an immutable base shared by reference (clone.go); the hazards are a
+// node dirtying its overlay AFTER a clone was taken (the late pages must
+// not alias into the clone) and an interior node of a chain being
+// written through once it has descendants. The tests inspect the
+// pages/frozen split directly, which is why they live in package vm.
+
+package vm
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+)
+
+// pagesOf snapshots a file's resident pages as index→frame.
+func pagesOf(f *File) map[int]arch.FrameNum {
+	m := make(map[int]arch.FrameNum)
+	f.ForEachPage(func(idx int, fr arch.FrameNum) { m[idx] = fr })
+	return m
+}
+
+func mustRead(t *testing.T, f *File, lo, hi int) {
+	t.Helper()
+	for i := lo; i < hi; i++ {
+		if _, err := f.PageFrame(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFileCloneParentDirtyAfterChildFork(t *testing.T) {
+	phys := mem.New(4096)
+	f := NewFile(phys, "libbase.so", 64*arch.PageSize)
+	mustRead(t, f, 0, 8)
+
+	child := NewCloneCtx(phys.Fork()).File(f)
+	want := pagesOf(child)
+
+	// The parent keeps running after the fork: its new reads must land in
+	// a fresh private overlay, never in the frozen base the child shares.
+	mustRead(t, f, 16, 24)
+
+	if got := pagesOf(child); !reflect.DeepEqual(got, want) {
+		t.Errorf("parent reads after the fork changed the child: %v, want %v", got, want)
+	}
+	if n := child.ResidentPages(); n != 8 {
+		t.Errorf("child resident pages = %d, want the 8 present at fork time", n)
+	}
+	if _, ok := child.frameAt(16); ok {
+		t.Error("parent's post-fork page aliased into the child")
+	}
+	// The pre-fork pages really are shared storage, not copies: one
+	// frozen array backs both nodes.
+	if len(child.pages) != 0 {
+		t.Errorf("unwritten child has a private overlay of %d pages", len(child.pages))
+	}
+	if &f.frozen[0] != &child.frozen[0] {
+		t.Error("child does not share the parent's frozen base")
+	}
+}
+
+func TestFileCloneChainInteriorDirtyAfterLeafFork(t *testing.T) {
+	phys := mem.New(4096)
+	root := NewFile(phys, "libchain.so", 64*arch.PageSize)
+	mustRead(t, root, 0, 4)
+
+	// Fork-of-fork chain root → mid → leaf, with mid accreting its own
+	// overlay between the two forks.
+	mid := NewCloneCtx(phys.Fork()).File(root)
+	mustRead(t, mid, 8, 12)
+	leaf := NewCloneCtx(mid.phys.Fork()).File(mid)
+
+	wantLeaf := pagesOf(leaf)
+	wantMid := pagesOf(mid)
+
+	// The interior node dirties after the leaf fork, then the root does.
+	mustRead(t, mid, 16, 20)
+	mustRead(t, root, 24, 28)
+
+	if got := pagesOf(leaf); !reflect.DeepEqual(got, wantLeaf) {
+		t.Errorf("interior/root reads after the fork changed the leaf: %v, want %v", got, wantLeaf)
+	}
+	if n := leaf.ResidentPages(); n != 8 {
+		t.Errorf("leaf resident pages = %d, want the 8 present at fork time", n)
+	}
+	if _, ok := leaf.frameAt(16); ok {
+		t.Error("interior node's post-fork page aliased into the leaf")
+	}
+	if _, ok := mid.frameAt(24); ok {
+		t.Error("root's post-fork page aliased into the interior clone")
+	}
+	for idx := range wantMid {
+		if _, ok := mid.frameAt(idx); !ok {
+			t.Errorf("interior node lost page %d when the leaf forked", idx)
+		}
+	}
+	// The leaf fork froze mid's overlay into one merged base that both
+	// nodes now share; mid's later reads went to a fresh overlay.
+	if &mid.frozen[0] != &leaf.frozen[0] {
+		t.Error("leaf does not share the interior node's frozen base")
+	}
+}

@@ -9,7 +9,6 @@
 package vm
 
 import (
-	"repro/internal/arch"
 	"repro/internal/mem"
 	"repro/internal/pagetable"
 )
@@ -22,6 +21,9 @@ type CloneCtx struct {
 	// simulated-kernel PTP sharing across the machine clone. Pass it to
 	// PageTable.CloneShared for every address space in the machine.
 	Tables map[*pagetable.L2Table]*pagetable.L2Table
+	// Nodes batches the machine clone's L2Table clone nodes; everything
+	// it allocates belongs to the cloned machine.
+	Nodes pagetable.CloneArena
 
 	files map[*File]*File
 }
@@ -56,15 +58,23 @@ func (cc *CloneCtx) File(f *File) *File {
 // source: the source's private overlay is first merged into its frozen
 // base (the base is immutable from then on, so sharing it is safe), and
 // the clone starts with that base plus an empty overlay of its own.
+// Both layers are sorted and disjoint, so the merge is a linear two-way
+// merge into one fresh array, which source and clone then share.
 func (f *File) cloneShared(phys *mem.PhysMem) *File {
 	if len(f.pages) > 0 || f.frozen == nil {
-		merged := make(map[int]arch.FrameNum, len(f.frozen)+len(f.pages))
-		for i, fr := range f.frozen {
-			merged[i] = fr
+		merged := make([]filePage, 0, len(f.frozen)+len(f.pages))
+		a, b := f.frozen, f.pages
+		for len(a) > 0 && len(b) > 0 {
+			if a[0].idx < b[0].idx {
+				merged = append(merged, a[0])
+				a = a[1:]
+			} else {
+				merged = append(merged, b[0])
+				b = b[1:]
+			}
 		}
-		for i, fr := range f.pages {
-			merged[i] = fr
-		}
+		merged = append(merged, a...)
+		merged = append(merged, b...)
 		f.frozen = merged
 		f.pages = nil // reallocated lazily on the next write
 	}
@@ -83,7 +93,7 @@ func (f *File) cloneShared(phys *mem.PhysMem) *File {
 // simulated kernel.
 func (mm *MM) CloneShared(cc *CloneCtx) *MM {
 	c := &MM{
-		PT:       mm.PT.CloneShared(cc.Phys, cc.Tables),
+		PT:       mm.PT.CloneShared(cc.Phys, cc.Tables, &cc.Nodes),
 		ASID:     mm.ASID,
 		Counters: mm.Counters,
 		phys:     cc.Phys,

@@ -129,25 +129,51 @@ type File struct {
 	phys *mem.PhysMem
 	// pages is this file's private page-cache overlay; frozen is an
 	// immutable base shared structurally with checkpoint clones of the
-	// file. Keys are disjoint: a read-in page lands in pages only when
-	// neither map holds it, and frozen is never written after freezing.
-	pages  map[int]arch.FrameNum
-	frozen map[int]arch.FrameNum
+	// file. Both are sorted by page index and disjoint: a read-in page
+	// lands in pages only when neither array holds it, and frozen is
+	// never written after freezing. Flat sorted arrays beat maps here:
+	// lookups are a short binary search with no hashing, iteration is a
+	// merge in index order with no sort, and a checkpoint clone shares
+	// one contiguous block instead of a bucket graph.
+	pages  []filePage
+	frozen []filePage
+}
+
+// filePage is one resident page-cache entry.
+type filePage struct {
+	idx   int32
+	frame arch.FrameNum
+}
+
+// findPage binary-searches a sorted filePage array.
+func findPage(s []filePage, idx int32) (arch.FrameNum, bool) {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].idx < idx {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo].idx == idx {
+		return s[lo].frame, true
+	}
+	return 0, false
 }
 
 // NewFile creates a file of the given size with an empty page cache.
 func NewFile(phys *mem.PhysMem, name string, size int) *File {
-	return &File{Name: name, Size: size, phys: phys, pages: make(map[int]arch.FrameNum)}
+	return &File{Name: name, Size: size, phys: phys}
 }
 
 // frameAt returns the cached frame for page idx from the overlay or the
 // frozen base.
 func (f *File) frameAt(idx int) (arch.FrameNum, bool) {
-	if fr, ok := f.pages[idx]; ok {
+	if fr, ok := findPage(f.pages, int32(idx)); ok {
 		return fr, true
 	}
-	fr, ok := f.frozen[idx]
-	return fr, ok
+	return findPage(f.frozen, int32(idx))
 }
 
 // PageFrame returns the page-cache frame for page index idx, reading it in
@@ -163,37 +189,41 @@ func (f *File) PageFrame(idx int) (arch.FrameNum, error) {
 	if err != nil {
 		return 0, fmt.Errorf("vm: page cache for %q: %w", f.Name, err)
 	}
-	f.overlay()[idx] = fr
+	f.insertRun(int32(idx), fr, 1)
 	return fr, nil
 }
 
-// overlay returns the private overlay map, allocating it on first write:
-// checkpoint clones start with a nil overlay so an unwritten file costs
-// no allocation per fork.
-func (f *File) overlay() map[int]arch.FrameNum {
-	if f.pages == nil {
-		f.pages = make(map[int]arch.FrameNum)
+// insertRun splices n pages with consecutive indices starting at base and
+// consecutive frames starting at fr into the sorted overlay. The caller
+// has checked none of them is resident, so the run occupies one gap.
+// Checkpoint clones start with a nil overlay; the first write allocates
+// it, so an unwritten file costs nothing per fork.
+func (f *File) insertRun(base int32, fr arch.FrameNum, n int) {
+	i := sort.Search(len(f.pages), func(i int) bool { return f.pages[i].idx >= base })
+	f.pages = append(f.pages, make([]filePage, n)...)
+	copy(f.pages[i+n:], f.pages[i:])
+	for k := 0; k < n; k++ {
+		f.pages[i+k] = filePage{idx: base + int32(k), frame: fr + arch.FrameNum(k)}
 	}
-	return f.pages
 }
 
 // ResidentPages returns the number of pages currently in the page cache.
 func (f *File) ResidentPages() int { return len(f.pages) + len(f.frozen) }
 
 // ForEachPage calls fn for every resident page-cache page in ascending
-// page order, for state fingerprinting.
+// page order, for state fingerprinting. Both layers are already sorted,
+// so this is a plain two-way merge.
 func (f *File) ForEachPage(fn func(idx int, frame arch.FrameNum)) {
-	idxs := make([]int, 0, len(f.pages)+len(f.frozen))
-	for i := range f.frozen {
-		idxs = append(idxs, i)
-	}
-	for i := range f.pages {
-		idxs = append(idxs, i)
-	}
-	sort.Ints(idxs)
-	for _, i := range idxs {
-		fr, _ := f.frameAt(i)
-		fn(i, fr)
+	a, b := f.frozen, f.pages
+	for len(a) > 0 || len(b) > 0 {
+		switch {
+		case len(b) == 0 || (len(a) > 0 && a[0].idx < b[0].idx):
+			fn(int(a[0].idx), a[0].frame)
+			a = a[1:]
+		default:
+			fn(int(b[0].idx), b[0].frame)
+			b = b[1:]
+		}
 	}
 }
 
@@ -222,9 +252,7 @@ func (f *File) LargeFrame(chunk int) (arch.FrameNum, error) {
 	if err != nil {
 		return 0, fmt.Errorf("vm: large page cache for %q: %w", f.Name, err)
 	}
-	for i := 0; i < arch.PagesPerLargePage; i++ {
-		f.overlay()[base+i] = fr + arch.FrameNum(i)
-	}
+	f.insertRun(int32(base), fr, arch.PagesPerLargePage)
 	return fr, nil
 }
 

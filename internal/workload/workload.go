@@ -77,6 +77,15 @@ const ZygoteTouchedPTEs = 5900
 // DefaultUniverse deterministically builds the preloaded-code landscape:
 // 88 dynamic libraries totalling ~40MB of code, a ~20MB Java boot image,
 // and a small app_process binary.
+//
+// The fixed seed below is deliberate and distinct from the per-app
+// AppSpec.Seed that BuildProfile plumbs through: the universe is the one
+// shared landscape every experiment runs against — the paper measures
+// many applications on ONE device image — so it must be identical across
+// all sessions, sweeps and workers (checkpoint keys even identify it by
+// pointer). Per-application randomness enters later, in BuildProfile,
+// seeded from each AppSpec. Changing this constant changes every golden
+// file; TestUniverseSeedIsFixed pins the separation.
 func DefaultUniverse() *Universe {
 	rng := rand.New(rand.NewSource(42))
 	u := &Universe{

@@ -23,6 +23,61 @@ func TestUniverseDeterministic(t *testing.T) {
 	}
 }
 
+// TestUniverseSeedIsFixed pins the deliberate split between the
+// universe's fixed seed and the per-application AppSpec.Seed (see the
+// DefaultUniverse comment): the seed-42 landscape is frozen by checksum,
+// and application randomness demonstrably flows through spec.Seed alone —
+// same spec, same profile, from any universe instance; different seeds,
+// different profiles, same landscape.
+func TestUniverseSeedIsFixed(t *testing.T) {
+	u := DefaultUniverse()
+	var h uint64
+	for i, l := range u.Libs {
+		h = h*1000003 + uint64(i+1)*uint64(l.CodePages)*31 + uint64(l.DataPages)
+	}
+	for _, pg := range u.ZygoteSet() {
+		h = h*1000003 + uint64(pg)
+	}
+	// Frozen fingerprint of the seed-42 landscape. If this changed, every
+	// golden file in internal/experiments/testdata changed with it: treat
+	// that as a deliberate, goldens-regenerating change, never a drive-by.
+	const want = uint64(0x6a1ab243328a19d5)
+	if h != want {
+		t.Fatalf("DefaultUniverse landscape hash = %#x, want %#x; the fixed universe seed (or the landscape construction) changed", h, want)
+	}
+
+	// Per-app randomness comes from spec.Seed, not the universe: the same
+	// spec materializes identically against independent universe builds...
+	spec := Suite()[0]
+	pa := BuildProfile(u, spec)
+	pb := BuildProfile(DefaultUniverse(), spec)
+	if len(pa.ZygotePreloaded) != len(pb.ZygotePreloaded) {
+		t.Fatalf("profile differs across universe instances: %d vs %d pages",
+			len(pa.ZygotePreloaded), len(pb.ZygotePreloaded))
+	}
+	for i := range pa.ZygotePreloaded {
+		if pa.ZygotePreloaded[i] != pb.ZygotePreloaded[i] {
+			t.Fatalf("profile page %d differs across universe instances", i)
+		}
+	}
+	// ...and reseeding the spec moves the sample within the landscape.
+	reseeded := spec
+	reseeded.Seed += 1000
+	pc := BuildProfile(u, reseeded)
+	same := len(pa.ZygotePreloaded) == len(pc.ZygotePreloaded)
+	if same {
+		for i := range pa.ZygotePreloaded {
+			if pa.ZygotePreloaded[i] != pc.ZygotePreloaded[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("reseeding the AppSpec did not change the sampled profile; spec.Seed is not plumbed through")
+	}
+}
+
 func TestUniverseShape(t *testing.T) {
 	u := DefaultUniverse()
 	if len(u.Libs) != 88 {
