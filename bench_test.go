@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/android"
 	"repro/internal/arch"
+	"repro/internal/arch/armv7"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -379,11 +380,11 @@ func BenchmarkUnshareOnWrite(b *testing.B) {
 }
 
 func BenchmarkTLBLookupHit(b *testing.B) {
-	t := tlb.New("bench", 128)
-	dacr := arch.StockDACR()
+	t := tlb.New("bench", 128, armv7.PagesPerLargePage)
+	dacr := armv7.StockDACR()
 	for i := 0; i < 64; i++ {
 		t.Insert(arch.VirtAddr(i)<<arch.PageShift, 1,
-			arch.FrameNum(i), arch.PTEValid|arch.PTEUser|arch.PTEExec, arch.DomainUser)
+			arch.FrameNum(i), arch.PTEValid|arch.PTEUser|arch.PTEExec, armv7.DomainUser)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

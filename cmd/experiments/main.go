@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-parallel N] [-launch-runs N] [-app-runs N]
-//	            [-binder-iters N] [-only LIST] [-list] [-json]
+//	experiments [-quick] [-arch armv7|sv39] [-parallel N] [-launch-runs N]
+//	            [-app-runs N] [-binder-iters N] [-only LIST] [-list] [-json]
 //	            [-nocheckpoint] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -only selects a comma-separated subset, e.g. -only table4,figure7; an
-// unknown name is an error. Explicitly set size flags always override
+// unknown name is an error. -arch selects the simulated MMU architecture
+// by registry name (default armv7); an unknown name is an error listing
+// the registered architectures. Explicitly set size flags always override
 // -quick. -parallel controls how many workers the sweeps fan out over;
 // results are byte-identical regardless of the worker count. -json
 // replaces the text tables with one structured document (schema
@@ -29,6 +31,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/arch"
+	_ "repro/internal/arch/armv7"
+	_ "repro/internal/arch/sv39"
 	"repro/internal/experiments"
 	"repro/internal/prof"
 )
@@ -43,6 +48,7 @@ func main() {
 func run(argv []string, out *os.File) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "use reduced sweep sizes (overridden by any explicitly set size flag)")
+	archName := fs.String("arch", "armv7", "MMU architecture to simulate: "+strings.Join(arch.Names(), ", "))
 	launchRuns := fs.Int("launch-runs", 0, "launches per config for Figures 7-9 (>=1; default 100, paper >100; overrides -quick)")
 	appRuns := fs.Int("app-runs", 0, "executions per app for Figures 10-12 (>=1; default 10, as the paper; overrides -quick)")
 	binderIters := fs.Int("binder-iters", 0, "IPC calls for Figure 13 (>=1; default 100000, as the paper; overrides -quick)")
@@ -96,6 +102,11 @@ func run(argv []string, out *os.File) (err error) {
 		return flagErr
 	}
 
+	if _, ok := arch.Lookup(*archName); !ok {
+		return fmt.Errorf("unknown architecture %q; valid names:\n  %s",
+			*archName, strings.Join(arch.Names(), "\n  "))
+	}
+
 	registry := experiments.Registry()
 	valid := map[string]bool{}
 	for _, e := range registry {
@@ -129,6 +140,7 @@ func run(argv []string, out *os.File) (err error) {
 	s := experiments.New(params)
 	s.Parallel = *parallel
 	s.NoCheckpoint = *noCheckpoint
+	s.Arch = *archName
 
 	if *jsonOut {
 		doc, err := experiments.RunJSON(s, selected)

@@ -7,8 +7,13 @@
 // Usage:
 //
 //	satsim [-kernel stock|copied|shared|shared-tlb] [-layout original|2mb]
-//	       [-app NAME|all] [-runs N] [-parallel N] [-json] [-list]
-//	       [-nocheckpoint] [-cpuprofile FILE] [-memprofile FILE]
+//	       [-arch armv7|sv39] [-app NAME|all] [-runs N] [-parallel N]
+//	       [-json] [-list] [-nocheckpoint] [-cpuprofile FILE]
+//	       [-memprofile FILE]
+//
+// -arch selects the simulated MMU architecture by registry name (default
+// armv7); an unknown name is an error listing the registered
+// architectures.
 //
 // -app all sweeps the whole suite, one freshly booted system per
 // application, fanned out over -parallel workers (0 = GOMAXPROCS,
@@ -35,8 +40,12 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strings"
 
 	"repro/internal/android"
+	"repro/internal/arch"
+	_ "repro/internal/arch/armv7"
+	_ "repro/internal/arch/sv39"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -49,6 +58,7 @@ import (
 func main() {
 	kernel := flag.String("kernel", "shared-tlb", "kernel config: stock, copied, shared, shared-tlb")
 	layout := flag.String("layout", "original", "library layout: original or 2mb")
+	archName := flag.String("arch", "armv7", "MMU architecture to simulate: "+strings.Join(arch.Names(), ", "))
 	app := flag.String("app", "Email", "application to run (see -list), or all for the whole suite")
 	runs := flag.Int("runs", 1, "number of consecutive executions, >= 1 (warm starts after the first)")
 	parallel := flag.Int("parallel", 0, "workers for -app all: 1 = serial, N>1 = N workers, 0 = GOMAXPROCS")
@@ -66,7 +76,7 @@ func main() {
 		}
 		return
 	}
-	err := runProfiled(os.Stdout, *kernel, *layout, *app, *runs, *parallel, *jsonOut, *noCheckpoint,
+	err := runProfiled(os.Stdout, *kernel, *layout, *archName, *app, *runs, *parallel, *jsonOut, *noCheckpoint,
 		*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "satsim:", err)
@@ -78,8 +88,8 @@ func main() {
 // first, so a bad flag never leaves behind a truncated profile of
 // nothing; once profiling starts, teardown is deferred, so the capture
 // is written on every return path — early errors included.
-func runProfiled(w io.Writer, kernelName, layoutName, appName string, runs, parallel int, jsonOut, noCheckpoint bool, cpuProfile, memProfile string) (err error) {
-	if err := validate(kernelName, layoutName, appName, runs, parallel); err != nil {
+func runProfiled(w io.Writer, kernelName, layoutName, archName, appName string, runs, parallel int, jsonOut, noCheckpoint bool, cpuProfile, memProfile string) (err error) {
+	if err := validate(kernelName, layoutName, archName, appName, runs, parallel); err != nil {
 		return err
 	}
 	stopProf, err := prof.Start(cpuProfile, memProfile)
@@ -91,13 +101,13 @@ func runProfiled(w io.Writer, kernelName, layoutName, appName string, runs, para
 			err = perr
 		}
 	}()
-	return run(w, kernelName, layoutName, appName, runs, parallel, jsonOut, noCheckpoint)
+	return run(w, kernelName, layoutName, archName, appName, runs, parallel, jsonOut, noCheckpoint)
 }
 
 // validate rejects bad scenario parameters without side effects; run
 // performs the same checks again as it parses, so callers of run alone
 // (the tests) lose nothing.
-func validate(kernelName, layoutName, appName string, runs, parallel int) error {
+func validate(kernelName, layoutName, archName, appName string, runs, parallel int) error {
 	if runs < 1 {
 		return fmt.Errorf("-runs must be >= 1 (got %d)", runs)
 	}
@@ -113,6 +123,10 @@ func validate(kernelName, layoutName, appName string, runs, parallel int) error 
 	case "original", "2mb":
 	default:
 		return fmt.Errorf("unknown layout %q", layoutName)
+	}
+	if _, ok := arch.Lookup(archName); !ok {
+		return fmt.Errorf("unknown architecture %q; valid names:\n  %s",
+			archName, strings.Join(arch.Names(), "\n  "))
 	}
 	if appName != "all" {
 		if _, err := workload.SpecByName(appName); err != nil {
@@ -166,12 +180,16 @@ type appReport struct {
 	doc  jsonApp
 }
 
-func run(w io.Writer, kernelName, layoutName, appName string, runs, parallel int, jsonOut, noCheckpoint bool) error {
+func run(w io.Writer, kernelName, layoutName, archName, appName string, runs, parallel int, jsonOut, noCheckpoint bool) error {
 	if runs < 1 {
 		return fmt.Errorf("-runs must be >= 1 (got %d)", runs)
 	}
 	if parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0 (got %d)", parallel)
+	}
+	if _, ok := arch.Lookup(archName); !ok {
+		return fmt.Errorf("unknown architecture %q; valid names:\n  %s",
+			archName, strings.Join(arch.Names(), "\n  "))
 	}
 	var cfg core.Config
 	switch kernelName {
@@ -208,7 +226,7 @@ func run(w io.Writer, kernelName, layoutName, appName string, runs, parallel int
 		specs = []workload.AppSpec{spec}
 	}
 
-	reports, err := runSuite(cfg, layout, u, specs, runs, parallel, noCheckpoint)
+	reports, err := runSuite(cfg, layout, archName, u, specs, runs, parallel, noCheckpoint)
 	if err != nil {
 		return err
 	}
@@ -234,16 +252,17 @@ func run(w io.Writer, kernelName, layoutName, appName string, runs, parallel int
 // runSuite runs every selected application, each in its own freshly
 // booted system, fanned out over the sweep worker pool. Reports come
 // back in suite order whatever the completion order was.
-func runSuite(cfg core.Config, layout android.Layout, u *workload.Universe, specs []workload.AppSpec, runs, parallel int, noCheckpoint bool) ([]appReport, error) {
+func runSuite(cfg core.Config, layout android.Layout, archName string, u *workload.Universe, specs []workload.AppSpec, runs, parallel int, noCheckpoint bool) ([]appReport, error) {
 	// Every scenario shares one boot prefix, so the whole suite forks a
 	// single checkpoint image; concurrent workers share the one boot.
+	opts := android.Options{Arch: archName}
 	ckpt := checkpoint.NewCache()
 	boot := func() (*android.System, error) {
 		if noCheckpoint {
-			return android.Boot(cfg, layout, u)
+			return android.BootOpts(cfg, layout, u, opts)
 		}
-		img, err := ckpt.Image(checkpoint.Key(cfg, layout, u, android.Options{}), func() (*android.System, error) {
-			return android.Boot(cfg, layout, u)
+		img, err := ckpt.Image(checkpoint.Key(cfg, layout, u, opts), func() (*android.System, error) {
+			return android.BootOpts(cfg, layout, u, opts)
 		})
 		if err != nil {
 			return nil, err

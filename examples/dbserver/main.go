@@ -49,7 +49,7 @@ func main() {
 }
 
 func run(cfg core.Config) (faults uint64, ptpFrames int, err error) {
-	k, err := core.NewKernel(1<<17, cfg)
+	k, err := core.New(1<<17, core.WithConfig(cfg))
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,8 +1,9 @@
 // Package deprecated defines a satlint analyzer that flags new uses of
 // module-internal symbols carrying a "// Deprecated:" doc comment — the
-// standard Go convention — such as core.Kernel.OnPageFault, superseded
-// by Kernel.Subscribe in the observability rework. The declaring package
-// itself is exempt: it must keep honoring the symbol for compatibility.
+// standard Go convention — as core.Kernel.OnPageFault was before
+// Kernel.Subscribe from the observability rework retired it. The
+// declaring package itself is exempt: it must keep honoring the symbol
+// for compatibility.
 //
 // The analyzer resolves each used object to its declaration site and
 // reads the deprecation notice from the source file, so it works both in

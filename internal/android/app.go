@@ -235,11 +235,13 @@ func (a *App) OtherLibPages() []arch.VirtAddr {
 // mapFile creates an app-specific file-backed region in the process's
 // private mapping area. As with the real mmap area, consecutive mappings
 // land scattered rather than densely packed: each region starts on a
-// fresh 1MB boundary (a fresh PTP), which is what makes application-
-// specific mappings contribute their own PTPs during launch (Figure 9).
+// fresh PTP-span boundary (1MB on ARMv7, 2MB on Sv39 — a fresh PTP),
+// which is what makes application-specific mappings contribute their
+// own PTPs during launch (Figure 9).
 func (a *App) mapFile(name string, pages int, prot vm.Prot, cat vm.Category) (*vm.VMA, error) {
 	f := vm.NewFile(a.Sys.Kernel.Phys, name, pages*arch.PageSize)
-	start := (a.mapCursor + arch.SectionSize - 1) &^ (arch.SectionSize - 1)
+	span := a.Sys.Kernel.Geometry().SlotSpan()
+	start := (a.mapCursor + span - 1) &^ (span - 1)
 	v := &vm.VMA{
 		Start: start, End: start + arch.VirtAddr(pages*arch.PageSize),
 		Prot: prot, Flags: vm.VMAPrivate, File: f, Name: name, Category: cat,

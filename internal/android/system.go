@@ -8,6 +8,7 @@ package android
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -93,13 +94,17 @@ const BootFrames = 1 << 18
 
 // Options tune the boot beyond kernel config and library layout.
 type Options struct {
-	// JavaLargePages maps the ART boot image's code with 64KB large
-	// pages instead of demand-paged 4KB pages — the large-page study
-	// of Section 2.3.3. The whole image becomes resident eagerly.
+	// JavaLargePages maps the ART boot image's code with large pages
+	// (64KB on ARMv7, 2MB on Sv39) instead of demand-paged 4KB pages —
+	// the large-page study of Section 2.3.3. The whole image becomes
+	// resident eagerly.
 	JavaLargePages bool
 	// CPUs is the number of simulated cores (0 means one). The Nexus 7
 	// has four; translation changes then cost TLB shootdowns.
 	CPUs int
+	// Arch names the MMU architecture to boot ("armv7", "sv39"; empty
+	// means armv7). Resolved through the arch registry.
+	Arch string
 }
 
 // Boot brings up a kernel with the given configuration and starts the
@@ -117,7 +122,16 @@ func BootOpts(cfg core.Config, layout Layout, u *workload.Universe, opts Options
 	if ncpus < 1 {
 		ncpus = 1
 	}
-	k, err := core.NewKernelSMP(BootFrames, cfg, ncpus)
+	archName := opts.Arch
+	if archName == "" {
+		archName = "armv7"
+	}
+	m, ok := arch.Lookup(archName)
+	if !ok {
+		return nil, fmt.Errorf("android: unknown architecture %q; registered: %s",
+			archName, strings.Join(arch.Names(), ", "))
+	}
+	k, err := core.New(BootFrames, core.WithConfig(cfg), core.WithCPUs(ncpus), core.WithArch(m))
 	if err != nil {
 		return nil, err
 	}
@@ -163,11 +177,12 @@ func (sys *System) mapZygoteSpace() error {
 	}
 
 	// The Java boot image: AOT-compiled code plus its data. Optionally
-	// the code is mapped with 64KB large pages (rounded up to a whole
-	// number of 64KB chunks, as a large-page loader must).
+	// the code is mapped with large pages (rounded up to a whole number
+	// of large-page chunks, as a large-page loader must).
 	javaCodePages := u.JavaCodePages
 	if sys.Opts.JavaLargePages {
-		javaCodePages = (javaCodePages + arch.PagesPerLargePage - 1) &^ (arch.PagesPerLargePage - 1)
+		ppl := k.Geometry().PagesPerLarge()
+		javaCodePages = (javaCodePages + ppl - 1) &^ (ppl - 1)
 	}
 	sys.javaFile = vm.NewFile(phys, "boot.oat", (javaCodePages+u.JavaDataPages)*arch.PageSize)
 	sys.javaCode = javaBase

@@ -1,18 +1,24 @@
-// Package arch defines the 32-bit ARMv7-A architectural constants and
-// entry encodings used by the simulated memory-management unit: page and
-// table geometry, page-table entry permission bits, the PTE global bit,
-// the 16-entry domain protection model with its DACR encoding, and the
-// fault-status codes reported on memory aborts.
+// Package arch defines the architecture-neutral address types, page-table
+// entry encodings and fault model shared by every simulated MMU, plus the
+// MMU interface (see mmu.go) through which a concrete architecture
+// describes its page-table geometry, TLB tagging scheme and protection
+// model. Concrete backends live in subpackages: internal/arch/armv7
+// models the 32-bit ARMv7-A short-descriptor format studied in "Shared
+// Address Translation Revisited" (EuroSys 2016), and internal/arch/sv39
+// models the RISC-V Sv39 three-level format.
 //
-// The values follow the ARM Architecture Reference Manual (ARMv7-A/R) as
-// summarized in Section 3.1 of "Shared Address Translation Revisited"
-// (EuroSys 2016): a two-level hierarchical page table with 4096 32-bit
-// first-level entries and 256 second-level entries, where 4KB and 64KB
-// page mappings use one and sixteen consecutive aligned level-2 entries
-// respectively, and 1MB/16MB mappings use level-1 entries only.
+// Only what is common to every backend lives here: 32-bit virtual and
+// physical addresses over 4KB base pages, the simulator's positive-logic
+// PTE permission bits, the software-maintained dirty/accessed shadow
+// bits, the domain-access-register mechanics (a no-op on architectures
+// without domains), and the fault-status codes reported on memory aborts.
 package arch
 
 // VirtAddr is a 32-bit virtual address.
+//
+// Architectures with wider virtual spaces (Sv39's 39 bits, for instance)
+// are modeled over the low 4GB of their address space so that workloads
+// are identical across backends; see Geometry.VABits.
 type VirtAddr uint32
 
 // PhysAddr is a 32-bit physical address.
@@ -22,7 +28,7 @@ type PhysAddr uint32
 // addresses [n<<PageShift, (n+1)<<PageShift).
 type FrameNum uint32
 
-// Page and table geometry.
+// Base-page geometry, common to all modeled architectures.
 const (
 	// PageShift is log2 of the base (small) page size.
 	PageShift = 12
@@ -30,35 +36,7 @@ const (
 	PageSize = 1 << PageShift
 	// PageMask masks the offset within a base page.
 	PageMask = PageSize - 1
-
-	// LargePageShift is log2 of the ARM "large page" size.
-	LargePageShift = 16
-	// LargePageSize is the ARM large-page size: 64KB.
-	LargePageSize = 1 << LargePageShift
-	// PagesPerLargePage is the number of consecutive, aligned level-2
-	// entries that establish one 64KB mapping.
-	PagesPerLargePage = LargePageSize / PageSize
-
-	// SectionShift is log2 of the ARM section size (level-1 mapping).
-	SectionShift = 20
-	// SectionSize is the ARM section size: 1MB.
-	SectionSize = 1 << SectionShift
-	// SupersectionSize is the ARM supersection size: 16MB.
-	SupersectionSize = 16 * SectionSize
-
-	// L1Entries is the number of 32-bit entries in the first-level
-	// (root) translation table. Each entry maps 1MB of virtual space.
-	L1Entries = 4096
-	// L2Entries is the number of entries in a second-level (leaf)
-	// table. Each entry maps one 4KB page.
-	L2Entries = 256
 )
-
-// L1Index returns the first-level table index for va (bits 31:20).
-func L1Index(va VirtAddr) int { return int(va >> SectionShift) }
-
-// L2Index returns the second-level table index for va (bits 19:12).
-func L2Index(va VirtAddr) int { return int((va >> PageShift) & (L2Entries - 1)) }
 
 // PageBase returns va rounded down to a 4KB page boundary.
 func PageBase(va VirtAddr) VirtAddr { return va &^ VirtAddr(PageMask) }
@@ -68,10 +46,6 @@ func PageAlignUp(va VirtAddr) VirtAddr {
 	return (va + PageMask) &^ VirtAddr(PageMask)
 }
 
-// SectionBase returns va rounded down to a 1MB section boundary (the span
-// of one level-1 entry, and therefore of one level-2 page-table page).
-func SectionBase(va VirtAddr) VirtAddr { return va &^ VirtAddr(SectionSize-1) }
-
 // VPN returns the virtual page number of va.
 func VPN(va VirtAddr) uint32 { return uint32(va) >> PageShift }
 
@@ -79,7 +53,9 @@ func VPN(va VirtAddr) uint32 { return uint32(va) >> PageShift }
 func FrameAddr(f FrameNum) PhysAddr { return PhysAddr(f) << PageShift }
 
 // PTEFlags is the set of hardware permission and attribute bits carried
-// by a level-2 page-table entry, as loaded into the TLB.
+// by a leaf page-table entry, as loaded into the TLB. The encoding is the
+// simulator's own positive-logic form; each backend documents how it maps
+// onto the real entry format.
 type PTEFlags uint16
 
 const (
@@ -96,16 +72,19 @@ const (
 	// PTEGlobal asserts that the mapping is identical in all address
 	// spaces: the TLB ignores the ASID when matching this entry.
 	PTEGlobal
-	// PTELarge marks the first of sixteen consecutive entries forming
-	// a 64KB large-page mapping.
+	// PTELarge marks the first of Geometry.PagesPerLarge consecutive
+	// entries forming one large-page mapping (64KB on ARMv7, 2MB on
+	// Sv39).
 	PTELarge
 )
 
 // SoftFlags is the set of software-only bits kept in the parallel Linux
-// PTE table. Virtually all bits of the hardware level-2 entry are reserved
-// for the MMU, and ARM provides neither a hardware "referenced" nor
-// "dirty" bit, so the VM system maintains these in a shadow entry paired
-// with the hardware table (Figure 5 of the paper).
+// PTE table. On ARMv7 virtually all bits of the hardware level-2 entry
+// are reserved for the MMU, and the architecture provides neither a
+// hardware "referenced" nor "dirty" bit, so the VM system maintains these
+// in a shadow entry paired with the hardware table (Figure 5 of the
+// paper). RISC-V has hardware A/D bits, but Linux keeps the same software
+// state machine; the simulator models the shadow bits uniformly.
 type SoftFlags uint16
 
 const (
@@ -121,25 +100,10 @@ const (
 	SoftCOW
 )
 
-// Domain identifiers. The 32-bit ARM architecture supports 16 domains for
-// 4KB and 64KB pages; 1MB and 16MB pages are always in domain 0. The
-// stock Android kernel uses only a kernel and a user domain; the shared
-// address translation design adds a zygote domain for the virtual pages
-// of zygote-preloaded shared code.
-const (
-	// DomainKernel is the domain of kernel mappings.
-	DomainKernel uint8 = 0
-	// DomainUser is the domain of ordinary user mappings.
-	DomainUser uint8 = 1
-	// DomainZygote is the new domain holding zygote-preloaded shared
-	// code; only zygote-like processes receive client access to it.
-	DomainZygote uint8 = 2
-
-	// NumDomains is the number of architecturally defined domains.
-	NumDomains = 16
-)
-
 // DomainAccess is a two-bit access right held in the DACR for one domain.
+// Architectures without domain registers (Protection.HasDomains false)
+// keep every mapping in domain 0 with client access, which makes the
+// domain check a structural no-op.
 type DomainAccess uint8
 
 const (
@@ -155,8 +119,8 @@ const (
 )
 
 // DACR is the domain access control register: two bits of DomainAccess
-// per domain, 16 domains. It is loaded from the task control block on
-// every context switch.
+// per domain, up to 16 domains. It is loaded from the task control block
+// on every context switch.
 type DACR uint32
 
 // Access returns the access right the register grants to domain d.
@@ -168,21 +132,6 @@ func (r DACR) Access(d uint8) DomainAccess {
 func (r DACR) WithAccess(d uint8, a DomainAccess) DACR {
 	shift := 2 * uint(d)
 	return (r &^ (3 << shift)) | DACR(a&3)<<shift
-}
-
-// StockDACR is the register value used by the stock Android kernel:
-// client access to the kernel and user domains only.
-func StockDACR() DACR {
-	var r DACR
-	r = r.WithAccess(DomainKernel, DomainClient)
-	r = r.WithAccess(DomainUser, DomainClient)
-	return r
-}
-
-// ZygoteDACR is the register value granted to zygote-like processes:
-// StockDACR plus client access to the zygote domain.
-func ZygoteDACR() DACR {
-	return StockDACR().WithAccess(DomainZygote, DomainClient)
 }
 
 // FaultStatus is the memory-abort cause recorded in the fault status
@@ -246,6 +195,8 @@ func (k AccessKind) String() string {
 	}
 }
 
-// ASID is an address space identifier as tagged in TLB entries. ARMv7
-// ASIDs are 8 bits wide.
-type ASID uint8
+// ASID is an address space identifier as tagged in TLB entries. The type
+// is wide enough for every modeled architecture; Tagging.ASIDBits says
+// how many of the low bits a given MMU implements (8 on ARMv7, 16 on
+// Sv39), and the kernel's allocator wraps at that width.
+type ASID uint16

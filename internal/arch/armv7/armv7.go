@@ -1,0 +1,128 @@
+// Package armv7 models the 32-bit ARMv7-A short-descriptor MMU studied
+// in "Shared Address Translation Revisited" (EuroSys 2016), Section 3.1:
+// a two-level hierarchical page table with 4096 32-bit first-level
+// entries and 256 second-level entries, where 4KB and 64KB page mappings
+// use one and sixteen consecutive aligned level-2 entries respectively,
+// 8-bit ASIDs tag TLB entries, and the 16-entry domain protection model
+// with its DACR encoding provides the per-domain access toggle the
+// paper's TLB-sharing design exploits.
+//
+// The values follow the ARM Architecture Reference Manual (ARMv7-A/R).
+package armv7
+
+import "repro/internal/arch"
+
+// ARM-specific page and table geometry.
+const (
+	// LargePageShift is log2 of the ARM "large page" size.
+	LargePageShift = 16
+	// LargePageSize is the ARM large-page size: 64KB.
+	LargePageSize = 1 << LargePageShift
+	// PagesPerLargePage is the number of consecutive, aligned level-2
+	// entries that establish one 64KB mapping.
+	PagesPerLargePage = LargePageSize / arch.PageSize
+
+	// SectionShift is log2 of the ARM section size (level-1 mapping).
+	SectionShift = 20
+	// SectionSize is the ARM section size: 1MB.
+	SectionSize = 1 << SectionShift
+	// SupersectionSize is the ARM supersection size: 16MB.
+	SupersectionSize = 16 * SectionSize
+
+	// L1Entries is the number of 32-bit entries in the first-level
+	// (root) translation table. Each entry maps 1MB of virtual space.
+	L1Entries = 4096
+	// L2Entries is the number of entries in a second-level (leaf)
+	// table. Each entry maps one 4KB page.
+	L2Entries = 256
+)
+
+// L1Index returns the first-level table index for va (bits 31:20).
+func L1Index(va arch.VirtAddr) int { return int(va >> SectionShift) }
+
+// L2Index returns the second-level table index for va (bits 19:12).
+func L2Index(va arch.VirtAddr) int {
+	return int((va >> arch.PageShift) & (L2Entries - 1))
+}
+
+// SectionBase returns va rounded down to a 1MB section boundary (the span
+// of one level-1 entry, and therefore of one level-2 page-table page).
+func SectionBase(va arch.VirtAddr) arch.VirtAddr {
+	return va &^ arch.VirtAddr(SectionSize-1)
+}
+
+// Domain identifiers. The 32-bit ARM architecture supports 16 domains for
+// 4KB and 64KB pages; 1MB and 16MB pages are always in domain 0. The
+// stock Android kernel uses only a kernel and a user domain; the shared
+// address translation design adds a zygote domain for the virtual pages
+// of zygote-preloaded shared code.
+const (
+	// DomainKernel is the domain of kernel mappings.
+	DomainKernel uint8 = 0
+	// DomainUser is the domain of ordinary user mappings.
+	DomainUser uint8 = 1
+	// DomainZygote is the new domain holding zygote-preloaded shared
+	// code; only zygote-like processes receive client access to it.
+	DomainZygote uint8 = 2
+
+	// NumDomains is the number of architecturally defined domains.
+	NumDomains = 16
+)
+
+// StockDACR is the register value used by the stock Android kernel:
+// client access to the kernel and user domains only.
+func StockDACR() arch.DACR {
+	var r arch.DACR
+	r = r.WithAccess(DomainKernel, arch.DomainClient)
+	r = r.WithAccess(DomainUser, arch.DomainClient)
+	return r
+}
+
+// ZygoteDACR is the register value granted to zygote-like processes:
+// StockDACR plus client access to the zygote domain.
+func ZygoteDACR() arch.DACR {
+	return StockDACR().WithAccess(DomainZygote, arch.DomainClient)
+}
+
+// mmu implements arch.MMU. The package exposes a singleton: descriptor
+// structs are plain values, so there is no state to instantiate.
+type mmu struct{}
+
+var singleton = mmu{}
+
+// MMU returns the ARMv7-A backend.
+func MMU() arch.MMU { return singleton }
+
+func init() { arch.Register(singleton) }
+
+func (mmu) Name() string { return "armv7" }
+
+func (mmu) Geometry() arch.Geometry {
+	return arch.Geometry{
+		Levels:         2,
+		VABits:         32,
+		TableShift:     SectionShift,
+		LeafEntries:    L2Entries,
+		RootEntries:    L1Entries,
+		MidEntries:     0,
+		RootFrames:     L1Entries * 4 / arch.PageSize, // 16KB TTBR table
+		EntryBytes:     4,
+		LargePageShift: LargePageShift,
+	}
+}
+
+func (mmu) Tagging() arch.Tagging {
+	return arch.Tagging{ASIDBits: 8}
+}
+
+func (mmu) Protection() arch.Protection {
+	return arch.Protection{
+		HasDomains:   true,
+		NumDomains:   NumDomains,
+		KernelDomain: DomainKernel,
+		UserDomain:   DomainUser,
+		SharedDomain: DomainZygote,
+		StockDACR:    StockDACR(),
+		ZygoteDACR:   ZygoteDACR(),
+	}
+}

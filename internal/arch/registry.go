@@ -1,0 +1,49 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The MMU registry. Backends register a singleton from an init function
+// (the database/sql driver idiom), so importing a backend package — even
+// blank — makes it resolvable by name here. Commands and tests share this
+// registry for -arch flag validation.
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]MMU)
+)
+
+// Register makes m resolvable by Lookup under m.Name(). It panics on a
+// duplicate name, which would indicate two backends colliding.
+func Register(m MMU) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := m.Name()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("arch: Register called twice for %q", name))
+	}
+	registry[name] = m
+}
+
+// Lookup returns the registered MMU with the given name.
+func Lookup(name string) (MMU, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	m, ok := registry[name]
+	return m, ok
+}
+
+// Names returns the registered architecture names in sorted order, for
+// flag validation messages.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,123 @@
+// Package sv39 models the RISC-V Sv39 MMU from the privileged
+// architecture specification: a three-level hierarchical page table with
+// 512 64-bit entries per level, 4KB/2MB/1GB page sizes, and 16-bit ASIDs
+// tagging TLB entries. There are no domain registers — beyond the
+// per-PTE U bit (plus sstatus.SUM for supervisor accesses to user pages)
+// the architecture offers no way to revoke access to a group of mappings
+// without editing PTEs — so arch.Protection.HasDomains is false and the
+// TLB-sharing design must flush global entries when switching to a
+// process outside the sharing set (the software cost that replaces the
+// ARM domain trick; see DESIGN.md).
+//
+// The simulator models the low 4GB of the 39-bit virtual space so that
+// workloads are byte-identical across backends: VPN[2] contributes only
+// its low two bits, and the root table stays a single 4KB frame exactly
+// as in hardware. One 2MB megapage occupies a whole leaf table's span,
+// so the simulator represents it with 512 replicated leaf entries, the
+// same mechanism ARMv7 uses for its 16-entry 64KB large pages.
+//
+// A modeling note on the leaf-table footprint: 512 eight-byte PTEs fill
+// the 4KB page-table page completely, leaving no room for the in-frame
+// software shadow table ARMv7 enjoys (Figure 5 of the paper). RISC-V has
+// hardware A/D bits, so Linux does not need the shadow; the simulator
+// keeps its uniform out-of-band soft-bits array either way.
+package sv39
+
+import "repro/internal/arch"
+
+// Sv39 table geometry over the modeled low-4GB window.
+const (
+	// EntriesPerLevel is the number of 64-bit entries at every level.
+	EntriesPerLevel = 512
+	// EntryBytes is the size of one PTE.
+	EntryBytes = 8
+
+	// MegaPageShift is log2 of the level-1 (2MB) megapage size.
+	MegaPageShift = 21
+	// MegaPageSize is the 2MB megapage size.
+	MegaPageSize = 1 << MegaPageShift
+	// PagesPerMegaPage is the number of 4KB pages one megapage spans —
+	// a full leaf table.
+	PagesPerMegaPage = MegaPageSize / arch.PageSize
+
+	// GigaPageShift is log2 of the level-2 (1GB) gigapage size.
+	GigaPageShift = 30
+	// GigaPageSize is the 1GB gigapage size.
+	GigaPageSize = 1 << GigaPageShift
+)
+
+// VPN2 returns VPN[2], the root-table index of va (bits 38:30; only bits
+// 31:30 are non-zero inside the modeled 4GB window).
+func VPN2(va arch.VirtAddr) int { return int(va >> GigaPageShift) }
+
+// VPN1 returns VPN[1], the mid-table index of va (bits 29:21).
+func VPN1(va arch.VirtAddr) int {
+	return int((va >> MegaPageShift) & (EntriesPerLevel - 1))
+}
+
+// VPN0 returns VPN[0], the leaf-table index of va (bits 20:12).
+func VPN0(va arch.VirtAddr) int {
+	return int((va >> arch.PageShift) & (EntriesPerLevel - 1))
+}
+
+// Compose reassembles a virtual address from its three VPN fields and
+// page offset. It is the inverse of (VPN2, VPN1, VPN0, va&PageMask).
+func Compose(vpn2, vpn1, vpn0 int, offset arch.VirtAddr) arch.VirtAddr {
+	return arch.VirtAddr(vpn2)<<GigaPageShift |
+		arch.VirtAddr(vpn1)<<MegaPageShift |
+		arch.VirtAddr(vpn0)<<arch.PageShift |
+		offset&arch.PageMask
+}
+
+// MegaPageBase returns va rounded down to a 2MB megapage boundary (the
+// span of one leaf table).
+func MegaPageBase(va arch.VirtAddr) arch.VirtAddr {
+	return va &^ arch.VirtAddr(MegaPageSize-1)
+}
+
+// mmu implements arch.MMU.
+type mmu struct{}
+
+var singleton = mmu{}
+
+// MMU returns the RISC-V Sv39 backend.
+func MMU() arch.MMU { return singleton }
+
+func init() { arch.Register(singleton) }
+
+func (mmu) Name() string { return "sv39" }
+
+func (mmu) Geometry() arch.Geometry {
+	return arch.Geometry{
+		Levels:         3,
+		VABits:         32, // low-4GB window of the 39-bit space
+		TableShift:     MegaPageShift,
+		LeafEntries:    EntriesPerLevel,
+		RootEntries:    EntriesPerLevel,
+		MidEntries:     EntriesPerLevel,
+		RootFrames:     1,
+		EntryBytes:     EntryBytes,
+		LargePageShift: MegaPageShift,
+	}
+}
+
+func (mmu) Tagging() arch.Tagging {
+	return arch.Tagging{ASIDBits: 16}
+}
+
+func (mmu) Protection() arch.Protection {
+	// No domains: everything lives in the trivial domain 0, to which
+	// every process has client access. The DACR machinery downstream
+	// becomes a structural no-op.
+	var dacr arch.DACR
+	dacr = dacr.WithAccess(0, arch.DomainClient)
+	return arch.Protection{
+		HasDomains:   false,
+		NumDomains:   1,
+		KernelDomain: 0,
+		UserDomain:   0,
+		SharedDomain: 0,
+		StockDACR:    dacr,
+		ZygoteDACR:   dacr,
+	}
+}

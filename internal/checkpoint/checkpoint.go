@@ -196,14 +196,14 @@ func (img *Image) Fingerprint() string {
 			fmt.Fprintf(&b, "  vma %#x-%#x prot=%v flags=%d file=%q off=%d name=%q cat=%d\n",
 				v.Start, v.End, v.Prot, v.Flags, name, v.FileOff, v.Name, v.Category)
 		}
-		for idx := 0; idx < arch.L1Entries; idx++ {
-			e := p.MM.PT.L1(idx)
+		for idx := 0; idx < p.MM.PT.NumSlots(); idx++ {
+			e := p.MM.PT.Slot(idx)
 			if !e.Valid() {
 				continue
 			}
 			fmt.Fprintf(&b, "  l1[%d] frame=%d domain=%d needcopy=%v pop=%d:",
 				idx, e.Table.Frame, e.Domain, e.NeedCopy, e.Table.Populated())
-			for i := 0; i < arch.L2Entries; i++ {
+			for i := 0; i < e.Table.Len(); i++ {
 				if pte := e.Table.PTE(i); pte.Valid() {
 					fmt.Fprintf(&b, " %d=%d/%d/%d", i, pte.Frame, pte.Flags, pte.Soft)
 				}

@@ -10,7 +10,6 @@ import (
 	"testing"
 
 	"repro/internal/android"
-	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -176,8 +175,8 @@ func TestForkSharesAllPTPStorage(t *testing.T) {
 		if fp == nil {
 			t.Fatalf("fork lost process %d", p.PID)
 		}
-		for i := 0; i < arch.L1Entries; i++ {
-			a, b := p.MM.PT.L1(i), fp.MM.PT.L1(i)
+		for i := 0; i < p.MM.PT.NumSlots(); i++ {
+			a, b := p.MM.PT.Slot(i), fp.MM.PT.Slot(i)
 			if a.Table == nil {
 				continue
 			}

@@ -31,8 +31,12 @@ func (k *Kernel) Clone() (*Kernel, *vm.CloneCtx) {
 		Config:       k.Config,
 		ForkCosts:    k.ForkCosts,
 		Counters:     k.Counters,
-		OnPageFault:  k.OnPageFault,
 		IPICost:      k.IPICost,
+		mmu:          k.mmu,
+		geo:          k.geo,
+		tag:          k.tag,
+		prot:         k.prot,
+		asidMax:      k.asidMax,
 		bus:          obs.NewBus(),
 		procs:        make(map[int]*Process, len(k.procs)),
 		nextPID:      k.nextPID,

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/vm"
 )
@@ -13,7 +12,7 @@ import (
 // shares the parent's page-table pages copy-on-write, a read fault
 // populates the shared PTP for every sharer, and a write fault unshares.
 func Example() {
-	k, err := core.NewKernel(4096, core.SharedPTP())
+	k, err := core.New(4096, core.WithConfig(core.SharedPTP()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,9 +60,10 @@ func Example() {
 	if err := k.Run(child, func() error { return k.CPU.Write(0x00200000) }); err != nil {
 		log.Fatal(err)
 	}
+	geo := k.Geometry()
 	fmt.Printf("heap slot shared: %v, code slot shared: %v\n",
-		child.MM.PT.L1(arch.L1Index(0x00200000)).NeedCopy,
-		child.MM.PT.L1(arch.L1Index(0x00100000)).NeedCopy)
+		child.MM.PT.Slot(geo.Slot(0x00200000)).NeedCopy,
+		child.MM.PT.Slot(geo.Slot(0x00100000)).NeedCopy)
 
 	// Output:
 	// fork shared 1 PTPs, copied 0 PTEs

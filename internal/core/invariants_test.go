@@ -35,8 +35,8 @@ func TestRandomWalkInvariants(t *testing.T) {
 			if !p.Alive() {
 				continue
 			}
-			for idx := 0; idx < arch.L1Entries; idx++ {
-				l1 := p.MM.PT.L1(idx)
+			for idx := 0; idx < k.Geometry().NumSlots(); idx++ {
+				l1 := p.MM.PT.Slot(idx)
 				if !l1.Valid() {
 					continue
 				}
@@ -46,7 +46,7 @@ func TestRandomWalkInvariants(t *testing.T) {
 						t.Fatalf("step %d: NEED_COPY PTP frame %d has sharer count %d",
 							step, l1.Table.Frame, got)
 					}
-					for i := 0; i < arch.L2Entries; i++ {
+					for i := 0; i < l1.Table.Len(); i++ {
 						pte := l1.Table.PTE(i)
 						if pte.Valid() && pte.Writable() {
 							t.Fatalf("step %d: writable PTE %d in shared PTP (slot %d of %q)",

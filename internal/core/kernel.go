@@ -35,6 +35,7 @@ import (
 	"sort"
 
 	"repro/internal/arch"
+	"repro/internal/arch/armv7"
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/mem"
@@ -204,19 +205,15 @@ type Kernel struct {
 	// Counters accumulates kernel-global statistics.
 	Counters Counters
 
-	// OnPageFault, when non-nil, observes every page fault the kernel
-	// handles.
-	//
-	// Deprecated: OnPageFault is the old single-subscriber hook; it still
-	// fires (before any bus observers) so existing code keeps working,
-	// but new code should use Subscribe with obs.EvPageFault, which
-	// supports any number of observers.
-	OnPageFault func(p *Process, va arch.VirtAddr, kind arch.AccessKind)
-
 	// IPICost is the cycle cost of one inter-processor interrupt used
 	// for a TLB shootdown, charged to the initiating core per remote.
 	IPICost int
 
+	mmu          arch.MMU
+	geo          arch.Geometry
+	tag          arch.Tagging
+	prot         arch.Protection
+	asidMax      arch.ASID
 	bus          *obs.Bus
 	l2           *cache.Cache
 	cpus         []*cpu.CPU
@@ -227,17 +224,35 @@ type Kernel struct {
 	kernelTextPA arch.PhysAddr
 }
 
+// Arch returns the MMU architecture the kernel was booted for.
+func (k *Kernel) Arch() arch.MMU { return k.mmu }
+
+// Geometry returns the page-table geometry of the kernel's architecture.
+func (k *Kernel) Geometry() arch.Geometry { return k.geo }
+
 // Option configures a kernel built by New.
 type Option func(*options)
 
 type options struct {
 	cfg   Config
 	ncpus int
+	mmu   arch.MMU
 }
 
 // WithConfig selects the kernel variant (default: Stock).
 func WithConfig(cfg Config) Option {
 	return func(o *options) { o.cfg = cfg }
+}
+
+// WithArch selects the MMU architecture the kernel manages (default:
+// armv7). The architecture fixes the page-table geometry, the TLB
+// large-page granularity, the ASID width, and the protection model the
+// TLB-sharing kernel leans on: with ARM domains, shared global entries
+// are access-controlled per process via the DACR; without them (Sv39),
+// the kernel must flush global entries when switching to a process
+// outside the sharing set.
+func WithArch(m arch.MMU) Option {
+	return func(o *options) { o.mmu = m }
 }
 
 // WithCPUs sets the number of simulated cores (default: 1). Each core
@@ -252,11 +267,14 @@ func WithCPUs(n int) Option {
 // New boots a kernel over the given amount of physical memory. With no
 // options it is a single-core stock kernel; see WithConfig and WithCPUs.
 func New(frames int, opts ...Option) (*Kernel, error) {
-	o := options{cfg: Stock(), ncpus: 1}
+	o := options{cfg: Stock(), ncpus: 1, mmu: armv7.MMU()}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	cfg := o.cfg
+	if o.mmu == nil {
+		return nil, fmt.Errorf("core: WithArch(nil)")
+	}
 	if cfg.SharePTP && cfg.CopyPTEsAtFork {
 		return nil, fmt.Errorf("core: SharePTP and CopyPTEsAtFork are mutually exclusive")
 	}
@@ -269,11 +287,16 @@ func New(frames int, opts ...Option) (*Kernel, error) {
 		Config:    cfg,
 		ForkCosts: DefaultForkCosts(),
 		IPICost:   2000,
+		mmu:       o.mmu,
+		geo:       o.mmu.Geometry(),
+		tag:       o.mmu.Tagging(),
+		prot:      o.mmu.Protection(),
 		bus:       obs.NewBus(),
 		procs:     make(map[int]*Process),
 		nextPID:   1,
 		nextASID:  1,
 	}
+	k.asidMax = k.tag.MaxASID()
 	// Reserve a kernel-text window whose fetches all processes share.
 	f, err := phys.Alloc(mem.FrameKernel)
 	if err != nil {
@@ -288,7 +311,7 @@ func New(frames int, opts ...Option) (*Kernel, error) {
 	k.l2 = cache.DefaultL2()
 	k.l2.AttachBus(k.bus)
 	for i := 0; i < o.ncpus; i++ {
-		c := cpu.NewWithCaches(k, cache.HierarchyWithL2(k.l2))
+		c := cpu.NewWithCaches(k, cache.HierarchyWithL2(k.l2), k.geo)
 		c.KeepGlobalOnFlush = cfg.ShareTLB
 		c.AttachBus(k.bus)
 		k.cpus = append(k.cpus, c)
@@ -296,18 +319,6 @@ func New(frames int, opts ...Option) (*Kernel, error) {
 	k.CPU = k.cpus[0]
 	k.curCPU = k.cpus[0]
 	return k, nil
-}
-
-// NewKernel boots a single-core kernel over the given amount of physical
-// memory. It is a compatibility wrapper around New.
-func NewKernel(frames int, cfg Config) (*Kernel, error) {
-	return New(frames, WithConfig(cfg))
-}
-
-// NewKernelSMP boots a kernel driving ncpus cores. It is a compatibility
-// wrapper around New.
-func NewKernelSMP(frames int, cfg Config, ncpus int) (*Kernel, error) {
-	return New(frames, WithConfig(cfg), WithCPUs(ncpus))
 }
 
 // NumCPUs returns the number of simulated cores.
@@ -365,39 +376,53 @@ func (k *Kernel) Processes() []*Process {
 
 func (k *Kernel) allocASID() arch.ASID {
 	a := k.nextASID
-	k.nextASID++
-	if k.nextASID == 0 { // 8-bit wrap: flush everything everywhere, restart at 1
+	if k.nextASID == k.asidMax { // wrap: flush everything everywhere, restart at 1
 		k.nextASID = 1
 		for _, c := range k.cpus {
 			c.Main.FlushAll()
 		}
+	} else {
+		k.nextASID++
 	}
 	return a
 }
 
-// domainFor returns the ARM domain recorded in the level-1 entries of a
-// process's user mappings. Under TLB sharing, zygote-like processes place
-// their user space in the zygote domain so that level-2 PTEs (and hence
-// TLB entries) inherit it; everyone else stays in the user domain.
+// domainFor returns the protection domain recorded in the page-table
+// slots of a process's user mappings. Under TLB sharing on an
+// architecture with domain registers, zygote-like processes place their
+// user space in the shared domain so that leaf PTEs (and hence TLB
+// entries) inherit it; everyone else stays in the user domain. Without
+// domains every process uses the architecture's single domain.
 func (k *Kernel) domainFor(p *Process) uint8 {
-	if k.Config.ShareTLB && p.ZygoteLike() {
-		return arch.DomainZygote
+	if k.prot.HasDomains && k.Config.ShareTLB && p.ZygoteLike() {
+		return k.prot.SharedDomain
 	}
-	return arch.DomainUser
+	return k.prot.UserDomain
 }
 
 func (k *Kernel) dacrFor(p *Process) arch.DACR {
-	if k.Config.ShareTLB && p.ZygoteLike() {
-		return arch.ZygoteDACR()
+	if k.prot.HasDomains && k.Config.ShareTLB && p.ZygoteLike() {
+		return k.prot.ZygoteDACR
 	}
-	return arch.StockDACR()
+	return k.prot.StockDACR
+}
+
+// refreshProtection recomputes the protection state the context loads on
+// switch-in: the DACR, and — on architectures without domain registers —
+// whether switching this process in must flush shared global TLB
+// entries. Domains let an outsider keep the zygote set's global entries
+// resident (the DACR denies it access); without them the kernel flushes
+// globals when an outsider is switched in.
+func (k *Kernel) refreshProtection(p *Process) {
+	p.Ctx.DACR = k.dacrFor(p)
+	p.Ctx.FlushGlobals = !k.prot.HasDomains && k.Config.ShareTLB && !p.ZygoteLike()
 }
 
 // NewProcess creates a root process (init-like) with an empty address
 // space. Most processes should instead be created with Fork.
 func (k *Kernel) NewProcess(name string) (*Process, error) {
 	asid := k.allocASID()
-	mm, err := vm.NewMM(k.Phys, asid)
+	mm, err := vm.NewMM(k.Phys, asid, k.geo)
 	if err != nil {
 		return nil, fmt.Errorf("core: creating %q: %w", name, err)
 	}
@@ -414,9 +439,9 @@ func (k *Kernel) NewProcess(name string) (*Process, error) {
 		Name:         name,
 		PT:           mm.PT,
 		ASID:         asid,
-		DACR:         k.dacrFor(p),
 		KernelTextPA: k.kernelTextPA,
 	}
+	k.refreshProtection(p)
 	k.procs[p.PID] = p
 	return p, nil
 }
@@ -425,7 +450,7 @@ func (k *Kernel) NewProcess(name string) (*Process, error) {
 // 3.2.2) and refreshes its domain access rights.
 func (k *Kernel) SetZygote(p *Process) {
 	p.IsZygote = true
-	p.Ctx.DACR = k.dacrFor(p)
+	k.refreshProtection(p)
 }
 
 // Run switches core 0 to p and executes fn as user code of p.
@@ -467,23 +492,25 @@ func (k *Kernel) Mmap(p *Process, v *vm.VMA) error {
 }
 
 // MapLargePages creates a read-only or read-exec file-backed region and
-// eagerly establishes 64KB large-page mappings over it, in the manner of
+// eagerly establishes large-page mappings over it, in the manner of
 // hugetlbfs (Linux does not demand-page large pages). The region bounds
-// must be 64KB aligned. Section 2.3.3 shows this trades physical memory
-// (every 4KB subpage of a touched 64KB chunk becomes resident) for
-// translation reach; and because large-page mappings are ordinary level-2
-// entries on ARM, the resulting PTPs are shared at fork exactly like 4KB
-// ones — the complementarity the paper points out.
+// must be aligned to the architecture's large-page size — 64KB on ARMv7,
+// 2MB on Sv39. Section 2.3.3 shows this trades physical memory (every
+// 4KB subpage of a touched chunk becomes resident) for translation
+// reach; and because large-page mappings are ordinary leaf entries, the
+// resulting PTPs are shared at fork exactly like 4KB ones — the
+// complementarity the paper points out.
 func (k *Kernel) MapLargePages(p *Process, v *vm.VMA) error {
+	large := k.geo.LargePageSize()
 	if v.File == nil {
 		return fmt.Errorf("core: large-page mapping of %q needs a backing file", v.Name)
 	}
 	if v.Prot&vm.ProtWrite != 0 {
 		return fmt.Errorf("core: large-page region %q must be read-only (no COW for large pages)", v.Name)
 	}
-	if v.Start&(arch.LargePageSize-1) != 0 || v.End&(arch.LargePageSize-1) != 0 ||
-		v.FileOff&(arch.LargePageSize-1) != 0 {
-		return fmt.Errorf("core: large-page region %q not 64KB aligned", v.Name)
+	if v.Start&(large-1) != 0 || v.End&(large-1) != 0 ||
+		arch.VirtAddr(v.FileOff)&(large-1) != 0 {
+		return fmt.Errorf("core: large-page region %q not %dKB aligned", v.Name, large/1024)
 	}
 	if err := k.Mmap(p, v); err != nil {
 		return err
@@ -492,13 +519,13 @@ func (k *Kernel) MapLargePages(p *Process, v *vm.VMA) error {
 	if k.Config.ShareTLB && p.ZygoteLike() && v.Flags&vm.VMAGlobal != 0 {
 		flags |= arch.PTEGlobal
 	}
-	for va := v.Start; va < v.End; va += arch.LargePageSize {
-		chunk := (v.FileOff + int(va-v.Start)) / arch.LargePageSize
-		base, err := v.File.LargeFrame(chunk)
+	for va := v.Start; va < v.End; va += large {
+		chunk := (v.FileOff + int(va-v.Start)) / int(large)
+		base, err := v.File.LargeFrame(chunk, k.geo.PagesPerLarge())
 		if err != nil {
 			return fmt.Errorf("core: mapping %q large: %w", v.Name, err)
 		}
-		if _, err := p.MM.PT.EnsureL2(arch.L1Index(va), k.domainFor(p)); err != nil {
+		if _, err := p.MM.PT.EnsureLeafForVA(va, k.domainFor(p)); err != nil {
 			return err
 		}
 		p.MM.PT.SetLarge(va, base, flags, arch.SoftFile|arch.SoftAccessed)
@@ -566,14 +593,14 @@ func (k *Kernel) Mprotect(p *Process, start, end arch.VirtAddr, prot vm.Prot) er
 	return nil
 }
 
-// slotSharable reports whether the PTP at level-1 slot idx of parent may
-// be shared with a child: every memory region overlapping the slot's 1MB
-// range must be sharable. Following the paper's aggressive design choice,
-// private and writable regions are sharable; only the stack is excluded
-// (unless the ablation knob says otherwise).
+// slotSharable reports whether the PTP at slot idx of parent may be
+// shared with a child: every memory region overlapping the slot's span
+// (1MB on ARMv7, 2MB on Sv39) must be sharable. Following the paper's
+// aggressive design choice, private and writable regions are sharable;
+// only the stack is excluded (unless the ablation knob says otherwise).
 func (k *Kernel) slotSharable(parent *Process, idx int) bool {
-	lo := arch.VirtAddr(idx) << arch.SectionShift
-	hi := lo + arch.SectionSize - 1
+	lo := k.geo.SlotBase(idx)
+	hi := lo + k.geo.SlotSpan() - 1
 	vmas := parent.MM.VMAsInRange(lo, hi)
 	if len(vmas) == 0 {
 		return false
@@ -597,7 +624,7 @@ func (k *Kernel) Fork(parent *Process, name string) (*Process, error) {
 	}
 	if parent.IsZygote || parent.IsZygoteChild {
 		child.IsZygoteChild = true
-		child.Ctx.DACR = k.dacrFor(child)
+		k.refreshProtection(child)
 	}
 	k.Counters.Forks++
 
@@ -617,8 +644,9 @@ func (k *Kernel) Fork(parent *Process, name string) (*Process, error) {
 	ptpsBefore := child.MM.PT.Stats().PTPsAllocated
 
 	if k.Config.SharePTP {
-		for idx := 0; idx < arch.L1Entries; idx++ {
-			pl1 := parent.MM.PT.L1(idx)
+		numSlots := k.geo.NumSlots()
+		for idx := 0; idx < numSlots; idx++ {
+			pl1 := parent.MM.PT.Slot(idx)
 			if !pl1.Valid() {
 				continue
 			}
@@ -641,18 +669,18 @@ func (k *Kernel) Fork(parent *Process, name string) (*Process, error) {
 						Kind:   obs.EvPTPShare,
 						Source: "kernel",
 						PID:    child.PID,
-						Addr:   uint64(arch.VirtAddr(idx) << arch.SectionShift),
+						Addr:   uint64(k.geo.SlotBase(idx)),
 					})
 				}
 				continue
 			}
 			// Not sharable (stack): stock copy of the slot's regions.
-			lo := arch.VirtAddr(idx) << arch.SectionShift
+			lo := k.geo.SlotBase(idx)
 			var hi arch.VirtAddr
-			if idx == arch.L1Entries-1 {
+			if idx == numSlots-1 {
 				hi = ^arch.VirtAddr(0)
 			} else {
-				hi = lo + arch.SectionSize
+				hi = lo + k.geo.SlotSpan()
 			}
 			for _, v := range parent.MM.VMAsInRange(lo, hi) {
 				n, err := vm.CopyPTERange(parent.MM, child.MM, v, lo, hi, vm.CopyStock, childDomain)
@@ -705,7 +733,7 @@ func (k *Kernel) Fork(parent *Process, name string) (*Process, error) {
 // unshareSlot performs the Figure 6 procedure on one slot of p and
 // updates counters and TLB state.
 func (k *Kernel) unshareSlot(p *Process, idx int) error {
-	l1 := p.MM.PT.L1(idx)
+	l1 := p.MM.PT.Slot(idx)
 	if !l1.Valid() || !l1.NeedCopy {
 		return nil
 	}
@@ -729,7 +757,7 @@ func (k *Kernel) unshareSlot(p *Process, idx int) error {
 	k.Counters.UnshareOps++
 	k.Counters.PTEsCopiedOnUnshare += uint64(copied)
 	p.PTEsCopied += uint64(copied)
-	slotBase := uint64(arch.VirtAddr(idx) << arch.SectionShift)
+	slotBase := uint64(k.geo.SlotBase(idx))
 	if k.bus.Wants(obs.EvUnshare) {
 		k.bus.Publish(obs.Event{
 			Kind:   obs.EvUnshare,
@@ -763,7 +791,7 @@ func (k *Kernel) unshareSlot(p *Process, idx int) error {
 // unshareRange unshares every shared PTP overlapping [start, end); a
 // range spanning multiple PTPs may require several unshare operations.
 func (k *Kernel) unshareRange(p *Process, start, end arch.VirtAddr) error {
-	for idx := arch.L1Index(start); idx <= arch.L1Index(end-1); idx++ {
+	for idx := k.geo.Slot(start); idx <= k.geo.Slot(end-1); idx++ {
 		if err := k.unshareSlot(p, idx); err != nil {
 			return err
 		}
@@ -784,9 +812,6 @@ func (k *Kernel) HandlePageFault(ctx *cpu.Context, va arch.VirtAddr, kind arch.A
 	if vma == nil {
 		return fmt.Errorf("core: segmentation fault at %#x in %q", va, p.Name)
 	}
-	if k.OnPageFault != nil {
-		k.OnPageFault(p, va, kind)
-	}
 	if k.bus.Wants(obs.EvPageFault) {
 		k.bus.Publish(obs.Event{
 			Kind:   obs.EvPageFault,
@@ -797,8 +822,8 @@ func (k *Kernel) HandlePageFault(ctx *cpu.Context, va arch.VirtAddr, kind arch.A
 		})
 	}
 
-	idx := arch.L1Index(va)
-	l1 := p.MM.PT.L1(idx)
+	idx := k.geo.Slot(va)
+	l1 := p.MM.PT.Slot(idx)
 	shared := l1.Valid() && l1.NeedCopy
 
 	var existing pagetable.PTE
@@ -824,7 +849,7 @@ func (k *Kernel) HandlePageFault(ctx *cpu.Context, va arch.VirtAddr, kind arch.A
 			return err
 		}
 	}
-	if _, err := p.MM.PT.EnsureL2(idx, k.domainFor(p)); err != nil {
+	if _, err := p.MM.PT.EnsureLeaf(idx, k.domainFor(p)); err != nil {
 		return err
 	}
 	p.MM.PT.Set(va, newPTE)
@@ -858,7 +883,7 @@ func (k *Kernel) Exit(p *Process) {
 // SharedPTPStats summarizes PTP sharing across all live processes for
 // Figure 12: how many PTPs exist, and how many of them are shared.
 type SharedPTPStats struct {
-	// TotalPTPs is the number of live level-1 slots across processes
+	// TotalPTPs is the number of live page-table slots across processes
 	// (each referencing one PTP; a PTP shared by n processes counts n
 	// times, matching the per-process accounting of the paper).
 	TotalPTPs int
@@ -877,8 +902,8 @@ func (k *Kernel) SharingStats() SharedPTPStats {
 		if !p.alive {
 			continue
 		}
-		for idx := 0; idx < arch.L1Entries; idx++ {
-			l1 := p.MM.PT.L1(idx)
+		for idx := 0; idx < k.geo.NumSlots(); idx++ {
+			l1 := p.MM.PT.Slot(idx)
 			if !l1.Valid() {
 				continue
 			}

@@ -12,7 +12,7 @@ const testFrames = 4096
 
 func boot(t *testing.T, cfg Config) *Kernel {
 	t.Helper()
-	k, err := NewKernel(testFrames, cfg)
+	k, err := New(testFrames, WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestConfigNames(t *testing.T) {
 }
 
 func TestInvalidConfigRejected(t *testing.T) {
-	if _, err := NewKernel(testFrames, Config{SharePTP: true, CopyPTEsAtFork: true}); err == nil {
+	if _, err := New(testFrames, WithConfig(Config{SharePTP: true, CopyPTEsAtFork: true})); err == nil {
 		t.Fatal("SharePTP+CopyPTEsAtFork should be rejected")
 	}
 }
@@ -164,7 +164,7 @@ func TestSharedPTPFork(t *testing.T) {
 		t.Error("first share must write-protect the writable PTEs")
 	}
 	// The child's shared slots carry NEED_COPY, and so do the parent's.
-	if !child.MM.PT.L1(1).NeedCopy || !parent.MM.PT.L1(1).NeedCopy {
+	if !child.MM.PT.Slot(1).NeedCopy || !parent.MM.PT.Slot(1).NeedCopy {
 		t.Error("both sides must be NEED_COPY")
 	}
 	if got := child.MM.PT.SharerCount(1); got != 2 {
@@ -247,10 +247,10 @@ func TestWriteFaultUnshares(t *testing.T) {
 	if k.Counters.UnshareOps == 0 {
 		t.Error("write fault in shared PTP must unshare")
 	}
-	if child.MM.PT.L1(2).NeedCopy {
+	if child.MM.PT.Slot(2).NeedCopy {
 		t.Error("child's heap slot must be private after unshare")
 	}
-	if !parent.MM.PT.L1(2).NeedCopy {
+	if !parent.MM.PT.Slot(2).NeedCopy {
 		t.Error("parent keeps its NEED_COPY marking until it writes")
 	}
 	// Child's write is private.
@@ -263,7 +263,7 @@ func TestWriteFaultUnshares(t *testing.T) {
 		t.Error("child PTE must be writable after COW")
 	}
 	// The code slot is still shared.
-	if !child.MM.PT.L1(1).NeedCopy {
+	if !child.MM.PT.Slot(1).NeedCopy {
 		t.Error("untouched slots must remain shared")
 	}
 	if child.PTEsCopied == 0 {
@@ -282,7 +282,7 @@ func TestMmapUnshares(t *testing.T) {
 	if err := k.Mmap(child, nv); err != nil {
 		t.Fatal(err)
 	}
-	if child.MM.PT.L1(2).NeedCopy {
+	if child.MM.PT.Slot(2).NeedCopy {
 		t.Error("mmap into a shared PTP's range must unshare it")
 	}
 	if err := k.Run(child, func() error { return k.CPU.Write(0x00280000) }); err != nil {
@@ -302,7 +302,7 @@ func TestMunmapUnshares(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Child's code slot is private and cleared; parent still sees its PTEs.
-	if child.MM.PT.L1(1).NeedCopy {
+	if child.MM.PT.Slot(1).NeedCopy {
 		t.Error("munmap must unshare the slot first")
 	}
 	if p := child.MM.PT.PTEAt(0x00100000); p != nil && p.Valid() {
@@ -323,7 +323,7 @@ func TestMprotectUnshares(t *testing.T) {
 	if err := k.Mprotect(child, 0x00100000, 0x00140000, vm.ProtRead); err != nil {
 		t.Fatal(err)
 	}
-	if child.MM.PT.L1(1).NeedCopy {
+	if child.MM.PT.Slot(1).NeedCopy {
 		t.Error("mprotect must unshare the slot")
 	}
 	v := child.MM.FindVMA(0x00100000)
@@ -529,13 +529,13 @@ func TestShareStackAblation(t *testing.T) {
 	if err := k.Run(child, func() error { return k.CPU.Write(0x7FF3C000) }); err != nil {
 		t.Fatal(err)
 	}
-	if child.MM.PT.L1(0x7FF).NeedCopy {
+	if child.MM.PT.Slot(0x7FF).NeedCopy {
 		t.Error("stack slot should have been unshared on first write")
 	}
 }
 
 func TestSMPShootdowns(t *testing.T) {
-	k, err := NewKernelSMP(testFrames, SharedPTP(), 4)
+	k, err := New(testFrames, WithConfig(SharedPTP()), WithCPUs(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -611,7 +611,7 @@ func buildParentOn(t *testing.T, k *Kernel) *Process {
 func TestSMPCrossCoreSharedPTE(t *testing.T) {
 	// A PTE populated by a fault on core 0 serves the sibling on core 3
 	// without a fault — the shared PTP is one structure, not per-core.
-	k, err := NewKernelSMP(testFrames, SharedPTP(), 4)
+	k, err := New(testFrames, WithConfig(SharedPTP()), WithCPUs(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -690,7 +690,7 @@ func TestMunmapSpanningMultiplePTPs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !child.MM.PT.L1(1).NeedCopy || !child.MM.PT.L1(3).NeedCopy {
+	if !child.MM.PT.Slot(1).NeedCopy || !child.MM.PT.Slot(3).NeedCopy {
 		t.Fatal("both slots should be shared")
 	}
 	unshares := k.Counters.UnshareOps
@@ -701,7 +701,7 @@ func TestMunmapSpanningMultiplePTPs(t *testing.T) {
 	if got := k.Counters.UnshareOps - unshares; got < 2 {
 		t.Errorf("spanning munmap performed %d unshares, want >= 2", got)
 	}
-	if child.MM.PT.L1(1).NeedCopy || child.MM.PT.L1(3).NeedCopy {
+	if child.MM.PT.Slot(1).NeedCopy || child.MM.PT.Slot(3).NeedCopy {
 		t.Error("all spanned slots must be unshared")
 	}
 	// The parent's view of the unmapped range is intact.

@@ -4,15 +4,16 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/arch/armv7"
 	"repro/internal/vm"
 )
 
 func largeRegion(t *testing.T, k *Kernel, p *Process) *vm.VMA {
 	t.Helper()
 	// 128KB of code, 64KB aligned.
-	f := vm.NewFile(k.Phys, "boot.oat", 2*arch.LargePageSize)
+	f := vm.NewFile(k.Phys, "boot.oat", 2*armv7.LargePageSize)
 	v := &vm.VMA{
-		Start: 0x30000000, End: 0x30000000 + 2*arch.LargePageSize,
+		Start: 0x30000000, End: 0x30000000 + 2*armv7.LargePageSize,
 		Prot: vm.ProtRead | vm.ProtExec, Flags: vm.VMAPrivate, File: f,
 		Name: "boot.oat code", Category: vm.CatZygoteJavaLib,
 	}
@@ -36,16 +37,16 @@ func TestMapLargePages(t *testing.T) {
 	if first == nil || !first.Valid() || first.Flags&arch.PTELarge == 0 {
 		t.Fatalf("first PTE = %+v", first)
 	}
-	if first.Frame%arch.PagesPerLargePage != 0 {
+	if first.Frame%armv7.PagesPerLargePage != 0 {
 		t.Errorf("base frame %d not 64KB aligned", first.Frame)
 	}
-	for i := 0; i < arch.PagesPerLargePage; i++ {
+	for i := 0; i < armv7.PagesPerLargePage; i++ {
 		pte := p.MM.PT.PTEAt(v.Start + arch.VirtAddr(i*arch.PageSize))
 		if pte == nil || pte.Frame != first.Frame {
 			t.Fatalf("replica %d = %+v, want base %d", i, pte, first.Frame)
 		}
 	}
-	second := p.MM.PT.PTEAt(v.Start + arch.LargePageSize)
+	second := p.MM.PT.PTEAt(v.Start + armv7.LargePageSize)
 	if second.Frame == first.Frame {
 		t.Error("second chunk must have its own block")
 	}
@@ -66,7 +67,7 @@ func TestLargePageExecution(t *testing.T) {
 
 	err = k.Run(p, func() error {
 		// Fetch across the whole 64KB page: no faults (eager mapping).
-		for off := arch.VirtAddr(0); off < arch.LargePageSize; off += arch.PageSize {
+		for off := arch.VirtAddr(0); off < armv7.LargePageSize; off += arch.PageSize {
 			if err := k.CPU.Fetch(v.Start + off); err != nil {
 				return err
 			}
@@ -115,8 +116,8 @@ func TestLargePagePTPSharing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx := arch.L1Index(v.Start)
-	if !child.MM.PT.L1(idx).NeedCopy {
+	idx := k.Geometry().Slot(v.Start)
+	if !child.MM.PT.Slot(idx).NeedCopy {
 		t.Error("large-page PTP should be shared at fork")
 	}
 	if err := k.Run(child, func() error { return k.CPU.Fetch(v.Start + 0x7000) }); err != nil {
@@ -130,7 +131,7 @@ func TestLargePagePTPSharing(t *testing.T) {
 func TestMapLargePagesValidation(t *testing.T) {
 	k := boot(t, SharedPTP())
 	p, _ := k.NewProcess("p")
-	f := vm.NewFile(k.Phys, "f", 4*arch.LargePageSize)
+	f := vm.NewFile(k.Phys, "f", 4*armv7.LargePageSize)
 	cases := []*vm.VMA{
 		// No file.
 		{Start: 0x30000000, End: 0x30010000, Prot: vm.ProtRead, Flags: vm.VMAPrivate, Name: "anon"},
@@ -150,23 +151,23 @@ func TestMapLargePagesValidation(t *testing.T) {
 
 func TestLargeFrameConflictsWith4KB(t *testing.T) {
 	k := boot(t, Stock())
-	f := vm.NewFile(k.Phys, "f", 2*arch.LargePageSize)
+	f := vm.NewFile(k.Phys, "f", 2*armv7.LargePageSize)
 	if _, err := f.PageFrame(3); err != nil { // 4KB page inside chunk 0
 		t.Fatal(err)
 	}
-	if _, err := f.LargeFrame(0); err == nil {
+	if _, err := f.LargeFrame(0, armv7.PagesPerLargePage); err == nil {
 		t.Error("partially cached chunk must not be mappable large")
 	}
-	if _, err := f.LargeFrame(1); err != nil {
+	if _, err := f.LargeFrame(1, armv7.PagesPerLargePage); err != nil {
 		t.Errorf("untouched chunk should map large: %v", err)
 	}
 	// Idempotent.
-	a, _ := f.LargeFrame(1)
-	b, err := f.LargeFrame(1)
+	a, _ := f.LargeFrame(1, armv7.PagesPerLargePage)
+	b, err := f.LargeFrame(1, armv7.PagesPerLargePage)
 	if err != nil || a != b {
 		t.Errorf("LargeFrame not stable: %d vs %d (%v)", a, b, err)
 	}
-	if _, err := f.LargeFrame(99); err == nil {
+	if _, err := f.LargeFrame(99, armv7.PagesPerLargePage); err == nil {
 		t.Error("chunk beyond EOF should fail")
 	}
 }

@@ -15,8 +15,7 @@ var _ obs.Source = (*Kernel)(nil)
 func (k *Kernel) Bus() *obs.Bus { return k.bus }
 
 // Subscribe registers o for the given event kinds (all kinds when none
-// are given) and returns a cancel function. It replaces the deprecated
-// single-subscriber OnPageFault hook: any number of observers may
+// are given) and returns a cancel function. Any number of observers may
 // subscribe, and they are dispatched in subscription order.
 func (k *Kernel) Subscribe(o obs.Observer, kinds ...obs.Kind) (cancel func()) {
 	return k.bus.Subscribe(o, kinds...)

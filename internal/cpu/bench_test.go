@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/arch/armv7"
 	"repro/internal/mem"
 	"repro/internal/pagetable"
 )
@@ -14,14 +15,14 @@ import (
 func benchContext(b *testing.B, pages int) (*CPU, *Context, arch.VirtAddr) {
 	b.Helper()
 	phys := mem.New(1024)
-	pt, err := pagetable.New(phys)
+	pt, err := pagetable.New(phys, geoARM)
 	if err != nil {
 		b.Fatal(err)
 	}
 	const base = arch.VirtAddr(0x10000000)
 	for i := 0; i < pages; i++ {
 		va := base + arch.VirtAddr(i)<<arch.PageShift
-		if _, err := pt.EnsureL2(arch.L1Index(va), arch.DomainUser); err != nil {
+		if _, err := pt.EnsureLeafForVA(va, armv7.DomainUser); err != nil {
 			b.Fatal(err)
 		}
 		pt.Set(va, pagetable.PTE{
@@ -29,8 +30,8 @@ func benchContext(b *testing.B, pages int) (*CPU, *Context, arch.VirtAddr) {
 			Flags: arch.PTEValid | arch.PTEUser | arch.PTEExec,
 		})
 	}
-	c := New(nil)
-	ctx := &Context{ID: 1, Name: "bench", PT: pt, ASID: 1, DACR: arch.StockDACR()}
+	c := New(nil, geoARM)
+	ctx := &Context{ID: 1, Name: "bench", PT: pt, ASID: 1, DACR: armv7.StockDACR()}
 	c.ContextSwitch(ctx)
 	return c, ctx, base
 }

@@ -115,6 +115,12 @@ type Context struct {
 	// KernelTextPA is the physical base of the kernel text this
 	// context's kernel work fetches through the I-cache.
 	KernelTextPA arch.PhysAddr
+	// FlushGlobals marks a context whose address space does not hold
+	// the shared global mappings: on architectures without domain
+	// registers the kernel cannot let global TLB entries for shared
+	// code survive into such a context, so switching one in must flush
+	// the global entries the previous context may have loaded.
+	FlushGlobals bool
 	// Stats accumulates this context's counters.
 	Stats Stats
 }
@@ -160,10 +166,12 @@ type CPU struct {
 	// Sampler receives the samples.
 	Sampler Sampler
 
-	cur         *Context
-	now         uint64
-	sinceSample int
-	lastFetchVA arch.VirtAddr
+	geo          arch.Geometry
+	largeOffMask arch.VirtAddr
+	cur          *Context
+	now          uint64
+	sinceSample  int
+	lastFetchVA  arch.VirtAddr
 }
 
 // Sampler receives rate-based program-counter samples: the sampled
@@ -186,24 +194,31 @@ func (c *CPU) tick(va arch.VirtAddr, kernel bool, n int) {
 }
 
 // New builds a core with the default Cortex-A9-like TLB and cache
-// geometry: 32-entry micro-TLBs and a unified 128-entry main TLB.
-func New(handler FaultHandler) *CPU {
-	return NewWithCaches(handler, cache.DefaultHierarchy())
+// geometry: 32-entry micro-TLBs and a unified 128-entry main TLB. The
+// MMU geometry fixes the large-page granularity the TLBs coalesce at
+// and the page-table walk depth.
+func New(handler FaultHandler, geo arch.Geometry) *CPU {
+	return NewWithCaches(handler, cache.DefaultHierarchy(), geo)
 }
 
 // NewWithCaches builds a core over an existing cache hierarchy; SMP
 // configurations pass per-core hierarchies sharing one L2.
-func NewWithCaches(handler FaultHandler, caches *cache.Hierarchy) *CPU {
+func NewWithCaches(handler FaultHandler, caches *cache.Hierarchy, geo arch.Geometry) *CPU {
 	return &CPU{
-		MicroI:  tlb.New("uTLB-I", 32),
-		MicroD:  tlb.New("uTLB-D", 32),
-		Main:    tlb.New("mainTLB", 128),
-		Caches:  caches,
-		Costs:   DefaultCosts(),
-		UseASID: true,
-		Handler: handler,
+		MicroI:       tlb.New("uTLB-I", 32, geo.PagesPerLarge()),
+		MicroD:       tlb.New("uTLB-D", 32, geo.PagesPerLarge()),
+		Main:         tlb.New("mainTLB", 128, geo.PagesPerLarge()),
+		Caches:       caches,
+		Costs:        DefaultCosts(),
+		UseASID:      true,
+		Handler:      handler,
+		geo:          geo,
+		largeOffMask: geo.LargePageSize() - 1,
 	}
 }
+
+// Geometry returns the MMU geometry the core was built for.
+func (c *CPU) Geometry() arch.Geometry { return c.geo }
 
 // Now returns the core's cycle counter.
 func (c *CPU) Now() uint64 { return c.now }
@@ -238,6 +253,14 @@ func (c *CPU) ContextSwitch(ctx *Context) {
 		} else {
 			c.Main.FlushAll()
 		}
+		cost += c.Costs.TLBFlushAll
+	}
+	if ctx.FlushGlobals && (c.UseASID || c.KeepGlobalOnFlush) {
+		// Without domain protection the global entries of the shared
+		// mappings must not be visible in an address space that does
+		// not hold them; the no-ASID full flush above already removed
+		// them, so only the surviving-entry paths pay here.
+		c.Main.FlushGlobal()
 		cost += c.Costs.TLBFlushAll
 	}
 	c.charge(cost)
@@ -298,7 +321,7 @@ func (c *CPU) FetchBlock(va arch.VirtAddr, n int) error {
 		// concurrent flush, which cannot happen in this single-core model.
 		return fmt.Errorf("cpu: lost translation for block at %#x", va)
 	}
-	pageBase := physAddr(e.Frame(), e.Flags(), va) - arch.PhysAddr(va&arch.PageMask)
+	pageBase := c.physAddr(e.Frame(), e.Flags(), va) - arch.PhysAddr(va&arch.PageMask)
 	firstLine := int(va&arch.PageMask) / lineSize
 	lastLine := (int(va&arch.PageMask) + n*instrSize - 1) / lineSize
 	if lines := lastLine - firstLine; lines > 0 {
@@ -385,7 +408,7 @@ func (c *CPU) translate(va arch.VirtAddr, kind arch.AccessKind, micro *tlb.TLB, 
 	e, r := micro.Lookup(va, ctx.ASID, ctx.DACR, kind)
 	switch r {
 	case tlb.Hit:
-		return physAddr(e.Frame(), e.Flags(), va), true, nil
+		return c.physAddr(e.Frame(), e.Flags(), va), true, nil
 	case tlb.DomainFault:
 		c.domainFault(va, micro)
 		return 0, false, nil
@@ -400,7 +423,7 @@ func (c *CPU) translate(va arch.VirtAddr, kind arch.AccessKind, micro *tlb.TLB, 
 	switch r {
 	case tlb.Hit:
 		micro.Insert(va, ctx.ASID, e.Frame(), e.Flags(), e.Domain())
-		return physAddr(e.Frame(), e.Flags(), va), true, nil
+		return c.physAddr(e.Frame(), e.Flags(), va), true, nil
 	case tlb.DomainFault:
 		c.domainFault(va, micro)
 		return 0, false, nil
@@ -408,15 +431,14 @@ func (c *CPU) translate(va arch.VirtAddr, kind arch.AccessKind, micro *tlb.TLB, 
 		return 0, false, c.pageFault(va, kind, micro)
 	}
 
-	// Main miss: hardware page walk. The walker reads the level-1 entry
-	// and the level-2 PTE through the cache hierarchy; with a shared PTP
-	// the PTE word has the same physical address in every process.
+	// Main miss: hardware page walk. The walker reads one entry per
+	// table level through the cache hierarchy; with a shared PTP the
+	// leaf PTE word has the same physical address in every process.
 	*mainMisses++
 	walk := c.Costs.WalkFixed
-	walk += c.Caches.Walk(ctx.PT.L1EntryPhysAddr(arch.L1Index(va)))
-	pte, l1e, fault := ctx.PT.Lookup(va)
-	if l1e.Valid() {
-		walk += c.Caches.Walk(l1e.Table.PTEPhysAddr(arch.L2Index(va)))
+	pte, slot, fault, path := ctx.PT.Walk(va)
+	for i := 0; i < path.N; i++ {
+		walk += c.Caches.Walk(path.Addrs[i])
 	}
 	c.charge(walk)
 	*stall += uint64(walk)
@@ -424,8 +446,8 @@ func (c *CPU) translate(va arch.VirtAddr, kind arch.AccessKind, micro *tlb.TLB, 
 	if fault != arch.FaultNone {
 		return 0, false, c.pageFault(va, kind, micro)
 	}
-	if !permits(pte.Flags, kind, ctx.DACR.Access(l1e.Domain)) {
-		if ctx.DACR.Access(l1e.Domain) == arch.DomainNoAccess {
+	if !permits(pte.Flags, kind, ctx.DACR.Access(slot.Domain)) {
+		if ctx.DACR.Access(slot.Domain) == arch.DomainNoAccess {
 			// Architecturally a walk into a no-access domain aborts
 			// with a domain fault rather than loading the TLB.
 			c.domainFault(va, micro)
@@ -433,17 +455,17 @@ func (c *CPU) translate(va arch.VirtAddr, kind arch.AccessKind, micro *tlb.TLB, 
 		}
 		return 0, false, c.pageFault(va, kind, micro)
 	}
-	c.Main.Insert(va, ctx.ASID, pte.Frame, pte.Flags, l1e.Domain)
-	micro.Insert(va, ctx.ASID, pte.Frame, pte.Flags, l1e.Domain)
-	return physAddr(pte.Frame, pte.Flags, va), true, nil
+	c.Main.Insert(va, ctx.ASID, pte.Frame, pte.Flags, slot.Domain)
+	micro.Insert(va, ctx.ASID, pte.Frame, pte.Flags, slot.Domain)
+	return c.physAddr(pte.Frame, pte.Flags, va), true, nil
 }
 
 // physAddr computes the physical address for a translated access,
-// honoring 64KB large-page mappings (whose TLB entries and PTE replicas
-// carry the base frame of the 64KB block).
-func physAddr(frame arch.FrameNum, flags arch.PTEFlags, va arch.VirtAddr) arch.PhysAddr {
+// honoring large-page mappings (whose TLB entries and PTE replicas
+// carry the base frame of the large block).
+func (c *CPU) physAddr(frame arch.FrameNum, flags arch.PTEFlags, va arch.VirtAddr) arch.PhysAddr {
 	if flags&arch.PTELarge != 0 {
-		return arch.FrameAddr(frame) + arch.PhysAddr(va&(arch.LargePageSize-1))
+		return arch.FrameAddr(frame) + arch.PhysAddr(va&c.largeOffMask)
 	}
 	return arch.FrameAddr(frame) + arch.PhysAddr(va&arch.PageMask)
 }

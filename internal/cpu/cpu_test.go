@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/arch/armv7"
 	"repro/internal/mem"
 	"repro/internal/pagetable"
 )
@@ -25,11 +26,11 @@ func (d *demandPager) HandlePageFault(ctx *Context, va arch.VirtAddr, kind arch.
 		return errors.New("injected fault-handler failure")
 	}
 	pt := ctx.PT
-	domain := arch.DomainUser
+	domain := armv7.DomainUser
 	if d.global {
-		domain = arch.DomainZygote
+		domain = armv7.DomainZygote
 	}
-	if _, err := pt.EnsureL2(arch.L1Index(va), domain); err != nil {
+	if _, err := pt.EnsureLeafForVA(va, domain); err != nil {
 		return err
 	}
 	if p := pt.PTEAt(va); p != nil && p.Valid() {
@@ -54,7 +55,7 @@ func (d *demandPager) HandlePageFault(ctx *Context, va arch.VirtAddr, kind arch.
 
 func newCtx(t *testing.T, phys *mem.PhysMem, id int, asid arch.ASID, dacr arch.DACR) *Context {
 	t.Helper()
-	pt, err := pagetable.New(phys)
+	pt, err := pagetable.New(phys, geoARM)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,8 +65,8 @@ func newCtx(t *testing.T, phys *mem.PhysMem, id int, asid arch.ASID, dacr arch.D
 func TestFetchDemandPaging(t *testing.T) {
 	phys := mem.New(256)
 	pager := &demandPager{phys: phys}
-	c := New(pager)
-	ctx := newCtx(t, phys, 1, 1, arch.StockDACR())
+	c := New(pager, geoARM)
+	ctx := newCtx(t, phys, 1, 1, armv7.StockDACR())
 	c.ContextSwitch(ctx)
 
 	if err := c.Fetch(0x8000); err != nil {
@@ -95,8 +96,8 @@ func TestFetchDemandPaging(t *testing.T) {
 
 func TestFaultChargesCycles(t *testing.T) {
 	phys := mem.New(256)
-	c := New(&demandPager{phys: phys})
-	ctx := newCtx(t, phys, 1, 1, arch.StockDACR())
+	c := New(&demandPager{phys: phys}, geoARM)
+	ctx := newCtx(t, phys, 1, 1, armv7.StockDACR())
 	c.ContextSwitch(ctx)
 	before := ctx.Stats.Cycles
 	if err := c.Fetch(0x8000); err != nil {
@@ -112,8 +113,8 @@ func TestFaultChargesCycles(t *testing.T) {
 
 func TestHandlerErrorPropagates(t *testing.T) {
 	phys := mem.New(256)
-	c := New(&demandPager{phys: phys, fail: true})
-	ctx := newCtx(t, phys, 1, 1, arch.StockDACR())
+	c := New(&demandPager{phys: phys, fail: true}, geoARM)
+	ctx := newCtx(t, phys, 1, 1, armv7.StockDACR())
 	c.ContextSwitch(ctx)
 	if err := c.Fetch(0x8000); err == nil {
 		t.Fatal("expected error from failing handler")
@@ -121,7 +122,7 @@ func TestHandlerErrorPropagates(t *testing.T) {
 }
 
 func TestNoContext(t *testing.T) {
-	c := New(nil)
+	c := New(nil, geoARM)
 	if err := c.Fetch(0x8000); err == nil {
 		t.Fatal("fetch with no context should fail")
 	}
@@ -130,8 +131,8 @@ func TestNoContext(t *testing.T) {
 func TestCOWWriteFault(t *testing.T) {
 	phys := mem.New(256)
 	pager := &demandPager{phys: phys}
-	c := New(pager)
-	ctx := newCtx(t, phys, 1, 1, arch.StockDACR())
+	c := New(pager, geoARM)
+	ctx := newCtx(t, phys, 1, 1, armv7.StockDACR())
 	c.ContextSwitch(ctx)
 
 	if err := c.Read(0x8000); err != nil { // populate read-only
@@ -152,9 +153,9 @@ func TestCOWWriteFault(t *testing.T) {
 func TestContextSwitchFlushesMicroTLB(t *testing.T) {
 	phys := mem.New(256)
 	pager := &demandPager{phys: phys}
-	c := New(pager)
-	a := newCtx(t, phys, 1, 1, arch.StockDACR())
-	b := newCtx(t, phys, 2, 2, arch.StockDACR())
+	c := New(pager, geoARM)
+	a := newCtx(t, phys, 1, 1, armv7.StockDACR())
+	b := newCtx(t, phys, 2, 2, armv7.StockDACR())
 	c.ContextSwitch(a)
 	if err := c.Fetch(0x8000); err != nil {
 		t.Fatal(err)
@@ -175,10 +176,10 @@ func TestContextSwitchFlushesMicroTLB(t *testing.T) {
 func TestNoASIDFlushesMainTLB(t *testing.T) {
 	phys := mem.New(256)
 	pager := &demandPager{phys: phys}
-	c := New(pager)
+	c := New(pager, geoARM)
 	c.UseASID = false
-	a := newCtx(t, phys, 1, 1, arch.StockDACR())
-	b := newCtx(t, phys, 2, 2, arch.StockDACR())
+	a := newCtx(t, phys, 1, 1, armv7.StockDACR())
+	b := newCtx(t, phys, 2, 2, armv7.StockDACR())
 	c.ContextSwitch(a)
 	if err := c.Fetch(0x8000); err != nil {
 		t.Fatal(err)
@@ -200,17 +201,17 @@ func TestKeepGlobalOnFlush(t *testing.T) {
 	// code translations resident despite the per-switch flush.
 	phys := mem.New(256)
 	pager := &demandPager{phys: phys, global: true}
-	c := New(pager)
+	c := New(pager, geoARM)
 	c.UseASID = false
 	c.KeepGlobalOnFlush = true
-	a := newCtx(t, phys, 1, 1, arch.ZygoteDACR())
-	b := newCtx(t, phys, 2, 2, arch.ZygoteDACR())
+	a := newCtx(t, phys, 1, 1, armv7.ZygoteDACR())
+	b := newCtx(t, phys, 2, 2, armv7.ZygoteDACR())
 	c.ContextSwitch(a)
 	if err := c.Fetch(0x8000); err != nil {
 		t.Fatal(err)
 	}
-	tab := a.PT.L1(arch.L1Index(0x8000)).Table
-	b.PT.AttachShared(arch.L1Index(0x8000), tab, arch.DomainZygote)
+	tab := a.PT.SlotForVA(0x8000).Table
+	b.PT.AttachShared(geoARM.Slot(0x8000), tab, armv7.DomainZygote)
 	c.ContextSwitch(b)
 	if err := c.Fetch(0x8000); err != nil {
 		t.Fatal(err)
@@ -220,16 +221,16 @@ func TestKeepGlobalOnFlush(t *testing.T) {
 			b.Stats.ITLBMainMisses)
 	}
 	// Without the flag, the same switch flushes everything.
-	c2 := New(pager)
+	c2 := New(pager, geoARM)
 	c2.UseASID = false
-	a2 := newCtx(t, phys, 3, 3, arch.ZygoteDACR())
-	b2 := newCtx(t, phys, 4, 4, arch.ZygoteDACR())
+	a2 := newCtx(t, phys, 3, 3, armv7.ZygoteDACR())
+	b2 := newCtx(t, phys, 4, 4, armv7.ZygoteDACR())
 	c2.ContextSwitch(a2)
 	if err := c2.Fetch(0x8000); err != nil {
 		t.Fatal(err)
 	}
-	tab2 := a2.PT.L1(arch.L1Index(0x8000)).Table
-	b2.PT.AttachShared(arch.L1Index(0x8000), tab2, arch.DomainZygote)
+	tab2 := a2.PT.SlotForVA(0x8000).Table
+	b2.PT.AttachShared(geoARM.Slot(0x8000), tab2, armv7.DomainZygote)
 	c2.ContextSwitch(b2)
 	if err := c2.Fetch(0x8000); err != nil {
 		t.Fatal(err)
@@ -245,16 +246,16 @@ func TestGlobalEntrySharedAcrossContexts(t *testing.T) {
 	// the TLB entry loaded by the first, despite a different ASID.
 	phys := mem.New(256)
 	pagerA := &demandPager{phys: phys, global: true}
-	c := New(pagerA)
-	a := newCtx(t, phys, 1, 1, arch.ZygoteDACR())
-	b := newCtx(t, phys, 2, 2, arch.ZygoteDACR())
+	c := New(pagerA, geoARM)
+	a := newCtx(t, phys, 1, 1, armv7.ZygoteDACR())
+	b := newCtx(t, phys, 2, 2, armv7.ZygoteDACR())
 	c.ContextSwitch(a)
 	if err := c.Fetch(0x8000); err != nil {
 		t.Fatal(err)
 	}
 	// Process b shares the same L2 table (as with a shared PTP).
-	tab := a.PT.L1(arch.L1Index(0x8000)).Table
-	b.PT.AttachShared(arch.L1Index(0x8000), tab, arch.DomainZygote)
+	tab := a.PT.SlotForVA(0x8000).Table
+	b.PT.AttachShared(geoARM.Slot(0x8000), tab, armv7.DomainZygote)
 
 	c.ContextSwitch(b)
 	if err := c.Fetch(0x8000); err != nil {
@@ -274,15 +275,15 @@ func TestDomainFaultForNonZygote(t *testing.T) {
 	// own page table (here, demand-paging a private page).
 	phys := mem.New(256)
 	zygotePager := &demandPager{phys: phys, global: true}
-	c := New(zygotePager)
-	zyg := newCtx(t, phys, 1, 1, arch.ZygoteDACR())
+	c := New(zygotePager, geoARM)
+	zyg := newCtx(t, phys, 1, 1, armv7.ZygoteDACR())
 	c.ContextSwitch(zyg)
 	if err := c.Fetch(0x8000); err != nil {
 		t.Fatal(err)
 	}
 
 	c.Handler = &demandPager{phys: phys} // private pager for the daemon
-	daemon := newCtx(t, phys, 2, 2, arch.StockDACR())
+	daemon := newCtx(t, phys, 2, 2, armv7.StockDACR())
 	c.ContextSwitch(daemon)
 	if err := c.Fetch(0x8000); err != nil {
 		t.Fatal(err)
@@ -308,8 +309,8 @@ func TestDomainFaultForNonZygote(t *testing.T) {
 
 func TestStallAccounting(t *testing.T) {
 	phys := mem.New(256)
-	c := New(&demandPager{phys: phys})
-	ctx := newCtx(t, phys, 1, 1, arch.StockDACR())
+	c := New(&demandPager{phys: phys}, geoARM)
+	ctx := newCtx(t, phys, 1, 1, armv7.StockDACR())
 	c.ContextSwitch(ctx)
 	if err := c.Fetch(0x8000); err != nil {
 		t.Fatal(err)
@@ -335,8 +336,8 @@ func TestStallAccounting(t *testing.T) {
 
 func TestDataSideCounters(t *testing.T) {
 	phys := mem.New(256)
-	c := New(&demandPager{phys: phys})
-	ctx := newCtx(t, phys, 1, 1, arch.StockDACR())
+	c := New(&demandPager{phys: phys}, geoARM)
+	ctx := newCtx(t, phys, 1, 1, armv7.StockDACR())
 	c.ContextSwitch(ctx)
 	if err := c.Read(0x9000); err != nil {
 		t.Fatal(err)
@@ -351,8 +352,8 @@ func TestDataSideCounters(t *testing.T) {
 
 func TestKernelExecPollutesICache(t *testing.T) {
 	phys := mem.New(256)
-	c := New(&demandPager{phys: phys})
-	ctx := newCtx(t, phys, 1, 1, arch.StockDACR())
+	c := New(&demandPager{phys: phys}, geoARM)
+	ctx := newCtx(t, phys, 1, 1, armv7.StockDACR())
 	c.ContextSwitch(ctx)
 	before := c.Caches.L1I.Stats().Misses
 	c.KernelExec(1024)
@@ -366,8 +367,8 @@ func TestKernelExecPollutesICache(t *testing.T) {
 
 func TestTouch(t *testing.T) {
 	phys := mem.New(256)
-	c := New(&demandPager{phys: phys})
-	ctx := newCtx(t, phys, 1, 1, arch.StockDACR())
+	c := New(&demandPager{phys: phys}, geoARM)
+	ctx := newCtx(t, phys, 1, 1, armv7.StockDACR())
 	c.ContextSwitch(ctx)
 	if err := c.Touch(0xA000, false); err != nil {
 		t.Fatal(err)
@@ -382,8 +383,8 @@ func TestTouch(t *testing.T) {
 
 func TestContextSwitchSameContextFree(t *testing.T) {
 	phys := mem.New(256)
-	c := New(&demandPager{phys: phys})
-	ctx := newCtx(t, phys, 1, 1, arch.StockDACR())
+	c := New(&demandPager{phys: phys}, geoARM)
+	ctx := newCtx(t, phys, 1, 1, armv7.StockDACR())
 	c.ContextSwitch(ctx)
 	cycles := ctx.Stats.Cycles
 	c.ContextSwitch(ctx)
@@ -397,8 +398,8 @@ func TestContextSwitchSameContextFree(t *testing.T) {
 
 func TestFetchBlockClampsToPage(t *testing.T) {
 	phys := mem.New(256)
-	c := New(&demandPager{phys: phys})
-	ctx := newCtx(t, phys, 1, 1, arch.StockDACR())
+	c := New(&demandPager{phys: phys}, geoARM)
+	ctx := newCtx(t, phys, 1, 1, armv7.StockDACR())
 	c.ContextSwitch(ctx)
 	// 2000 instructions from 0x8FF0 would cross the page; the block must
 	// clamp to the page without touching 0x9000.
@@ -415,7 +416,7 @@ func TestFetchBlockClampsToPage(t *testing.T) {
 
 func TestFetchBlockZeroAndNoContext(t *testing.T) {
 	phys := mem.New(256)
-	c := New(&demandPager{phys: phys})
+	c := New(&demandPager{phys: phys}, geoARM)
 	if err := c.FetchBlock(0x8000, 0); err != nil {
 		t.Errorf("zero-length block should be a no-op, got %v", err)
 	}
@@ -426,8 +427,8 @@ func TestFetchBlockZeroAndNoContext(t *testing.T) {
 
 func TestChargeUser(t *testing.T) {
 	phys := mem.New(256)
-	c := New(&demandPager{phys: phys})
-	ctx := newCtx(t, phys, 1, 1, arch.StockDACR())
+	c := New(&demandPager{phys: phys}, geoARM)
+	ctx := newCtx(t, phys, 1, 1, armv7.StockDACR())
 	c.ContextSwitch(ctx)
 	before := ctx.Stats.Cycles
 	c.ChargeUser(1000)
@@ -458,8 +459,8 @@ func (s *countingSampler) Sample(va arch.VirtAddr, kernel bool) {
 
 func TestSamplingRate(t *testing.T) {
 	phys := mem.New(256)
-	c := New(&demandPager{phys: phys})
-	ctx := newCtx(t, phys, 1, 1, arch.StockDACR())
+	c := New(&demandPager{phys: phys}, geoARM)
+	ctx := newCtx(t, phys, 1, 1, armv7.StockDACR())
 	c.ContextSwitch(ctx)
 	s := &countingSampler{}
 	c.SampleEvery = 100
@@ -477,5 +478,43 @@ func TestSamplingRate(t *testing.T) {
 	}
 	if s.kernel == 0 {
 		t.Error("kernel instructions should be sampled too (fault path + KernelExec)")
+	}
+}
+
+// geoARM is the geometry every legacy test drives; these tests pin
+// ARMv7 short-descriptor behavior.
+var geoARM = armv7.MMU().Geometry()
+
+func TestFlushGlobalsOnSwitchIn(t *testing.T) {
+	// On an architecture without domain protection the kernel marks
+	// contexts outside the sharing set with FlushGlobals: switching one
+	// in must drop the global entries the zygote-like processes loaded,
+	// forcing the outsider to walk its own table.
+	phys := mem.New(256)
+	pager := &demandPager{phys: phys, global: true}
+	c := New(pager, geoARM)
+	a := newCtx(t, phys, 1, 1, armv7.StockDACR())
+	c.ContextSwitch(a)
+	if err := c.Fetch(0x8000); err != nil {
+		t.Fatal(err)
+	}
+	daemon := newCtx(t, phys, 2, 2, armv7.StockDACR())
+	daemon.FlushGlobals = true
+	c.ContextSwitch(daemon)
+	gv, gg := c.Main.Occupancy()
+	if gg != 0 {
+		t.Errorf("global entries must be flushed when a FlushGlobals context switches in (valid=%d global=%d)", gv, gg)
+	}
+	// Without the flag the global entry survives (ASID mode).
+	c2 := New(pager, geoARM)
+	a2 := newCtx(t, phys, 3, 3, armv7.StockDACR())
+	c2.ContextSwitch(a2)
+	if err := c2.Fetch(0x8000); err != nil {
+		t.Fatal(err)
+	}
+	b2 := newCtx(t, phys, 4, 4, armv7.StockDACR())
+	c2.ContextSwitch(b2)
+	if _, gg2 := c2.Main.Occupancy(); gg2 == 0 {
+		t.Error("global entry should survive an ordinary ASID switch")
 	}
 }

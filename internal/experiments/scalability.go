@@ -120,10 +120,11 @@ func (s *Session) helloImage(cfg core.Config, prof *workload.Profile, n int) (*c
 	// baseKey is deliberately a separate, never-reassigned variable: the
 	// root thunk closes over it, and closing over the mutated chain key
 	// would make the root resolve to its own caller's entry and deadlock.
-	baseKey := checkpoint.Key(cfg, android.LayoutOriginal, u, android.Options{})
+	bootOpts := s.bootOptions(android.Options{})
+	baseKey := checkpoint.Key(cfg, android.LayoutOriginal, u, bootOpts)
 	node := func() (*checkpoint.Image, error) {
 		return ckpt.Image(baseKey, func() (*android.System, error) {
-			return android.BootOpts(cfg, android.LayoutOriginal, u, android.Options{})
+			return android.BootOpts(cfg, android.LayoutOriginal, u, bootOpts)
 		})
 	}
 	key := baseKey
@@ -202,8 +203,9 @@ func (s *Session) CachePollution() (*CachePollutionResult, error) {
 					if err := k.CPU.Fetch(va); err != nil {
 						return err
 					}
-					l1 := p.MM.PT.L1(arch.L1Index(va))
-					pa := l1.Table.PTEPhysAddr(arch.L2Index(va))
+					geo := p.MM.PT.Geometry()
+					l1 := p.MM.PT.Slot(geo.Slot(va))
+					pa := l1.Table.PTEPhysAddr(geo.LeafIndex(va))
 					lines[pa&^31] = true
 				}
 				return nil

@@ -79,6 +79,10 @@ type Session struct {
 	// existed. Escape hatch for A/B timing and the fork-vs-fresh
 	// differential tests; results are byte-identical either way.
 	NoCheckpoint bool
+	// Arch names the MMU architecture every boot simulates, by arch
+	// registry name ("armv7", "sv39"; empty means armv7). Scenario
+	// options that set their own Arch override it.
+	Arch string
 
 	universe     *workload.Universe
 	universeOnce sync.Once
@@ -120,6 +124,16 @@ func (s *Session) Universe() *workload.Universe {
 	return s.universe
 }
 
+// bootOptions fills the session-wide architecture into options that do
+// not choose their own, so every boot of a campaign simulates the same
+// MMU unless a scenario explicitly diverges.
+func (s *Session) bootOptions(o android.Options) android.Options {
+	if o.Arch == "" {
+		o.Arch = s.Arch
+	}
+	return o
+}
+
 // Boot brings up a machine for the given kernel configuration and
 // library layout — the common prefix every scenario of every campaign
 // simulates before diverging. Unless NoCheckpoint is set, the prefix is
@@ -132,6 +146,7 @@ func (s *Session) Boot(cfg core.Config, layout android.Layout) (*android.System,
 
 // BootOpts is Boot with explicit android.Options.
 func (s *Session) BootOpts(cfg core.Config, layout android.Layout, opts android.Options) (*android.System, error) {
+	opts = s.bootOptions(opts)
 	u := s.Universe()
 	if s.NoCheckpoint {
 		return android.BootOpts(cfg, layout, u, opts)
@@ -156,6 +171,7 @@ func (s *Session) BootOpts(cfg core.Config, layout android.Layout, opts android.
 // pairs must mean identical warmups. Under NoCheckpoint the warmup runs
 // inline on a fresh boot, byte-identical by the tree invariant.
 func (s *Session) BootWarm(cfg core.Config, layout android.Layout, opts android.Options, warmKey string, warm checkpoint.Warm) (*android.System, error) {
+	opts = s.bootOptions(opts)
 	img, err := s.warmImage(cfg, layout, opts, warmKey, warm)
 	if err != nil {
 		return nil, err
@@ -177,6 +193,7 @@ func (s *Session) BootWarm(cfg core.Config, layout android.Layout, opts android.
 // NoCheckpoint. Split from BootWarm so chain builders (scalability) can
 // stack Derived calls without forking the interior nodes.
 func (s *Session) warmImage(cfg core.Config, layout android.Layout, opts android.Options, warmKey string, warm checkpoint.Warm) (*checkpoint.Image, error) {
+	opts = s.bootOptions(opts)
 	if s.NoCheckpoint {
 		return nil, nil
 	}

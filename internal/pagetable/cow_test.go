@@ -16,12 +16,12 @@ import (
 func buildPT(t *testing.T) (*PageTable, *mem.PhysMem) {
 	t.Helper()
 	phys := mem.New(4096)
-	pt, err := New(phys)
+	pt, err := New(phys, geoARM)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, va := range []arch.VirtAddr{0x1000, 0x2000, 0x400000} {
-		if _, err := pt.EnsureL2(arch.L1Index(va), 1); err != nil {
+		if _, err := pt.EnsureLeafForVA(va, 1); err != nil {
 			t.Fatal(err)
 		}
 		f, err := phys.Alloc(mem.FrameAnon)
@@ -35,11 +35,11 @@ func buildPT(t *testing.T) (*PageTable, *mem.PhysMem) {
 
 func TestCloneSharesStorageUntilWrite(t *testing.T) {
 	pt, phys := buildPT(t)
-	tables := make(map[*L2Table]*L2Table)
+	tables := make(map[*LeafTable]*LeafTable)
 	clone := pt.CloneShared(phys, tables, nil)
 
-	for i := 0; i < arch.L1Entries; i++ {
-		a, b := pt.L1(i), clone.L1(i)
+	for i := 0; i < geoARM.NumSlots(); i++ {
+		a, b := pt.Slot(i), clone.Slot(i)
 		if (a.Table == nil) != (b.Table == nil) {
 			t.Fatalf("l1[%d]: clone shape differs", i)
 		}
@@ -60,7 +60,7 @@ func TestCloneSharesStorageUntilWrite(t *testing.T) {
 	orig := pt.PTEAt(va)
 	before := *orig
 	clone.Set(va, PTE{Frame: 99, Flags: arch.PTEValid})
-	if pt.L1(arch.L1Index(va)).Table.SharesStorage(clone.L1(arch.L1Index(va)).Table) {
+	if pt.Slot(geoARM.Slot(va)).Table.SharesStorage(clone.Slot(geoARM.Slot(va)).Table) {
 		t.Error("written table still shares storage with the original")
 	}
 	if *orig != before {
@@ -69,15 +69,15 @@ func TestCloneSharesStorageUntilWrite(t *testing.T) {
 	if got := clone.PTEAt(va); got.Frame != 99 {
 		t.Errorf("clone PTE frame = %d, want 99", got.Frame)
 	}
-	other := arch.L1Index(arch.VirtAddr(0x400000))
-	if !pt.L1(other).Table.SharesStorage(clone.L1(other).Table) {
+	other := geoARM.Slot(arch.VirtAddr(0x400000))
+	if !pt.Slot(other).Table.SharesStorage(clone.Slot(other).Table) {
 		t.Error("unwritten table lost its shared storage")
 	}
 }
 
 func TestOriginalWritePrivatizesToo(t *testing.T) {
 	pt, phys := buildPT(t)
-	clone := pt.CloneShared(phys, make(map[*L2Table]*L2Table), nil)
+	clone := pt.CloneShared(phys, make(map[*LeafTable]*LeafTable), nil)
 
 	// COW is symmetric: the original writing must not leak into the
 	// clone either (the image is cloned from a live system at capture).
@@ -91,7 +91,7 @@ func TestOriginalWritePrivatizesToo(t *testing.T) {
 
 func TestPTEForWritePrivatizes(t *testing.T) {
 	pt, phys := buildPT(t)
-	clone := pt.CloneShared(phys, make(map[*L2Table]*L2Table), nil)
+	clone := pt.CloneShared(phys, make(map[*LeafTable]*LeafTable), nil)
 
 	const va = arch.VirtAddr(0x1000)
 	origBefore := *pt.PTEAt(va)
@@ -107,10 +107,10 @@ func TestPTEForWritePrivatizes(t *testing.T) {
 
 func TestWriteProtectTablePrivatizes(t *testing.T) {
 	pt, phys := buildPT(t)
-	clone := pt.CloneShared(phys, make(map[*L2Table]*L2Table), nil)
+	clone := pt.CloneShared(phys, make(map[*LeafTable]*LeafTable), nil)
 
 	const va = arch.VirtAddr(0x1000)
-	idx := arch.L1Index(va)
+	idx := geoARM.Slot(va)
 	if !pt.PTEAt(va).Writable() {
 		t.Fatal("fixture PTE should start writable")
 	}
@@ -128,18 +128,18 @@ func TestSharedPTPClonesOnce(t *testing.T) {
 	// shared PTP) must resolve to ONE clone via the identity map, so the
 	// intra-machine sharing structure survives the fork.
 	pt, phys := buildPT(t)
-	pt2, err := New(phys)
+	pt2, err := New(phys, geoARM)
 	if err != nil {
 		t.Fatal(err)
 	}
 	const va = arch.VirtAddr(0x1000)
-	idx := arch.L1Index(va)
-	pt2.AttachShared(idx, pt.L1(idx).Table, 1)
+	idx := geoARM.Slot(va)
+	pt2.AttachShared(idx, pt.Slot(idx).Table, 1)
 
-	tables := make(map[*L2Table]*L2Table)
+	tables := make(map[*LeafTable]*LeafTable)
 	c1 := pt.CloneShared(phys, tables, nil)
 	c2 := pt2.CloneShared(phys, tables, nil)
-	if c1.L1(idx).Table != c2.L1(idx).Table {
+	if c1.Slot(idx).Table != c2.Slot(idx).Table {
 		t.Error("shared PTP cloned into two distinct tables; sharing structure lost")
 	}
 }

@@ -5,12 +5,19 @@ import (
 	"testing/quick"
 
 	"repro/internal/arch"
+	"repro/internal/arch/armv7"
+	"repro/internal/arch/sv39"
 	"repro/internal/mem"
+)
+
+var (
+	geoARM  = armv7.MMU().Geometry()
+	geoSv39 = sv39.MMU().Geometry()
 )
 
 func newPT(t *testing.T, phys *mem.PhysMem) *PageTable {
 	t.Helper()
-	pt, err := New(phys)
+	pt, err := New(phys, geoARM)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -25,13 +32,24 @@ func TestNewAllocatesRootFrames(t *testing.T) {
 	phys := mem.New(16)
 	_ = newPT(t, phys)
 	if got := phys.InUseByKind(mem.FramePageTable); got != 4 {
-		t.Errorf("root table should occupy 4 frames, got %d", got)
+		t.Errorf("ARMv7 root table should occupy 4 frames, got %d", got)
+	}
+}
+
+func TestNewAllocatesMidFrames(t *testing.T) {
+	phys := mem.New(16)
+	if _, err := New(phys, geoSv39); err != nil {
+		t.Fatal(err)
+	}
+	// One root frame plus four mid-level tables covering the 4GB window.
+	if got := phys.InUseByKind(mem.FramePageTable); got != 5 {
+		t.Errorf("Sv39 table skeleton should occupy 5 frames, got %d", got)
 	}
 }
 
 func TestNewFailsCleanlyWhenExhausted(t *testing.T) {
 	phys := mem.New(2) // not enough for the 4-frame root table
-	if _, err := New(phys); err == nil {
+	if _, err := New(phys, geoARM); err == nil {
 		t.Fatal("New should fail with 2 frames")
 	}
 	if got := phys.Stats().InUse; got != 0 {
@@ -40,45 +58,106 @@ func TestNewFailsCleanlyWhenExhausted(t *testing.T) {
 }
 
 func TestSetLookupClear(t *testing.T) {
-	phys := mem.New(64)
-	pt := newPT(t, phys)
-	va := arch.VirtAddr(0x40001000)
-	if _, _, f := pt.Lookup(va); f != arch.FaultTranslation {
-		t.Fatalf("empty table lookup fault = %v, want translation", f)
-	}
-	if _, err := pt.EnsureL2(arch.L1Index(va), arch.DomainUser); err != nil {
-		t.Fatal(err)
-	}
-	if _, _, f := pt.Lookup(va); f != arch.FaultTranslation {
-		t.Fatalf("invalid PTE lookup fault = %v, want translation", f)
-	}
-	pt.Set(va, validPTE(7, arch.PTEWrite))
-	pte, l1e, f := pt.Lookup(va)
-	if f != arch.FaultNone {
-		t.Fatalf("lookup fault = %v, want none", f)
-	}
-	if pte.Frame != 7 || !pte.Writable() {
-		t.Errorf("pte = %+v, want frame 7 writable", pte)
-	}
-	if l1e.Domain != arch.DomainUser {
-		t.Errorf("domain = %d, want user", l1e.Domain)
-	}
-	old := pt.Clear(va)
-	if old.Frame != 7 {
-		t.Errorf("Clear returned %+v, want frame 7", old)
-	}
-	if _, _, f := pt.Lookup(va); f != arch.FaultTranslation {
-		t.Errorf("post-clear fault = %v, want translation", f)
+	for _, tc := range []struct {
+		name string
+		geo  arch.Geometry
+	}{{"armv7", geoARM}, {"sv39", geoSv39}} {
+		t.Run(tc.name, func(t *testing.T) {
+			phys := mem.New(64)
+			pt, err := New(phys, tc.geo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			va := arch.VirtAddr(0x40001000)
+			if _, _, f := pt.Lookup(va); f != arch.FaultTranslation {
+				t.Fatalf("empty table lookup fault = %v, want translation", f)
+			}
+			if _, err := pt.EnsureLeaf(tc.geo.Slot(va), 1); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, f := pt.Lookup(va); f != arch.FaultTranslation {
+				t.Fatalf("invalid PTE lookup fault = %v, want translation", f)
+			}
+			pt.Set(va, validPTE(7, arch.PTEWrite))
+			pte, se, f := pt.Lookup(va)
+			if f != arch.FaultNone {
+				t.Fatalf("lookup fault = %v, want none", f)
+			}
+			if pte.Frame != 7 || !pte.Writable() {
+				t.Errorf("pte = %+v, want frame 7 writable", pte)
+			}
+			if se.Domain != 1 {
+				t.Errorf("domain = %d, want 1", se.Domain)
+			}
+			old := pt.Clear(va)
+			if old.Frame != 7 {
+				t.Errorf("Clear returned %+v, want frame 7", old)
+			}
+			if _, _, f := pt.Lookup(va); f != arch.FaultTranslation {
+				t.Errorf("post-clear fault = %v, want translation", f)
+			}
+		})
 	}
 }
 
-func TestEnsureL2Idempotent(t *testing.T) {
+func TestWalkPathDepth(t *testing.T) {
+	for _, tc := range []struct {
+		name                string
+		geo                 arch.Geometry
+		missDepth, hitDepth int
+	}{
+		// ARMv7: root entry always read; leaf PTE only when the slot is
+		// live. Sv39: mid tables exist from birth, so a miss still
+		// touches root and mid.
+		{"armv7", geoARM, 1, 2},
+		{"sv39", geoSv39, 2, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			phys := mem.New(64)
+			pt, err := New(phys, tc.geo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			va := arch.VirtAddr(0x40001000)
+			_, _, f, path := pt.Walk(va)
+			if f != arch.FaultTranslation || path.N != tc.missDepth {
+				t.Errorf("empty walk = fault %v depth %d, want translation depth %d",
+					f, path.N, tc.missDepth)
+			}
+			if _, err := pt.EnsureLeaf(tc.geo.Slot(va), 0); err != nil {
+				t.Fatal(err)
+			}
+			pt.Set(va, validPTE(7, 0))
+			pte, _, f, path := pt.Walk(va)
+			if f != arch.FaultNone || path.N != tc.hitDepth || pte.Frame != 7 {
+				t.Errorf("live walk = %+v fault %v depth %d, want frame 7 depth %d",
+					pte, f, path.N, tc.hitDepth)
+			}
+			// The leaf address is the PTE word inside the PTP frame.
+			leaf := path.Addrs[path.N-1]
+			want := pt.Slot(tc.geo.Slot(va)).Table.PTEPhysAddr(tc.geo.LeafIndex(va))
+			if leaf != want {
+				t.Errorf("leaf walk address = %#x, want %#x", leaf, want)
+			}
+			// All path addresses are distinct.
+			seen := map[arch.PhysAddr]bool{}
+			for i := 0; i < path.N; i++ {
+				if seen[path.Addrs[i]] {
+					t.Errorf("duplicate walk address %#x", path.Addrs[i])
+				}
+				seen[path.Addrs[i]] = true
+			}
+		})
+	}
+}
+
+func TestEnsureLeafIdempotent(t *testing.T) {
 	phys := mem.New(64)
 	pt := newPT(t, phys)
-	a, _ := pt.EnsureL2(5, arch.DomainUser)
-	b, _ := pt.EnsureL2(5, arch.DomainUser)
+	a, _ := pt.EnsureLeaf(5, armv7.DomainUser)
+	b, _ := pt.EnsureLeaf(5, armv7.DomainUser)
 	if a != b {
-		t.Error("EnsureL2 must return the same table for the same slot")
+		t.Error("EnsureLeaf must return the same table for the same slot")
 	}
 	if pt.Stats().PTPsAllocated != 1 {
 		t.Errorf("PTPsAllocated = %d, want 1", pt.Stats().PTPsAllocated)
@@ -88,7 +167,7 @@ func TestEnsureL2Idempotent(t *testing.T) {
 func TestPopulatedCount(t *testing.T) {
 	phys := mem.New(64)
 	pt := newPT(t, phys)
-	tab, _ := pt.EnsureL2(0, arch.DomainUser)
+	tab, _ := pt.EnsureLeaf(0, armv7.DomainUser)
 	pt.Set(0x0000, validPTE(1, 0))
 	pt.Set(0x1000, validPTE(2, 0))
 	pt.Set(0x1000, validPTE(3, 0)) // overwrite: count unchanged
@@ -108,17 +187,17 @@ func TestAttachSharedAndSharerCount(t *testing.T) {
 	phys := mem.New(64)
 	parent := newPT(t, phys)
 	child := newPT(t, phys)
-	tab, _ := parent.EnsureL2(3, arch.DomainUser)
+	tab, _ := parent.EnsureLeaf(3, armv7.DomainUser)
 	parent.Set(0x00300000, validPTE(9, 0))
 
-	child.AttachShared(3, tab, arch.DomainUser)
+	child.AttachShared(3, tab, armv7.DomainUser)
 	if got := parent.SharerCount(3); got != 2 {
 		t.Errorf("parent SharerCount = %d, want 2", got)
 	}
 	if got := child.SharerCount(3); got != 2 {
 		t.Errorf("child SharerCount = %d, want 2", got)
 	}
-	if !child.L1(3).NeedCopy {
+	if !child.Slot(3).NeedCopy {
 		t.Error("attached entry must carry NEED_COPY")
 	}
 	// PTE populated by the parent is visible through the child.
@@ -132,8 +211,8 @@ func TestSharedPTEVisibleToAllSharers(t *testing.T) {
 	phys := mem.New(64)
 	parent := newPT(t, phys)
 	child := newPT(t, phys)
-	tab, _ := parent.EnsureL2(3, arch.DomainUser)
-	child.AttachShared(3, tab, arch.DomainUser)
+	tab, _ := parent.EnsureLeaf(3, armv7.DomainUser)
+	child.AttachShared(3, tab, armv7.DomainUser)
 
 	// Child populates an entry on a read fault; parent sees it at once.
 	child.SetShared(0x00342000, validPTE(11, 0))
@@ -147,8 +226,8 @@ func TestSetSharedRejectsWritable(t *testing.T) {
 	phys := mem.New(64)
 	parent := newPT(t, phys)
 	child := newPT(t, phys)
-	tab, _ := parent.EnsureL2(3, arch.DomainUser)
-	child.AttachShared(3, tab, arch.DomainUser)
+	tab, _ := parent.EnsureLeaf(3, armv7.DomainUser)
+	child.AttachShared(3, tab, armv7.DomainUser)
 	defer func() {
 		if recover() == nil {
 			t.Error("SetShared with a writable PTE should panic")
@@ -161,8 +240,8 @@ func TestSetThroughNeedCopyPanics(t *testing.T) {
 	phys := mem.New(64)
 	parent := newPT(t, phys)
 	child := newPT(t, phys)
-	tab, _ := parent.EnsureL2(3, arch.DomainUser)
-	child.AttachShared(3, tab, arch.DomainUser)
+	tab, _ := parent.EnsureLeaf(3, armv7.DomainUser)
+	child.AttachShared(3, tab, armv7.DomainUser)
 	defer func() {
 		if recover() == nil {
 			t.Error("Set through a NEED_COPY entry should panic")
@@ -174,7 +253,7 @@ func TestSetThroughNeedCopyPanics(t *testing.T) {
 func TestWriteProtectTable(t *testing.T) {
 	phys := mem.New(64)
 	pt := newPT(t, phys)
-	_, _ = pt.EnsureL2(0, arch.DomainUser)
+	_, _ = pt.EnsureLeaf(0, armv7.DomainUser)
 	pt.Set(0x0000, validPTE(1, arch.PTEWrite))
 	pt.Set(0x1000, validPTE(2, 0))
 	pt.Set(0x2000, validPTE(3, arch.PTEWrite))
@@ -198,12 +277,12 @@ func TestUnshareLastSharerJustClearsNeedCopy(t *testing.T) {
 	phys := mem.New(64)
 	parent := newPT(t, phys)
 	child := newPT(t, phys)
-	tab, _ := parent.EnsureL2(3, arch.DomainUser)
+	tab, _ := parent.EnsureLeaf(3, armv7.DomainUser)
 	parent.Set(0x00300000, validPTE(9, 0))
-	child.AttachShared(3, tab, arch.DomainUser)
+	child.AttachShared(3, tab, armv7.DomainUser)
 
 	// Parent exits: child becomes the sole sharer.
-	parent.DetachL2(3)
+	parent.DetachLeaf(3)
 	copied, err := child.UnsharePTP(3)
 	if err != nil {
 		t.Fatal(err)
@@ -211,10 +290,10 @@ func TestUnshareLastSharerJustClearsNeedCopy(t *testing.T) {
 	if copied != 0 {
 		t.Errorf("sole sharer unshare copied %d PTEs, want 0", copied)
 	}
-	if child.L1(3).NeedCopy {
+	if child.Slot(3).NeedCopy {
 		t.Error("NEED_COPY should be cleared")
 	}
-	if child.L1(3).Table != tab {
+	if child.Slot(3).Table != tab {
 		t.Error("sole sharer keeps the original PTP")
 	}
 }
@@ -223,10 +302,10 @@ func TestUnshareCopies(t *testing.T) {
 	phys := mem.New(64)
 	parent := newPT(t, phys)
 	child := newPT(t, phys)
-	tab, _ := parent.EnsureL2(3, arch.DomainUser)
+	tab, _ := parent.EnsureLeaf(3, armv7.DomainUser)
 	parent.Set(0x00300000, validPTE(9, 0))
 	parent.Set(0x00310000, validPTE(10, 0))
-	child.AttachShared(3, tab, arch.DomainUser)
+	child.AttachShared(3, tab, armv7.DomainUser)
 
 	copied, err := child.UnsharePTP(3)
 	if err != nil {
@@ -235,10 +314,10 @@ func TestUnshareCopies(t *testing.T) {
 	if copied != 2 {
 		t.Errorf("copied = %d, want 2", copied)
 	}
-	if child.L1(3).Table == tab {
+	if child.Slot(3).Table == tab {
 		t.Error("child must have a fresh private PTP")
 	}
-	if child.L1(3).NeedCopy {
+	if child.Slot(3).NeedCopy {
 		t.Error("fresh PTP must not be NEED_COPY")
 	}
 	if got := parent.SharerCount(3); got != 1 {
@@ -259,7 +338,7 @@ func TestUnshareCopies(t *testing.T) {
 func TestUnshareNotSharedIsNoop(t *testing.T) {
 	phys := mem.New(64)
 	pt := newPT(t, phys)
-	_, _ = pt.EnsureL2(3, arch.DomainUser)
+	_, _ = pt.EnsureLeaf(3, armv7.DomainUser)
 	copied, err := pt.UnsharePTP(3)
 	if err != nil || copied != 0 {
 		t.Errorf("unshare of private PTP = (%d, %v), want (0, nil)", copied, err)
@@ -273,17 +352,17 @@ func TestDetachFreesWhenLast(t *testing.T) {
 	phys := mem.New(64)
 	parent := newPT(t, phys)
 	child := newPT(t, phys)
-	tab, _ := parent.EnsureL2(3, arch.DomainUser)
-	child.AttachShared(3, tab, arch.DomainUser)
+	tab, _ := parent.EnsureLeaf(3, armv7.DomainUser)
+	child.AttachShared(3, tab, armv7.DomainUser)
 
 	before := phys.Stats().InUse
-	if remaining := child.DetachL2(3); remaining != 1 {
+	if remaining := child.DetachLeaf(3); remaining != 1 {
 		t.Errorf("remaining = %d, want 1", remaining)
 	}
 	if phys.Stats().InUse != before {
 		t.Error("detach with remaining sharers must not free the frame")
 	}
-	if remaining := parent.DetachL2(3); remaining != 0 {
+	if remaining := parent.DetachLeaf(3); remaining != 0 {
 		t.Errorf("remaining = %d, want 0", remaining)
 	}
 	if phys.Stats().InUse != before-1 {
@@ -292,13 +371,23 @@ func TestDetachFreesWhenLast(t *testing.T) {
 }
 
 func TestReleaseAll(t *testing.T) {
-	phys := mem.New(64)
-	pt := newPT(t, phys)
-	_, _ = pt.EnsureL2(1, arch.DomainUser)
-	_, _ = pt.EnsureL2(2, arch.DomainUser)
-	pt.ReleaseAll()
-	if got := phys.Stats().InUse; got != 0 {
-		t.Errorf("ReleaseAll left %d frames in use", got)
+	for _, tc := range []struct {
+		name string
+		geo  arch.Geometry
+	}{{"armv7", geoARM}, {"sv39", geoSv39}} {
+		t.Run(tc.name, func(t *testing.T) {
+			phys := mem.New(64)
+			pt, err := New(phys, tc.geo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _ = pt.EnsureLeaf(1, 0)
+			_, _ = pt.EnsureLeaf(2, 0)
+			pt.ReleaseAll()
+			if got := phys.Stats().InUse; got != 0 {
+				t.Errorf("ReleaseAll left %d frames in use", got)
+			}
+		})
 	}
 }
 
@@ -306,10 +395,10 @@ func TestLiveAndSharedCounts(t *testing.T) {
 	phys := mem.New(64)
 	parent := newPT(t, phys)
 	child := newPT(t, phys)
-	taba, _ := parent.EnsureL2(1, arch.DomainUser)
-	_, _ = parent.EnsureL2(2, arch.DomainUser)
-	child.AttachShared(1, taba, arch.DomainUser)
-	_, _ = child.EnsureL2(9, arch.DomainUser)
+	taba, _ := parent.EnsureLeaf(1, armv7.DomainUser)
+	_, _ = parent.EnsureLeaf(2, armv7.DomainUser)
+	child.AttachShared(1, taba, armv7.DomainUser)
+	_, _ = child.EnsureLeaf(9, armv7.DomainUser)
 
 	if got := parent.LivePTPs(); got != 2 {
 		t.Errorf("parent LivePTPs = %d, want 2", got)
@@ -329,27 +418,46 @@ func TestPTEPhysAddrStableAcrossSharers(t *testing.T) {
 	phys := mem.New(64)
 	parent := newPT(t, phys)
 	child := newPT(t, phys)
-	tab, _ := parent.EnsureL2(3, arch.DomainUser)
-	child.AttachShared(3, tab, arch.DomainUser)
+	tab, _ := parent.EnsureLeaf(3, armv7.DomainUser)
+	child.AttachShared(3, tab, armv7.DomainUser)
 	// Both address spaces walk to the same physical PTE word: this is the
 	// cache-deduplication property the paper measures.
-	pa1 := parent.L1(3).Table.PTEPhysAddr(0x42)
-	pa2 := child.L1(3).Table.PTEPhysAddr(0x42)
+	pa1 := parent.Slot(3).Table.PTEPhysAddr(0x42)
+	pa2 := child.Slot(3).Table.PTEPhysAddr(0x42)
 	if pa1 != pa2 {
 		t.Errorf("shared PTP PTE addresses differ: %#x vs %#x", pa1, pa2)
 	}
 }
 
-func TestL1EntryPhysAddrsDistinct(t *testing.T) {
+func TestRootEntryPhysAddrsDistinct(t *testing.T) {
 	phys := mem.New(64)
 	pt := newPT(t, phys)
 	seen := make(map[arch.PhysAddr]bool)
 	for _, idx := range []int{0, 1, 1023, 1024, 2048, 4095} {
-		pa := pt.L1EntryPhysAddr(idx)
+		pa := pt.RootEntryPhysAddr(idx)
 		if seen[pa] {
-			t.Errorf("duplicate L1 entry physical address %#x for index %d", pa, idx)
+			t.Errorf("duplicate root entry physical address %#x for index %d", pa, idx)
 		}
 		seen[pa] = true
+	}
+}
+
+func TestSv39SlotsShareRootEntry(t *testing.T) {
+	// Two slots under the same mid table share their root entry address
+	// but have distinct mid-level entry addresses.
+	phys := mem.New(64)
+	pt, err := New(phys, geoSv39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := pt.RootEntryPhysAddr(0), pt.RootEntryPhysAddr(1); a != b {
+		t.Errorf("slots 0 and 1 should share a root entry: %#x vs %#x", a, b)
+	}
+	if a, b := pt.RootEntryPhysAddr(0), pt.RootEntryPhysAddr(512); a == b {
+		t.Errorf("slots 0 and 512 are under different root entries: both %#x", a)
+	}
+	if a, b := pt.midEntryPhysAddr(0), pt.midEntryPhysAddr(1); a == b {
+		t.Errorf("slots 0 and 1 must have distinct mid entries: both %#x", a)
 	}
 }
 
@@ -359,7 +467,7 @@ func TestPTEAt(t *testing.T) {
 	if pt.PTEAt(0x00300000) != nil {
 		t.Error("PTEAt on empty slot should be nil")
 	}
-	_, _ = pt.EnsureL2(3, arch.DomainUser)
+	_, _ = pt.EnsureLeaf(3, armv7.DomainUser)
 	pt.Set(0x00300000, validPTE(9, 0))
 	p := pt.PTEAt(0x00300000)
 	if p == nil || p.Frame != 9 {
@@ -368,16 +476,16 @@ func TestPTEAt(t *testing.T) {
 }
 
 // TestSetClearInvariant property: after any sequence of Set/Clear on
-// random pages within one section, Populated equals the number of distinct
+// random pages within one slot, Populated equals the number of distinct
 // live pages.
 func TestSetClearInvariant(t *testing.T) {
 	prop := func(ops []uint8) bool {
 		phys := mem.New(256)
-		pt, err := New(phys)
+		pt, err := New(phys, geoARM)
 		if err != nil {
 			return false
 		}
-		if _, err := pt.EnsureL2(0, arch.DomainUser); err != nil {
+		if _, err := pt.EnsureLeaf(0, armv7.DomainUser); err != nil {
 			return false
 		}
 		live := make(map[int]bool)
@@ -405,15 +513,15 @@ func TestSetClearInvariant(t *testing.T) {
 func TestShareUnshareInvariant(t *testing.T) {
 	prop := func(pages []uint8) bool {
 		phys := mem.New(256)
-		parent, _ := New(phys)
-		child, _ := New(phys)
-		tab, _ := parent.EnsureL2(0, arch.DomainUser)
+		parent, _ := New(phys, geoARM)
+		child, _ := New(phys, geoARM)
+		tab, _ := parent.EnsureLeaf(0, armv7.DomainUser)
 		uniq := make(map[uint8]bool)
 		for _, p := range pages {
 			uniq[p] = true
 			parent.Set(arch.VirtAddr(p)<<arch.PageShift, validPTE(arch.FrameNum(p)+1, 0))
 		}
-		child.AttachShared(0, tab, arch.DomainUser)
+		child.AttachShared(0, tab, armv7.DomainUser)
 		copied, err := child.UnsharePTP(0)
 		if err != nil || copied != len(uniq) {
 			return false
@@ -439,9 +547,9 @@ func TestShareUnshareInvariant(t *testing.T) {
 func TestUnshareFilterProperty(t *testing.T) {
 	prop := func(pages []uint8, keepMask uint8) bool {
 		phys := mem.New(256)
-		parent, _ := New(phys)
-		child, _ := New(phys)
-		tab, _ := parent.EnsureL2(0, arch.DomainUser)
+		parent, _ := New(phys, geoARM)
+		child, _ := New(phys, geoARM)
+		tab, _ := parent.EnsureLeaf(0, armv7.DomainUser)
 		uniq := map[uint8]bool{}
 		for _, p := range pages {
 			uniq[p] = true
@@ -451,7 +559,7 @@ func TestUnshareFilterProperty(t *testing.T) {
 			}
 			parent.Set(arch.VirtAddr(p)<<arch.PageShift, pte)
 		}
-		child.AttachShared(0, tab, arch.DomainUser)
+		child.AttachShared(0, tab, armv7.DomainUser)
 		keep := func(pte PTE) bool { return pte.Soft&arch.SoftFile == 0 }
 		copied, err := child.UnsharePTPFunc(0, keep)
 		if err != nil {
@@ -481,43 +589,53 @@ func TestUnshareFilterProperty(t *testing.T) {
 	}
 }
 
-// TestLargeMappingProperty: SetLarge populates exactly sixteen replicas,
-// all carrying the base frame and the PTELarge attribute.
+// TestLargeMappingProperty: SetLarge populates exactly PagesPerLarge
+// replicas, all carrying the base frame and the PTELarge attribute —
+// sixteen 64KB replicas on ARMv7, a full 512-entry leaf table on Sv39.
 func TestLargeMappingProperty(t *testing.T) {
-	prop := func(slot uint8, chunk uint8) bool {
-		phys := mem.New(256)
-		pt, _ := New(phys)
-		idx := int(slot) % arch.L1Entries
-		c := int(chunk) % 16 // 16 chunks per 1MB slot
-		va := arch.VirtAddr(idx)<<arch.SectionShift + arch.VirtAddr(c)*arch.LargePageSize
-		if _, err := pt.EnsureL2(idx, arch.DomainUser); err != nil {
-			return false
-		}
-		base, err := phys.AllocRange(16, 16, mem.FramePageCache)
-		if err != nil {
-			return false
-		}
-		pt.SetLarge(va, base, arch.PTEValid|arch.PTEUser|arch.PTEExec, arch.SoftFile)
-		if pt.PopulatedPTEs() != 16 {
-			return false
-		}
-		for i := 0; i < 16; i++ {
-			pte, _, f := pt.Lookup(va + arch.VirtAddr(i*arch.PageSize))
-			if f != arch.FaultNone || pte.Frame != base || pte.Flags&arch.PTELarge == 0 {
+	for _, tc := range []struct {
+		name string
+		geo  arch.Geometry
+	}{{"armv7", geoARM}, {"sv39", geoSv39}} {
+		ppl := tc.geo.PagesPerLarge()
+		chunks := int(tc.geo.SlotSpan() / tc.geo.LargePageSize())
+		prop := func(slot uint8, chunk uint8) bool {
+			phys := mem.New(1024)
+			pt, _ := New(phys, tc.geo)
+			idx := int(slot) % tc.geo.NumSlots()
+			c := int(chunk) % chunks
+			va := tc.geo.SlotBase(idx) + arch.VirtAddr(c)*tc.geo.LargePageSize()
+			if _, err := pt.EnsureLeaf(idx, 0); err != nil {
 				return false
 			}
+			base, err := phys.AllocRange(ppl, ppl, mem.FramePageCache)
+			if err != nil {
+				return false
+			}
+			pt.SetLarge(va, base, arch.PTEValid|arch.PTEUser|arch.PTEExec, arch.SoftFile)
+			if pt.PopulatedPTEs() != ppl {
+				return false
+			}
+			for i := 0; i < ppl; i++ {
+				pte, _, f := pt.Lookup(va + arch.VirtAddr(i*arch.PageSize))
+				if f != arch.FaultNone || pte.Frame != base || pte.Flags&arch.PTELarge == 0 {
+					return false
+				}
+			}
+			return true
 		}
-		return true
-	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
-		t.Error(err)
+		t.Run(tc.name, func(t *testing.T) {
+			if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+				t.Error(err)
+			}
+		})
 	}
 }
 
 func TestSetLargeValidation(t *testing.T) {
 	phys := mem.New(256)
-	pt, _ := New(phys)
-	_, _ = pt.EnsureL2(0, arch.DomainUser)
+	pt, _ := New(phys, geoARM)
+	_, _ = pt.EnsureLeaf(0, armv7.DomainUser)
 	base, _ := phys.AllocRange(16, 16, mem.FramePageCache)
 	for _, c := range []struct {
 		name string

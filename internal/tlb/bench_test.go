@@ -4,13 +4,14 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/arch/armv7"
 )
 
 // benchFill populates tb with n distinct small pages under ASID 1.
 func benchFill(tb *TLB, n int) {
 	for i := 0; i < n; i++ {
 		tb.Insert(arch.VirtAddr(i)<<arch.PageShift, 1, arch.FrameNum(i),
-			arch.PTEValid|arch.PTEUser|arch.PTEExec, arch.DomainUser)
+			arch.PTEValid|arch.PTEUser|arch.PTEExec, armv7.DomainUser)
 	}
 }
 
@@ -18,9 +19,9 @@ func benchFill(tb *TLB, n int) {
 // 128-entry main TLB, cycling through the whole working set so the
 // one-entry MRU register never short-circuits the index.
 func BenchmarkTLBLookupHit(b *testing.B) {
-	tb := New("bench", 128)
+	tb := New("bench", 128, armv7.PagesPerLargePage)
 	benchFill(tb, 128)
-	dacr := arch.StockDACR()
+	dacr := armv7.StockDACR()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -34,9 +35,9 @@ func BenchmarkTLBLookupHit(b *testing.B) {
 // same translation is looked up back to back, as happens for every
 // instruction of a straight-line basic block.
 func BenchmarkTLBLookupHitMRU(b *testing.B) {
-	tb := New("bench", 128)
+	tb := New("bench", 128, armv7.PagesPerLargePage)
 	benchFill(tb, 128)
-	dacr := arch.StockDACR()
+	dacr := armv7.StockDACR()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -49,9 +50,9 @@ func BenchmarkTLBLookupHitMRU(b *testing.B) {
 // BenchmarkTLBLookupMiss measures the miss-detection path of a full main
 // TLB: the probe that precedes every hardware page walk.
 func BenchmarkTLBLookupMiss(b *testing.B) {
-	tb := New("bench", 128)
+	tb := New("bench", 128, armv7.PagesPerLargePage)
 	benchFill(tb, 128)
-	dacr := arch.StockDACR()
+	dacr := armv7.StockDACR()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -65,27 +66,27 @@ func BenchmarkTLBLookupMiss(b *testing.B) {
 // BenchmarkTLBInsertEvict measures Insert into a full TLB, where every
 // load must also choose and displace the LRU victim.
 func BenchmarkTLBInsertEvict(b *testing.B) {
-	tb := New("bench", 128)
+	tb := New("bench", 128, armv7.PagesPerLargePage)
 	benchFill(tb, 128)
 	flags := arch.PTEValid | arch.PTEUser | arch.PTEExec
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		va := arch.VirtAddr(128+(i&0xFFFFF)) << arch.PageShift
-		tb.Insert(va, 1, arch.FrameNum(i), flags, arch.DomainUser)
+		tb.Insert(va, 1, arch.FrameNum(i), flags, armv7.DomainUser)
 	}
 }
 
 // BenchmarkTLBLookupLargePage measures the probe path when the working
 // set is mapped with 64KB large pages, exercising the masked-VPN index.
 func BenchmarkTLBLookupLargePage(b *testing.B) {
-	tb := New("bench", 128)
+	tb := New("bench", 128, armv7.PagesPerLargePage)
 	flags := arch.PTEValid | arch.PTEUser | arch.PTEExec | arch.PTELarge
 	for i := 0; i < 64; i++ {
-		va := arch.VirtAddr(i) << arch.LargePageShift
-		tb.Insert(va, 1, arch.FrameNum(i*arch.PagesPerLargePage), flags, arch.DomainUser)
+		va := arch.VirtAddr(i) << armv7.LargePageShift
+		tb.Insert(va, 1, arch.FrameNum(i*armv7.PagesPerLargePage), flags, armv7.DomainUser)
 	}
-	dacr := arch.StockDACR()
+	dacr := armv7.StockDACR()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -104,14 +105,14 @@ func BenchmarkTLBLookupLargePage(b *testing.B) {
 func refBenchFill(tb *linearTLB, n int) {
 	for i := 0; i < n; i++ {
 		tb.Insert(arch.VirtAddr(i)<<arch.PageShift, 1, arch.FrameNum(i),
-			arch.PTEValid|arch.PTEUser|arch.PTEExec, arch.DomainUser)
+			arch.PTEValid|arch.PTEUser|arch.PTEExec, armv7.DomainUser)
 	}
 }
 
 func BenchmarkReferenceTLBLookupHit(b *testing.B) {
-	tb := newLinear(128)
+	tb := newLinear(128, armv7.PagesPerLargePage)
 	refBenchFill(tb, 128)
-	dacr := arch.StockDACR()
+	dacr := armv7.StockDACR()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -122,9 +123,9 @@ func BenchmarkReferenceTLBLookupHit(b *testing.B) {
 }
 
 func BenchmarkReferenceTLBLookupHitMRU(b *testing.B) {
-	tb := newLinear(128)
+	tb := newLinear(128, armv7.PagesPerLargePage)
 	refBenchFill(tb, 128)
-	dacr := arch.StockDACR()
+	dacr := armv7.StockDACR()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -135,9 +136,9 @@ func BenchmarkReferenceTLBLookupHitMRU(b *testing.B) {
 }
 
 func BenchmarkReferenceTLBLookupMiss(b *testing.B) {
-	tb := newLinear(128)
+	tb := newLinear(128, armv7.PagesPerLargePage)
 	refBenchFill(tb, 128)
-	dacr := arch.StockDACR()
+	dacr := armv7.StockDACR()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -149,25 +150,25 @@ func BenchmarkReferenceTLBLookupMiss(b *testing.B) {
 }
 
 func BenchmarkReferenceTLBInsertEvict(b *testing.B) {
-	tb := newLinear(128)
+	tb := newLinear(128, armv7.PagesPerLargePage)
 	refBenchFill(tb, 128)
 	flags := arch.PTEValid | arch.PTEUser | arch.PTEExec
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		va := arch.VirtAddr(128+(i&0xFFFFF)) << arch.PageShift
-		tb.Insert(va, 1, arch.FrameNum(i), flags, arch.DomainUser)
+		tb.Insert(va, 1, arch.FrameNum(i), flags, armv7.DomainUser)
 	}
 }
 
 func BenchmarkReferenceTLBLookupLargePage(b *testing.B) {
-	tb := newLinear(128)
+	tb := newLinear(128, armv7.PagesPerLargePage)
 	flags := arch.PTEValid | arch.PTEUser | arch.PTEExec | arch.PTELarge
 	for i := 0; i < 64; i++ {
-		va := arch.VirtAddr(i) << arch.LargePageShift
-		tb.Insert(va, 1, arch.FrameNum(i*arch.PagesPerLargePage), flags, arch.DomainUser)
+		va := arch.VirtAddr(i) << armv7.LargePageShift
+		tb.Insert(va, 1, arch.FrameNum(i*armv7.PagesPerLargePage), flags, armv7.DomainUser)
 	}
-	dacr := arch.StockDACR()
+	dacr := armv7.StockDACR()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -8,10 +8,11 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/arch/armv7"
 )
 
 func TestCloneCopiesStateAndDetaches(t *testing.T) {
-	a := New("main", 64)
+	a := New("main", 64, armv7.PagesPerLargePage)
 	for i := 0; i < 40; i++ {
 		a.Insert(arch.VirtAddr(i*arch.PageSize), 1, arch.FrameNum(i), arch.PTEValid, 1)
 	}
@@ -32,7 +33,7 @@ func TestCloneCopiesStateAndDetaches(t *testing.T) {
 }
 
 func TestCloneAllocationBounded(t *testing.T) {
-	a := New("main", 64)
+	a := New("main", 64, armv7.PagesPerLargePage)
 	for i := 0; i < 64; i++ {
 		a.Insert(arch.VirtAddr(i*arch.PageSize), 1, arch.FrameNum(i), arch.PTEValid, 1)
 	}

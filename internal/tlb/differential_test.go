@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/arch/armv7"
+	"repro/internal/arch/sv39"
 )
 
 // The differential property test: the indexed TLB and the reference
@@ -21,15 +23,15 @@ import (
 // manager-override, deny-user (domain faults on user entries), and
 // all-manager.
 func diffDACRs() []arch.DACR {
-	deny := arch.DACR(0).WithAccess(arch.DomainKernel, arch.DomainClient)
+	deny := arch.DACR(0).WithAccess(armv7.DomainKernel, arch.DomainClient)
 	var manager arch.DACR
 	for d := uint8(0); d < 4; d++ {
 		manager = manager.WithAccess(d, arch.DomainManager)
 	}
 	return []arch.DACR{
-		arch.StockDACR(),
-		arch.ZygoteDACR(),
-		arch.StockDACR().WithAccess(arch.DomainUser, arch.DomainManager),
+		armv7.StockDACR(),
+		armv7.ZygoteDACR(),
+		armv7.StockDACR().WithAccess(armv7.DomainUser, arch.DomainManager),
 		deny,
 		manager,
 	}
@@ -87,9 +89,13 @@ func diffOp(t *testing.T, rng *rand.Rand, indexed *TLB, ref *linearTLB, dacrs []
 		if gn, wn := indexed.FlushRange(va, end, asid), ref.FlushRange(va, end, asid); gn != wn {
 			t.Fatalf("FlushRange(%#x, %#x, asid %d) diverged: indexed %d, reference %d", va, end, asid, gn, wn)
 		}
-	case r < 98: // FlushNonGlobal (no-ASID context switch)
+	case r < 97: // FlushNonGlobal (no-ASID context switch)
 		if gn, wn := indexed.FlushNonGlobal(), ref.FlushNonGlobal(); gn != wn {
 			t.Fatalf("FlushNonGlobal diverged: indexed %d, reference %d", gn, wn)
+		}
+	case r < 99: // FlushGlobal (no-domain shared-mapping shootdown)
+		if gn, wn := indexed.FlushGlobal(), ref.FlushGlobal(); gn != wn {
+			t.Fatalf("FlushGlobal diverged: indexed %d, reference %d", gn, wn)
 		}
 	default: // FlushAll
 		indexed.FlushAll()
@@ -127,18 +133,23 @@ func TestDifferentialIndexedVsLinear(t *testing.T) {
 	const opsPerConfig = 12000
 	for _, size := range []int{1, 2, 3, 8, 32, 128} {
 		for _, hw := range []bool{false, true} {
-			name := fmt.Sprintf("size=%d/hw=%v", size, hw)
-			t.Run(name, func(t *testing.T) {
-				rng := rand.New(rand.NewSource(int64(size)*2 + int64(boolToInt(hw))))
-				indexed := New("diff", size)
-				ref := newLinear(size)
-				indexed.DomainMatchInHW = hw
-				ref.DomainMatchInHW = hw
-				for step := 0; step < opsPerConfig; step++ {
-					diffOp(t, rng, indexed, ref, dacrs)
-					diffCompareState(t, step, indexed, ref)
-				}
-			})
+			// Both large-page granularities: ARMv7's 16-page 64KB pages
+			// and Sv39's 512-page 2MB megapages.
+			for _, ppl := range []int{armv7.PagesPerLargePage, sv39.PagesPerMegaPage} {
+				size, hw, ppl := size, hw, ppl
+				name := fmt.Sprintf("size=%d/hw=%v/ppl=%d", size, hw, ppl)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(size)*2 + int64(boolToInt(hw)) + int64(ppl)))
+					indexed := New("diff", size, ppl)
+					ref := newLinear(size, ppl)
+					indexed.DomainMatchInHW = hw
+					ref.DomainMatchInHW = hw
+					for step := 0; step < opsPerConfig; step++ {
+						diffOp(t, rng, indexed, ref, dacrs)
+						diffCompareState(t, step, indexed, ref)
+					}
+				})
+			}
 		}
 	}
 }
@@ -149,8 +160,8 @@ func TestDifferentialIndexedVsLinear(t *testing.T) {
 func TestDifferentialHWToggle(t *testing.T) {
 	dacrs := diffDACRs()
 	rng := rand.New(rand.NewSource(99))
-	indexed := New("diff", 16)
-	ref := newLinear(16)
+	indexed := New("diff", 16, armv7.PagesPerLargePage)
+	ref := newLinear(16, armv7.PagesPerLargePage)
 	for step := 0; step < 20000; step++ {
 		if rng.Intn(200) == 0 {
 			hw := rng.Intn(2) == 0
@@ -168,8 +179,8 @@ func TestDifferentialHWToggle(t *testing.T) {
 func TestDifferentialLargePageHeavy(t *testing.T) {
 	dacrs := diffDACRs()
 	rng := rand.New(rand.NewSource(7))
-	indexed := New("diff", 8)
-	ref := newLinear(8)
+	indexed := New("diff", 8, armv7.PagesPerLargePage)
+	ref := newLinear(8, armv7.PagesPerLargePage)
 	for step := 0; step < 15000; step++ {
 		// Only two 64KB blocks: constant aliasing between the one large
 		// mapping and its sixteen small pages, across three ASIDs and
@@ -193,8 +204,8 @@ func TestDifferentialLargePageHeavy(t *testing.T) {
 			if rng.Intn(2) == 0 {
 				flags |= arch.PTEGlobal
 			}
-			indexed.Insert(va, asid, arch.FrameNum(step), flags, arch.DomainUser)
-			ref.Insert(va, asid, arch.FrameNum(step), flags, arch.DomainUser)
+			indexed.Insert(va, asid, arch.FrameNum(step), flags, armv7.DomainUser)
+			ref.Insert(va, asid, arch.FrameNum(step), flags, armv7.DomainUser)
 		default:
 			if gn, wn := indexed.FlushVA(va), ref.FlushVA(va); gn != wn {
 				t.Fatalf("FlushVA(%#x) diverged: indexed %d, reference %d", va, gn, wn)

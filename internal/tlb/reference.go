@@ -14,27 +14,28 @@ import "repro/internal/arch"
 type linearTLB struct {
 	DomainMatchInHW bool
 
-	entries []Entry
-	clock   uint64
-	stats   Stats
+	largeMask uint32
+	entries   []Entry
+	clock     uint64
+	stats     Stats
 }
 
-func newLinear(entries int) *linearTLB {
-	return &linearTLB{entries: make([]Entry, entries)}
+func newLinear(entries, pagesPerLarge int) *linearTLB {
+	return &linearTLB{largeMask: uint32(pagesPerLarge - 1), entries: make([]Entry, entries)}
 }
 
 // refMatch is the original Entry.match: it recomputes the large-page mask
 // on both sides of the comparison. Entries store a pre-masked VPN, so
 // masking the entry side again is redundant — which is exactly what the
 // optimized Entry.match exploits; this copy proves the equivalence.
-func refMatch(e *Entry, vpn uint32, asid arch.ASID) bool {
+func refMatch(e *Entry, vpn uint32, asid arch.ASID, largeMask uint32) bool {
 	if !e.valid {
 		return false
 	}
 	evpn, qvpn := e.vpn, vpn
 	if e.large {
-		evpn &^= arch.PagesPerLargePage - 1
-		qvpn &^= arch.PagesPerLargePage - 1
+		evpn &^= largeMask
+		qvpn &^= largeMask
 	}
 	return evpn == qvpn && (e.global || e.asid == asid)
 }
@@ -44,7 +45,7 @@ func (t *linearTLB) Lookup(va arch.VirtAddr, asid arch.ASID, dacr arch.DACR, kin
 	vpn := arch.VPN(va)
 	for i := range t.entries {
 		e := &t.entries[i]
-		if !refMatch(e, vpn, asid) {
+		if !refMatch(e, vpn, asid, t.largeMask) {
 			continue
 		}
 		switch dacr.Access(e.domain) {
@@ -80,7 +81,7 @@ func (t *linearTLB) Insert(va arch.VirtAddr, asid arch.ASID, frame arch.FrameNum
 	var oldest uint64 = ^uint64(0)
 	for i := range t.entries {
 		e := &t.entries[i]
-		if refMatch(e, vpn, asid) {
+		if refMatch(e, vpn, asid, t.largeMask) {
 			// With hardware domain matching, a global and a non-global
 			// entry for the same page coexist (the domain check picks
 			// the right one); only a same-kind entry is overwritten.
@@ -102,12 +103,12 @@ func (t *linearTLB) Insert(va arch.VirtAddr, asid arch.ASID, frame arch.FrameNum
 			oldest = e.lastUse
 		}
 	}
-	if t.entries[victim].valid && !refMatch(&t.entries[victim], vpn, asid) {
+	if t.entries[victim].valid && !refMatch(&t.entries[victim], vpn, asid, t.largeMask) {
 		t.stats.Evictions++
 	}
 	large := flags&arch.PTELarge != 0
 	if large {
-		vpn &^= arch.PagesPerLargePage - 1
+		vpn &^= t.largeMask
 	}
 	t.entries[victim] = Entry{
 		valid:   true,
@@ -156,6 +157,19 @@ func (t *linearTLB) FlushNonGlobal() int {
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && !e.global {
+			*e = Entry{}
+			n++
+		}
+	}
+	t.flushed(n)
+	return n
+}
+
+func (t *linearTLB) FlushGlobal() int {
+	n := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.global {
 			*e = Entry{}
 			n++
 		}

@@ -44,9 +44,9 @@ import (
 	"repro/internal/obs"
 )
 
-// Entry is one TLB entry. For a 64KB large-page entry, vpn holds the
-// effective (64KB-masked) page number, precomputed at insert time so
-// match never recomputes the mask on the entry side.
+// Entry is one TLB entry. For a large-page entry, vpn holds the
+// effective (large-page-masked) page number, precomputed at insert time
+// so match never recomputes the mask on the entry side.
 type Entry struct {
 	valid   bool
 	vpn     uint32
@@ -71,7 +71,7 @@ func (e Entry) Domain() uint8 { return e.domain }
 // Flags returns the entry's permission and attribute bits.
 func (e Entry) Flags() arch.PTEFlags { return e.flags }
 
-// Large reports whether the entry maps a 64KB large page.
+// Large reports whether the entry maps a large page.
 func (e Entry) Large() bool { return e.large }
 
 // Result is the outcome of a TLB lookup.
@@ -155,6 +155,11 @@ type TLB struct {
 	stats   Stats
 	bus     *obs.Bus
 
+	// largeMask masks a VPN down to its large-page base: pagesPerLarge-1
+	// for the owning architecture (15 on ARMv7's 64KB pages, 511 on
+	// Sv39's 2MB megapages).
+	largeMask uint32
+
 	// Indexed fast path; see the package comment. validBits marks valid
 	// slots (phantom bits past len(entries) are permanently set so the
 	// first-free scan never reports them). lruPrev/lruNext thread the
@@ -177,13 +182,20 @@ type TLB struct {
 // Compile-time check: every TLB is an obs.Source.
 var _ obs.Source = (*TLB)(nil)
 
-// New creates a TLB with the given number of entries.
-func New(name string, entries int) *TLB {
+// New creates a TLB with the given number of entries. pagesPerLarge is
+// the number of 4KB pages per large-page mapping on the owning
+// architecture (arch.Geometry.PagesPerLarge), which determines how
+// large-page entries mask the VPN on match.
+func New(name string, entries, pagesPerLarge int) *TLB {
 	if entries <= 0 {
 		panic(fmt.Sprintf("tlb: non-positive size %d", entries))
 	}
+	if pagesPerLarge <= 0 {
+		panic(fmt.Sprintf("tlb: non-positive pagesPerLarge %d", pagesPerLarge))
+	}
 	t := &TLB{
 		name:      name,
+		largeMask: uint32(pagesPerLarge - 1),
 		entries:   make([]Entry, entries),
 		idx:       newIdxTable(entries),
 		validBits: make([]uint64, (entries+63)/64),
@@ -255,14 +267,15 @@ func entryKey(vpn uint32, large bool) uint32 {
 
 // match reports whether entry e translates va under asid. A global entry
 // ignores the ASID, per the architectural meaning of the global bit; a
-// 64KB large-page entry matches on the 64KB-aligned page number. Only the
-// query VPN needs masking: e.vpn is pre-masked at insert time.
-func (e *Entry) match(vpn uint32, asid arch.ASID) bool {
+// large-page entry matches on the large-page-aligned page number. Only
+// the query VPN needs masking: e.vpn is pre-masked at insert time.
+// largeMask is the owning TLB's large-page VPN mask.
+func (e *Entry) match(vpn uint32, asid arch.ASID, largeMask uint32) bool {
 	if !e.valid {
 		return false
 	}
 	if e.large {
-		vpn &^= arch.PagesPerLargePage - 1
+		vpn &^= largeMask
 	}
 	return e.vpn == vpn && (e.global || e.asid == asid)
 }
@@ -407,7 +420,7 @@ func (t *TLB) hitAt(slot int32, vpn uint32, asid arch.ASID, dacr arch.DACR) Entr
 // hardware domain matching).
 func (t *TLB) probe(slot int32, vpn uint32, asid arch.ASID, dacr arch.DACR, kind arch.AccessKind) (e Entry, r Result, done bool) {
 	ent := &t.entries[slot]
-	if !ent.match(vpn, asid) {
+	if !ent.match(vpn, asid, t.largeMask) {
 		return Entry{}, Miss, false
 	}
 	switch dacr.Access(ent.domain) {
@@ -482,7 +495,7 @@ func (t *TLB) Lookup(va arch.VirtAddr, asid arch.ASID, dacr arch.DACR, kind arch
 		t.stats.Misses++
 		return Entry{}, Miss
 	}
-	s1, ok1 := t.idx.get(entryKey(vpn&^(arch.PagesPerLargePage-1), true))
+	s1, ok1 := t.idx.get(entryKey(vpn&^t.largeMask, true))
 	if s0 == idxMany || s1 == idxMany {
 		return t.lookupScan(vpn, asid, dacr, kind)
 	}
@@ -515,12 +528,12 @@ func (t *TLB) findMatch(vpn uint32, asid arch.ASID, newGlobal bool) int32 {
 	var s1 int32
 	var ok1 bool
 	if t.numLarge != 0 {
-		s1, ok1 = t.idx.get(entryKey(vpn&^(arch.PagesPerLargePage-1), true))
+		s1, ok1 = t.idx.get(entryKey(vpn&^t.largeMask, true))
 	}
 	if s0 == idxMany || s1 == idxMany {
 		for i := range t.entries {
 			e := &t.entries[i]
-			if e.match(vpn, asid) && !(t.DomainMatchInHW && e.global != newGlobal) {
+			if e.match(vpn, asid, t.largeMask) && !(t.DomainMatchInHW && e.global != newGlobal) {
 				return int32(i)
 			}
 		}
@@ -534,12 +547,12 @@ func (t *TLB) findMatch(vpn uint32, asid arch.ASID, newGlobal bool) int32 {
 		a, b = s1, s0
 	}
 	if ok0 {
-		if e := &t.entries[a]; e.match(vpn, asid) && !(t.DomainMatchInHW && e.global != newGlobal) {
+		if e := &t.entries[a]; e.match(vpn, asid, t.largeMask) && !(t.DomainMatchInHW && e.global != newGlobal) {
 			return a
 		}
 	}
 	if ok1 {
-		if e := &t.entries[b]; e.match(vpn, asid) && !(t.DomainMatchInHW && e.global != newGlobal) {
+		if e := &t.entries[b]; e.match(vpn, asid, t.largeMask) && !(t.DomainMatchInHW && e.global != newGlobal) {
 			return b
 		}
 	}
@@ -566,7 +579,7 @@ func (t *TLB) Insert(va arch.VirtAddr, asid arch.ASID, frame arch.FrameNum, flag
 		} else {
 			victim = t.lruHead
 			if t.DomainMatchInHW {
-				for victim >= 0 && t.entries[victim].match(vpn, asid) && t.entries[victim].global != newGlobal {
+				for victim >= 0 && t.entries[victim].match(vpn, asid, t.largeMask) && t.entries[victim].global != newGlobal {
 					victim = t.lruNext[victim]
 				}
 				if victim < 0 {
@@ -576,7 +589,7 @@ func (t *TLB) Insert(va arch.VirtAddr, asid arch.ASID, frame arch.FrameNum, flag
 		}
 	}
 
-	if t.entries[victim].valid && !t.entries[victim].match(vpn, asid) {
+	if t.entries[victim].valid && !t.entries[victim].match(vpn, asid, t.largeMask) {
 		t.stats.Evictions++
 		if t.bus.Wants(obs.EvTLBEvict) {
 			v := &t.entries[victim]
@@ -593,7 +606,7 @@ func (t *TLB) Insert(va arch.VirtAddr, asid arch.ASID, frame arch.FrameNum, flag
 	}
 	large := flags&arch.PTELarge != 0
 	if large {
-		vpn &^= arch.PagesPerLargePage - 1
+		vpn &^= t.largeMask
 	}
 	t.entries[victim] = Entry{
 		valid:   true,
@@ -672,6 +685,26 @@ func (t *TLB) FlushNonGlobal() int {
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && !e.global {
+			t.removeEntry(int32(i))
+			n++
+		}
+	}
+	t.flushed(n)
+	return n
+}
+
+// FlushGlobal invalidates every global entry, regardless of ASID — the
+// inverse of FlushNonGlobal. On architectures without domain protection
+// (Sv39), the shared-TLB kernel has no DACR to lock non-sharing
+// processes out of the sharing set's global entries, so a switch to such
+// a process must evict them; this models the software cost that replaces
+// the ARM domain trick.
+func (t *TLB) FlushGlobal() int {
+	t.mru.ok = false
+	n := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.global {
 			t.removeEntry(int32(i))
 			n++
 		}

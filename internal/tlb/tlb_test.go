@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/arch"
+	"repro/internal/arch/armv7"
 )
 
 const (
@@ -17,12 +18,12 @@ func userFlags(extra arch.PTEFlags) arch.PTEFlags {
 }
 
 func TestMissThenHit(t *testing.T) {
-	tb := New("main", 8)
-	dacr := arch.StockDACR()
+	tb := New("main", 8, armv7.PagesPerLargePage)
+	dacr := armv7.StockDACR()
 	if _, r := tb.Lookup(0x1000, asid1, dacr, arch.AccessFetch); r != Miss {
 		t.Fatalf("lookup = %v, want miss", r)
 	}
-	tb.Insert(0x1000, asid1, 42, userFlags(0), arch.DomainUser)
+	tb.Insert(0x1000, asid1, 42, userFlags(0), armv7.DomainUser)
 	e, r := tb.Lookup(0x1000, asid1, dacr, arch.AccessFetch)
 	if r != Hit {
 		t.Fatalf("lookup = %v, want hit", r)
@@ -37,34 +38,34 @@ func TestMissThenHit(t *testing.T) {
 }
 
 func TestASIDIsolation(t *testing.T) {
-	tb := New("main", 8)
-	dacr := arch.StockDACR()
-	tb.Insert(0x1000, asid1, 42, userFlags(0), arch.DomainUser)
+	tb := New("main", 8, armv7.PagesPerLargePage)
+	dacr := armv7.StockDACR()
+	tb.Insert(0x1000, asid1, 42, userFlags(0), armv7.DomainUser)
 	if _, r := tb.Lookup(0x1000, asid2, dacr, arch.AccessFetch); r != Miss {
 		t.Errorf("non-global entry must not match another ASID: got %v", r)
 	}
 }
 
 func TestGlobalMatchesAnyASID(t *testing.T) {
-	tb := New("main", 8)
-	dacr := arch.ZygoteDACR()
-	tb.Insert(0x1000, asid1, 42, userFlags(arch.PTEGlobal), arch.DomainZygote)
+	tb := New("main", 8, armv7.PagesPerLargePage)
+	dacr := armv7.ZygoteDACR()
+	tb.Insert(0x1000, asid1, 42, userFlags(arch.PTEGlobal), armv7.DomainZygote)
 	e, r := tb.Lookup(0x1000, asid2, dacr, arch.AccessFetch)
 	if r != Hit {
 		t.Fatalf("global entry should hit under any ASID: got %v", r)
 	}
-	if !e.Global() || e.Domain() != arch.DomainZygote {
+	if !e.Global() || e.Domain() != armv7.DomainZygote {
 		t.Errorf("entry = %+v", e)
 	}
 }
 
 func TestDomainFault(t *testing.T) {
-	tb := New("main", 8)
+	tb := New("main", 8, armv7.PagesPerLargePage)
 	// Entry loaded by a zygote-like process in the zygote domain...
-	tb.Insert(0x1000, asid1, 42, userFlags(arch.PTEGlobal), arch.DomainZygote)
+	tb.Insert(0x1000, asid1, 42, userFlags(arch.PTEGlobal), armv7.DomainZygote)
 	// ...is globally matched by a non-zygote process, whose DACR denies
 	// the zygote domain: domain fault, not a hit and not a miss.
-	_, r := tb.Lookup(0x1000, asid2, arch.StockDACR(), arch.AccessFetch)
+	_, r := tb.Lookup(0x1000, asid2, armv7.StockDACR(), arch.AccessFetch)
 	if r != DomainFault {
 		t.Fatalf("lookup = %v, want domain fault", r)
 	}
@@ -74,10 +75,10 @@ func TestDomainFault(t *testing.T) {
 }
 
 func TestPermissionChecks(t *testing.T) {
-	tb := New("main", 8)
-	dacr := arch.StockDACR()
+	tb := New("main", 8, armv7.PagesPerLargePage)
+	dacr := armv7.StockDACR()
 	// Read-only, non-executable data page.
-	tb.Insert(0x1000, asid1, 1, arch.PTEValid|arch.PTEUser, arch.DomainUser)
+	tb.Insert(0x1000, asid1, 1, arch.PTEValid|arch.PTEUser, armv7.DomainUser)
 	if _, r := tb.Lookup(0x1000, asid1, dacr, arch.AccessRead); r != Hit {
 		t.Errorf("read = %v, want hit", r)
 	}
@@ -88,31 +89,31 @@ func TestPermissionChecks(t *testing.T) {
 		t.Errorf("fetch = %v, want permission fault", r)
 	}
 	// Kernel-only page: no user bit.
-	tb.Insert(0x2000, asid1, 2, arch.PTEValid|arch.PTEWrite, arch.DomainUser)
+	tb.Insert(0x2000, asid1, 2, arch.PTEValid|arch.PTEWrite, armv7.DomainUser)
 	if _, r := tb.Lookup(0x2000, asid1, dacr, arch.AccessRead); r != PermFault {
 		t.Errorf("user access to kernel page = %v, want permission fault", r)
 	}
 }
 
 func TestManagerOverridesPermissions(t *testing.T) {
-	tb := New("main", 8)
-	dacr := arch.StockDACR().WithAccess(arch.DomainUser, arch.DomainManager)
-	tb.Insert(0x1000, asid1, 1, arch.PTEValid|arch.PTEUser, arch.DomainUser)
+	tb := New("main", 8, armv7.PagesPerLargePage)
+	dacr := armv7.StockDACR().WithAccess(armv7.DomainUser, arch.DomainManager)
+	tb.Insert(0x1000, asid1, 1, arch.PTEValid|arch.PTEUser, armv7.DomainUser)
 	if _, r := tb.Lookup(0x1000, asid1, dacr, arch.AccessWrite); r != Hit {
 		t.Errorf("manager-domain write = %v, want hit", r)
 	}
 }
 
 func TestLRUEviction(t *testing.T) {
-	tb := New("main", 2)
-	dacr := arch.StockDACR()
-	tb.Insert(0x1000, asid1, 1, userFlags(0), arch.DomainUser)
-	tb.Insert(0x2000, asid1, 2, userFlags(0), arch.DomainUser)
+	tb := New("main", 2, armv7.PagesPerLargePage)
+	dacr := armv7.StockDACR()
+	tb.Insert(0x1000, asid1, 1, userFlags(0), armv7.DomainUser)
+	tb.Insert(0x2000, asid1, 2, userFlags(0), armv7.DomainUser)
 	// Touch 0x1000 so 0x2000 becomes LRU.
 	if _, r := tb.Lookup(0x1000, asid1, dacr, arch.AccessFetch); r != Hit {
 		t.Fatal("expected hit")
 	}
-	tb.Insert(0x3000, asid1, 3, userFlags(0), arch.DomainUser)
+	tb.Insert(0x3000, asid1, 3, userFlags(0), armv7.DomainUser)
 	if _, r := tb.Lookup(0x1000, asid1, dacr, arch.AccessFetch); r != Hit {
 		t.Errorf("recently used entry was evicted")
 	}
@@ -125,10 +126,10 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestInsertOverwritesMatching(t *testing.T) {
-	tb := New("main", 4)
-	dacr := arch.StockDACR()
-	tb.Insert(0x1000, asid1, 1, userFlags(0), arch.DomainUser)
-	tb.Insert(0x1000, asid1, 9, userFlags(0), arch.DomainUser)
+	tb := New("main", 4, armv7.PagesPerLargePage)
+	dacr := armv7.StockDACR()
+	tb.Insert(0x1000, asid1, 1, userFlags(0), armv7.DomainUser)
+	tb.Insert(0x1000, asid1, 9, userFlags(0), armv7.DomainUser)
 	e, r := tb.Lookup(0x1000, asid1, dacr, arch.AccessFetch)
 	if r != Hit || e.Frame() != 9 {
 		t.Errorf("lookup = (%v, frame %d), want hit frame 9", r, e.Frame())
@@ -142,9 +143,9 @@ func TestInsertOverwritesMatching(t *testing.T) {
 }
 
 func TestFlushAll(t *testing.T) {
-	tb := New("main", 4)
-	tb.Insert(0x1000, asid1, 1, userFlags(0), arch.DomainUser)
-	tb.Insert(0x2000, asid1, 2, userFlags(arch.PTEGlobal), arch.DomainZygote)
+	tb := New("main", 4, armv7.PagesPerLargePage)
+	tb.Insert(0x1000, asid1, 1, userFlags(0), armv7.DomainUser)
+	tb.Insert(0x2000, asid1, 2, userFlags(arch.PTEGlobal), armv7.DomainZygote)
 	tb.FlushAll()
 	if v, _ := tb.Occupancy(); v != 0 {
 		t.Errorf("occupancy after FlushAll = %d", v)
@@ -155,11 +156,11 @@ func TestFlushAll(t *testing.T) {
 }
 
 func TestFlushASIDSparesGlobal(t *testing.T) {
-	tb := New("main", 4)
-	dacr := arch.ZygoteDACR()
-	tb.Insert(0x1000, asid1, 1, userFlags(0), arch.DomainUser)
-	tb.Insert(0x2000, asid1, 2, userFlags(arch.PTEGlobal), arch.DomainZygote)
-	tb.Insert(0x3000, asid2, 3, userFlags(0), arch.DomainUser)
+	tb := New("main", 4, armv7.PagesPerLargePage)
+	dacr := armv7.ZygoteDACR()
+	tb.Insert(0x1000, asid1, 1, userFlags(0), armv7.DomainUser)
+	tb.Insert(0x2000, asid1, 2, userFlags(arch.PTEGlobal), armv7.DomainZygote)
+	tb.Insert(0x3000, asid2, 3, userFlags(0), armv7.DomainUser)
 	tb.FlushASID(asid1)
 	if _, r := tb.Lookup(0x1000, asid1, dacr, arch.AccessFetch); r != Miss {
 		t.Errorf("asid1 private entry should be flushed")
@@ -173,11 +174,11 @@ func TestFlushASIDSparesGlobal(t *testing.T) {
 }
 
 func TestFlushNonGlobal(t *testing.T) {
-	tb := New("main", 4)
-	dacr := arch.ZygoteDACR()
-	tb.Insert(0x1000, asid1, 1, userFlags(0), arch.DomainUser)
-	tb.Insert(0x2000, asid1, 2, userFlags(arch.PTEGlobal), arch.DomainZygote)
-	tb.Insert(0x3000, asid2, 3, userFlags(0), arch.DomainUser)
+	tb := New("main", 4, armv7.PagesPerLargePage)
+	dacr := armv7.ZygoteDACR()
+	tb.Insert(0x1000, asid1, 1, userFlags(0), armv7.DomainUser)
+	tb.Insert(0x2000, asid1, 2, userFlags(arch.PTEGlobal), armv7.DomainZygote)
+	tb.Insert(0x3000, asid2, 3, userFlags(0), armv7.DomainUser)
 	if n := tb.FlushNonGlobal(); n != 2 {
 		t.Errorf("FlushNonGlobal flushed %d, want 2", n)
 	}
@@ -190,11 +191,11 @@ func TestFlushNonGlobal(t *testing.T) {
 }
 
 func TestFlushVA(t *testing.T) {
-	tb := New("main", 4)
-	dacr := arch.ZygoteDACR()
-	tb.Insert(0x1000, asid1, 1, userFlags(0), arch.DomainUser)
-	tb.Insert(0x1000, asid2, 2, userFlags(0), arch.DomainUser)
-	tb.Insert(0x2000, asid1, 3, userFlags(0), arch.DomainUser)
+	tb := New("main", 4, armv7.PagesPerLargePage)
+	dacr := armv7.ZygoteDACR()
+	tb.Insert(0x1000, asid1, 1, userFlags(0), armv7.DomainUser)
+	tb.Insert(0x1000, asid2, 2, userFlags(0), armv7.DomainUser)
+	tb.Insert(0x2000, asid1, 3, userFlags(0), armv7.DomainUser)
 	if n := tb.FlushVA(0x1234); n != 2 {
 		t.Errorf("FlushVA flushed %d entries, want 2 (both ASIDs' mappings of the page)", n)
 	}
@@ -204,12 +205,12 @@ func TestFlushVA(t *testing.T) {
 }
 
 func TestFlushRange(t *testing.T) {
-	tb := New("main", 8)
-	dacr := arch.StockDACR()
-	tb.Insert(0x1000, asid1, 1, userFlags(0), arch.DomainUser)
-	tb.Insert(0x2000, asid1, 2, userFlags(0), arch.DomainUser)
-	tb.Insert(0x5000, asid1, 3, userFlags(0), arch.DomainUser)
-	tb.Insert(0x2000, asid2, 4, userFlags(0), arch.DomainUser)
+	tb := New("main", 8, armv7.PagesPerLargePage)
+	dacr := armv7.StockDACR()
+	tb.Insert(0x1000, asid1, 1, userFlags(0), armv7.DomainUser)
+	tb.Insert(0x2000, asid1, 2, userFlags(0), armv7.DomainUser)
+	tb.Insert(0x5000, asid1, 3, userFlags(0), armv7.DomainUser)
+	tb.Insert(0x2000, asid2, 4, userFlags(0), armv7.DomainUser)
 	if n := tb.FlushRange(0x1000, 0x3000, asid1); n != 2 {
 		t.Errorf("FlushRange flushed %d, want 2", n)
 	}
@@ -226,9 +227,9 @@ func TestDomainFaultThenFlushVAThenWalk(t *testing.T) {
 	// process trips a domain fault on a global entry; the handler flushes
 	// entries matching the faulting address; the retry misses and the
 	// process loads its own private translation.
-	tb := New("main", 8)
-	tb.Insert(0x1000, asid1, 42, userFlags(arch.PTEGlobal), arch.DomainZygote)
-	nonZygote := arch.StockDACR()
+	tb := New("main", 8, armv7.PagesPerLargePage)
+	tb.Insert(0x1000, asid1, 42, userFlags(arch.PTEGlobal), armv7.DomainZygote)
+	nonZygote := armv7.StockDACR()
 	if _, r := tb.Lookup(0x1000, asid2, nonZygote, arch.AccessFetch); r != DomainFault {
 		t.Fatalf("want domain fault, got %v", r)
 	}
@@ -236,7 +237,7 @@ func TestDomainFaultThenFlushVAThenWalk(t *testing.T) {
 	if _, r := tb.Lookup(0x1000, asid2, nonZygote, arch.AccessFetch); r != Miss {
 		t.Fatalf("after flush want miss, got %v", r)
 	}
-	tb.Insert(0x1000, asid2, 77, userFlags(0), arch.DomainUser)
+	tb.Insert(0x1000, asid2, 77, userFlags(0), armv7.DomainUser)
 	e, r := tb.Lookup(0x1000, asid2, nonZygote, arch.AccessFetch)
 	if r != Hit || e.Frame() != 77 {
 		t.Fatalf("retry = (%v, frame %d), want hit frame 77", r, e.Frame())
@@ -244,9 +245,9 @@ func TestDomainFaultThenFlushVAThenWalk(t *testing.T) {
 }
 
 func TestOccupancy(t *testing.T) {
-	tb := New("main", 8)
-	tb.Insert(0x1000, asid1, 1, userFlags(0), arch.DomainUser)
-	tb.Insert(0x2000, asid1, 2, userFlags(arch.PTEGlobal), arch.DomainZygote)
+	tb := New("main", 8, armv7.PagesPerLargePage)
+	tb.Insert(0x1000, asid1, 1, userFlags(0), armv7.DomainUser)
+	tb.Insert(0x2000, asid1, 2, userFlags(arch.PTEGlobal), armv7.DomainZygote)
 	v, g := tb.Occupancy()
 	if v != 2 || g != 1 {
 		t.Errorf("occupancy = (%d, %d), want (2, 1)", v, g)
@@ -254,15 +255,15 @@ func TestOccupancy(t *testing.T) {
 }
 
 func TestResetStats(t *testing.T) {
-	tb := New("main", 8)
-	tb.Insert(0x1000, asid1, 1, userFlags(0), arch.DomainUser)
-	tb.Lookup(0x1000, asid1, arch.StockDACR(), arch.AccessFetch)
+	tb := New("main", 8, armv7.PagesPerLargePage)
+	tb.Insert(0x1000, asid1, 1, userFlags(0), armv7.DomainUser)
+	tb.Lookup(0x1000, asid1, armv7.StockDACR(), arch.AccessFetch)
 	tb.ResetStats()
 	if s := tb.Stats(); s.Hits != 0 || s.Insertions != 0 {
 		t.Errorf("stats not reset: %+v", s)
 	}
 	// Entries survive a stats reset.
-	if _, r := tb.Lookup(0x1000, asid1, arch.StockDACR(), arch.AccessFetch); r != Hit {
+	if _, r := tb.Lookup(0x1000, asid1, armv7.StockDACR(), arch.AccessFetch); r != Hit {
 		t.Errorf("entries should survive ResetStats")
 	}
 }
@@ -271,16 +272,16 @@ func TestResetStats(t *testing.T) {
 // its own ASID with client access, for any page-aligned address.
 func TestInsertLookupProperty(t *testing.T) {
 	prop := func(raw uint32, asidRaw uint8, frame uint32) bool {
-		tb := New("main", 16)
+		tb := New("main", 16, armv7.PagesPerLargePage)
 		va := arch.VirtAddr(raw)
 		asid := arch.ASID(asidRaw)
-		tb.Insert(va, asid, arch.FrameNum(frame), userFlags(0), arch.DomainUser)
-		e, r := tb.Lookup(va, asid, arch.StockDACR(), arch.AccessFetch)
+		tb.Insert(va, asid, arch.FrameNum(frame), userFlags(0), armv7.DomainUser)
+		e, r := tb.Lookup(va, asid, armv7.StockDACR(), arch.AccessFetch)
 		if r != Hit || e.Frame() != arch.FrameNum(frame) {
 			return false
 		}
 		// Any other address in the same page also hits.
-		e2, r2 := tb.Lookup(arch.PageBase(va)+123, asid, arch.StockDACR(), arch.AccessRead)
+		e2, r2 := tb.Lookup(arch.PageBase(va)+123, asid, armv7.StockDACR(), arch.AccessRead)
 		return r2 == Hit && e2.Frame() == e.Frame()
 	}
 	if err := quick.Check(prop, nil); err != nil {
@@ -291,12 +292,12 @@ func TestInsertLookupProperty(t *testing.T) {
 // TestCapacityProperty: with N entries, inserting N distinct pages under
 // one ASID keeps them all resident.
 func TestCapacityProperty(t *testing.T) {
-	tb := New("main", 32)
+	tb := New("main", 32, armv7.PagesPerLargePage)
 	for i := 0; i < 32; i++ {
-		tb.Insert(arch.VirtAddr(i)<<arch.PageShift, asid1, arch.FrameNum(i), userFlags(0), arch.DomainUser)
+		tb.Insert(arch.VirtAddr(i)<<arch.PageShift, asid1, arch.FrameNum(i), userFlags(0), armv7.DomainUser)
 	}
 	for i := 0; i < 32; i++ {
-		if _, r := tb.Lookup(arch.VirtAddr(i)<<arch.PageShift, asid1, arch.StockDACR(), arch.AccessFetch); r != Hit {
+		if _, r := tb.Lookup(arch.VirtAddr(i)<<arch.PageShift, asid1, armv7.StockDACR(), arch.AccessFetch); r != Hit {
 			t.Fatalf("entry %d not resident", i)
 		}
 	}

@@ -212,12 +212,20 @@ type SparsityResult struct {
 	Chunks64KB int
 }
 
+// The sparsity study measures in 64KB chunks — the ARMv7 large-page
+// size the paper's Figure 4 uses. This is a property of the measurement,
+// not of the simulated MMU, so it stays fixed regardless of architecture.
+const (
+	chunkShift = 16
+	chunkSize  = 1 << chunkShift
+)
+
 // Sparsity maps each accessed page to its 64KB-aligned chunk and counts
 // the untouched 4KB pages within each touched chunk.
 func Sparsity(pages []arch.VirtAddr) SparsityResult {
 	touched := make(map[arch.VirtAddr]int)
 	for _, pg := range pages {
-		touched[pg>>arch.LargePageShift]++
+		touched[pg>>chunkShift]++
 	}
 	cdf := stats.NewCDF()
 	for _, n := range touched {
@@ -231,7 +239,7 @@ func Sparsity(pages []arch.VirtAddr) SparsityResult {
 func (r SparsityResult) Memory4KB() int { return r.Pages4KB * arch.PageSize }
 
 // Memory64KB returns the physical memory consumed with 64KB pages.
-func (r SparsityResult) Memory64KB() int { return r.Chunks64KB * arch.LargePageSize }
+func (r SparsityResult) Memory64KB() int { return r.Chunks64KB * chunkSize }
 
 // WasteFactor returns how much more physical memory 64KB pages consume
 // than 4KB pages for this footprint (the paper reports 2.6x on average).

@@ -9,7 +9,7 @@ import (
 )
 
 func TestFaultTraceCollects(t *testing.T) {
-	k, err := core.NewKernel(2048, core.Stock())
+	k, err := core.New(2048, core.WithConfig(core.Stock()))
 	if err != nil {
 		t.Fatal(err)
 	}

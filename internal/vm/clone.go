@@ -17,11 +17,11 @@ import (
 type CloneCtx struct {
 	// Phys is the clone's physical memory (a Fork of the source's).
 	Phys *mem.PhysMem
-	// Tables identity-maps source L2 tables to their clones, preserving
+	// Tables identity-maps source leaf tables to their clones, preserving
 	// simulated-kernel PTP sharing across the machine clone. Pass it to
 	// PageTable.CloneShared for every address space in the machine.
-	Tables map[*pagetable.L2Table]*pagetable.L2Table
-	// Nodes batches the machine clone's L2Table clone nodes; everything
+	Tables map[*pagetable.LeafTable]*pagetable.LeafTable
+	// Nodes batches the machine clone's LeafTable clone nodes; everything
 	// it allocates belongs to the cloned machine.
 	Nodes pagetable.CloneArena
 
@@ -33,7 +33,7 @@ type CloneCtx struct {
 func NewCloneCtx(phys *mem.PhysMem) *CloneCtx {
 	return &CloneCtx{
 		Phys:   phys,
-		Tables: make(map[*pagetable.L2Table]*pagetable.L2Table),
+		Tables: make(map[*pagetable.LeafTable]*pagetable.LeafTable),
 		files:  make(map[*File]*File),
 	}
 }

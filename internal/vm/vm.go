@@ -227,32 +227,34 @@ func (f *File) ForEachPage(fn func(idx int, frame arch.FrameNum)) {
 	}
 }
 
-// LargeFrame returns the base frame of the 64KB-aligned page-cache block
-// backing 64KB chunk index chunk, reading the whole chunk in (16
-// contiguous, aligned frames) on first touch. A chunk partially cached
-// with 4KB frames cannot be promoted and is an error: large mappings must
-// be established before demand paging touches the range.
-func (f *File) LargeFrame(chunk int) (arch.FrameNum, error) {
-	base := chunk * arch.PagesPerLargePage
+// LargeFrame returns the base frame of the aligned page-cache block
+// backing large-page chunk index chunk, reading the whole chunk in
+// (pagesPerChunk contiguous, aligned frames) on first touch. The chunk
+// size is the architecture's large-page span — 16 pages (64KB) on
+// ARMv7, 512 pages (2MB) on Sv39. A chunk partially cached with 4KB
+// frames cannot be promoted and is an error: large mappings must be
+// established before demand paging touches the range.
+func (f *File) LargeFrame(chunk, pagesPerChunk int) (arch.FrameNum, error) {
+	base := chunk * pagesPerChunk
 	if base < 0 || base*arch.PageSize >= f.Size {
-		return 0, fmt.Errorf("vm: 64KB chunk %d beyond EOF of %q (%d bytes)", chunk, f.Name, f.Size)
+		return 0, fmt.Errorf("vm: large chunk %d beyond EOF of %q (%d bytes)", chunk, f.Name, f.Size)
 	}
 	if fr, ok := f.frameAt(base); ok {
-		if fr%arch.PagesPerLargePage != 0 {
+		if int(fr)%pagesPerChunk != 0 {
 			return 0, fmt.Errorf("vm: chunk %d of %q already cached with 4KB frames", chunk, f.Name)
 		}
 		return fr, nil
 	}
-	for i := 0; i < arch.PagesPerLargePage; i++ {
+	for i := 0; i < pagesPerChunk; i++ {
 		if _, ok := f.frameAt(base + i); ok {
 			return 0, fmt.Errorf("vm: chunk %d of %q partially cached; cannot map large", chunk, f.Name)
 		}
 	}
-	fr, err := f.phys.AllocRange(arch.PagesPerLargePage, arch.PagesPerLargePage, mem.FramePageCache)
+	fr, err := f.phys.AllocRange(pagesPerChunk, pagesPerChunk, mem.FramePageCache)
 	if err != nil {
 		return 0, fmt.Errorf("vm: large page cache for %q: %w", f.Name, err)
 	}
-	f.insertRun(int32(base), fr, arch.PagesPerLargePage)
+	f.insertRun(int32(base), fr, pagesPerChunk)
 	return fr, nil
 }
 
@@ -337,9 +339,10 @@ type MM struct {
 	vmas []*VMA // sorted by Start, non-overlapping
 }
 
-// NewMM creates an empty address space with a fresh page table.
-func NewMM(phys *mem.PhysMem, asid arch.ASID) (*MM, error) {
-	pt, err := pagetable.New(phys)
+// NewMM creates an empty address space with a fresh page table laid
+// out for the given MMU geometry.
+func NewMM(phys *mem.PhysMem, asid arch.ASID, geo arch.Geometry) (*MM, error) {
+	pt, err := pagetable.New(phys, geo)
 	if err != nil {
 		return nil, err
 	}
@@ -599,8 +602,8 @@ const (
 // CopyPTERange implements the fork-time PTE copy for the part of a region
 // clipped to [lo, hi): each selected valid parent PTE is copied into the
 // child, write-protecting writable entries on both sides (COW). It returns
-// the number of PTEs copied. The child's covering L2 tables are allocated
-// on demand.
+// the number of PTEs copied. The child's covering leaf tables are
+// allocated on demand.
 func CopyPTERange(parent, child *MM, vma *VMA, lo, hi arch.VirtAddr, mode CopyMode, domain uint8) (int, error) {
 	if lo < vma.Start {
 		lo = vma.Start
@@ -626,7 +629,7 @@ func CopyPTERange(parent, child *MM, vma *VMA, lo, hi arch.VirtAddr, mode CopyMo
 			src.Flags &^= arch.PTEWrite
 			src.Soft |= arch.SoftCOW
 		}
-		if _, err := child.PT.EnsureL2(arch.L1Index(va), domain); err != nil {
+		if _, err := child.PT.EnsureLeafForVA(va, domain); err != nil {
 			return copied, err
 		}
 		child.PT.Set(va, *src)

@@ -5,13 +5,14 @@ import (
 	"testing/quick"
 
 	"repro/internal/arch"
+	"repro/internal/arch/armv7"
 	"repro/internal/mem"
 	"repro/internal/pagetable"
 )
 
 func newMM(t *testing.T, phys *mem.PhysMem, asid arch.ASID) *MM {
 	t.Helper()
-	mm, err := NewMM(phys, asid)
+	mm, err := NewMM(phys, asid, geoARM)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestRemoveRangeSplits(t *testing.T) {
 func TestRemoveRangePreservesTotalPages(t *testing.T) {
 	prop := func(s1, e1, s2, e2 uint8) bool {
 		phys := mem.New(64)
-		mm, _ := NewMM(phys, 1)
+		mm, _ := NewMM(phys, 1, geoARM)
 		start := arch.VirtAddr(0x100000)
 		lo1, hi1 := arch.VirtAddr(s1), arch.VirtAddr(e1)
 		if lo1 > hi1 {
@@ -226,7 +227,7 @@ func resolveAndSet(t *testing.T, mm *MM, vma *VMA, va arch.VirtAddr, kind arch.A
 	if err != nil {
 		t.Fatalf("ResolvePTE(%#x, %v): %v", va, kind, err)
 	}
-	if _, err := mm.PT.EnsureL2(arch.L1Index(va), arch.DomainUser); err != nil {
+	if _, err := mm.PT.EnsureLeafForVA(va, armv7.DomainUser); err != nil {
 		t.Fatal(err)
 	}
 	mm.PT.Set(va, pte)
@@ -364,7 +365,7 @@ func TestCopyPTERange(t *testing.T) {
 	resolveAndSet(t, parent, v, 0x10000, arch.AccessWrite)
 	resolveAndSet(t, parent, v, 0x12000, arch.AccessWrite)
 
-	copied, err := CopyPTERange(parent, child, v, v.Start, v.End, CopyStock, arch.DomainUser)
+	copied, err := CopyPTERange(parent, child, v, v.Start, v.End, CopyStock, armv7.DomainUser)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +396,7 @@ func TestCopyPTERangeCopiesDirtyFilePages(t *testing.T) {
 	resolveAndSet(t, parent, v, 0x10000, arch.AccessRead)  // clean file page
 	resolveAndSet(t, parent, v, 0x12000, arch.AccessWrite) // dirty private copy
 
-	copied, err := CopyPTERange(parent, child, v, v.Start, v.End, CopyStock, arch.DomainUser)
+	copied, err := CopyPTERange(parent, child, v, v.Start, v.End, CopyStock, armv7.DomainUser)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -456,3 +457,6 @@ func TestResolveSharedWriteRestoresPermission(t *testing.T) {
 		t.Error("no COW break for a shared mapping")
 	}
 }
+
+// geoARM is the geometry the legacy vm tests run under.
+var geoARM = armv7.MMU().Geometry()
