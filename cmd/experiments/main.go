@@ -7,7 +7,8 @@
 //
 //	experiments [-quick] [-arch armv7|sv39] [-parallel N] [-launch-runs N]
 //	            [-app-runs N] [-binder-iters N] [-only LIST] [-list] [-json]
-//	            [-nocheckpoint] [-cpuprofile FILE] [-memprofile FILE]
+//	            [-nocheckpoint] [-imagestore DIR] [-cpuprofile FILE]
+//	            [-memprofile FILE]
 //
 // -only selects a comma-separated subset, e.g. -only table4,figure7; an
 // unknown name is an error. -arch selects the simulated MMU architecture
@@ -20,6 +21,11 @@
 // byte-identical for every -parallel setting. -nocheckpoint disables
 // boot-checkpoint reuse (internal/checkpoint) so every scenario boots
 // from scratch; results are byte-identical with or without it.
+// -imagestore persists checkpoint images under DIR (default: the
+// sat-sim cache directory) so later processes warm-start instead of
+// re-simulating the boot prefix; -imagestore "" disables persistence.
+// Stored images are fingerprint-verified on load, so results are
+// byte-identical across cold-store, warm-store and -nocheckpoint runs.
 // -cpuprofile and -memprofile write pprof captures of the run (see
 // README "Profiling").
 package main
@@ -35,6 +41,7 @@ import (
 	_ "repro/internal/arch/armv7"
 	_ "repro/internal/arch/sv39"
 	"repro/internal/experiments"
+	"repro/internal/imagestore"
 	"repro/internal/prof"
 )
 
@@ -57,6 +64,7 @@ func run(argv []string, out *os.File) (err error) {
 	list := fs.Bool("list", false, "list the experiment names and exit")
 	jsonOut := fs.Bool("json", false, "emit one structured JSON document instead of text tables")
 	noCheckpoint := fs.Bool("nocheckpoint", false, "boot every scenario from scratch instead of forking memoized boot checkpoints (A/B timing; output is byte-identical either way)")
+	storeDir := fs.String("imagestore", imagestore.DefaultDir(), "persist checkpoint images in this directory so later runs warm-start; empty disables the store (output is byte-identical either way)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	if err := fs.Parse(argv); err != nil {
@@ -141,6 +149,16 @@ func run(argv []string, out *os.File) (err error) {
 	s.Parallel = *parallel
 	s.NoCheckpoint = *noCheckpoint
 	s.Arch = *archName
+	if *storeDir != "" && !*noCheckpoint {
+		store, serr := imagestore.Open(*storeDir, s.Universe())
+		if serr != nil {
+			// The store is an optimization; a directory or platform that
+			// cannot host one just means every boot runs cold.
+			fmt.Fprintf(os.Stderr, "experiments: image store disabled: %v\n", serr) //satlint:ignore nondet diagnostics go to stderr, never into results
+		} else {
+			s.ImageStore = store
+		}
+	}
 
 	if *jsonOut {
 		doc, err := experiments.RunJSON(s, selected)

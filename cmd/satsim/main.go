@@ -8,8 +8,8 @@
 //
 //	satsim [-kernel stock|copied|shared|shared-tlb] [-layout original|2mb]
 //	       [-arch armv7|sv39] [-app NAME|all] [-runs N] [-parallel N]
-//	       [-json] [-list] [-nocheckpoint] [-cpuprofile FILE]
-//	       [-memprofile FILE]
+//	       [-json] [-list] [-nocheckpoint] [-imagestore DIR]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // -arch selects the simulated MMU architecture by registry name (default
 // armv7); an unknown name is an error listing the registered
@@ -22,6 +22,12 @@
 // checkpoint (internal/checkpoint), and forked copy-on-write for every
 // application; -nocheckpoint boots each from scratch instead, with
 // byte-identical output.
+//
+// -imagestore persists checkpoint images under DIR (default: the
+// sat-sim cache directory) so later satsim processes warm-start instead
+// of re-simulating the boot; -imagestore "" disables persistence.
+// Stored images are fingerprint-verified on load (internal/imagestore),
+// so output is byte-identical with a cold store, a warm store, or none.
 //
 // -json replaces the text report with one structured document (schema
 // "satsim/v1"): scenario parameters, per-run counters, the system-wide
@@ -48,6 +54,7 @@ import (
 	_ "repro/internal/arch/sv39"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/imagestore"
 	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/stats"
@@ -64,6 +71,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "workers for -app all: 1 = serial, N>1 = N workers, 0 = GOMAXPROCS")
 	jsonOut := flag.Bool("json", false, "emit one structured JSON document instead of the text report")
 	noCheckpoint := flag.Bool("nocheckpoint", false, "boot every scenario from scratch instead of forking one boot checkpoint (A/B timing; output is byte-identical either way)")
+	storeDir := flag.String("imagestore", imagestore.DefaultDir(), "persist checkpoint images in this directory so later runs warm-start; empty disables the store (output is byte-identical either way)")
 	list := flag.Bool("list", false, "list the application suite and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the scenario to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the scenario to this file")
@@ -77,7 +85,7 @@ func main() {
 		return
 	}
 	err := runProfiled(os.Stdout, *kernel, *layout, *archName, *app, *runs, *parallel, *jsonOut, *noCheckpoint,
-		*cpuProfile, *memProfile)
+		*storeDir, *cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "satsim:", err)
 		os.Exit(1)
@@ -88,7 +96,7 @@ func main() {
 // first, so a bad flag never leaves behind a truncated profile of
 // nothing; once profiling starts, teardown is deferred, so the capture
 // is written on every return path — early errors included.
-func runProfiled(w io.Writer, kernelName, layoutName, archName, appName string, runs, parallel int, jsonOut, noCheckpoint bool, cpuProfile, memProfile string) (err error) {
+func runProfiled(w io.Writer, kernelName, layoutName, archName, appName string, runs, parallel int, jsonOut, noCheckpoint bool, storeDir, cpuProfile, memProfile string) (err error) {
 	if err := validate(kernelName, layoutName, archName, appName, runs, parallel); err != nil {
 		return err
 	}
@@ -101,7 +109,7 @@ func runProfiled(w io.Writer, kernelName, layoutName, archName, appName string, 
 			err = perr
 		}
 	}()
-	return run(w, kernelName, layoutName, archName, appName, runs, parallel, jsonOut, noCheckpoint)
+	return run(w, kernelName, layoutName, archName, appName, runs, parallel, jsonOut, noCheckpoint, storeDir)
 }
 
 // validate rejects bad scenario parameters without side effects; run
@@ -180,7 +188,7 @@ type appReport struct {
 	doc  jsonApp
 }
 
-func run(w io.Writer, kernelName, layoutName, archName, appName string, runs, parallel int, jsonOut, noCheckpoint bool) error {
+func run(w io.Writer, kernelName, layoutName, archName, appName string, runs, parallel int, jsonOut, noCheckpoint bool, storeDir string) error {
 	if runs < 1 {
 		return fmt.Errorf("-runs must be >= 1 (got %d)", runs)
 	}
@@ -226,7 +234,7 @@ func run(w io.Writer, kernelName, layoutName, archName, appName string, runs, pa
 		specs = []workload.AppSpec{spec}
 	}
 
-	reports, err := runSuite(cfg, layout, archName, u, specs, runs, parallel, noCheckpoint)
+	reports, err := runSuite(cfg, layout, archName, u, specs, runs, parallel, noCheckpoint, storeDir)
 	if err != nil {
 		return err
 	}
@@ -252,11 +260,20 @@ func run(w io.Writer, kernelName, layoutName, archName, appName string, runs, pa
 // runSuite runs every selected application, each in its own freshly
 // booted system, fanned out over the sweep worker pool. Reports come
 // back in suite order whatever the completion order was.
-func runSuite(cfg core.Config, layout android.Layout, archName string, u *workload.Universe, specs []workload.AppSpec, runs, parallel int, noCheckpoint bool) ([]appReport, error) {
+func runSuite(cfg core.Config, layout android.Layout, archName string, u *workload.Universe, specs []workload.AppSpec, runs, parallel int, noCheckpoint bool, storeDir string) ([]appReport, error) {
 	// Every scenario shares one boot prefix, so the whole suite forks a
 	// single checkpoint image; concurrent workers share the one boot.
 	opts := android.Options{Arch: archName}
 	ckpt := checkpoint.NewCache()
+	if storeDir != "" && !noCheckpoint {
+		if store, err := imagestore.Open(storeDir, u); err != nil {
+			// The store is an optimization; a directory or platform that
+			// cannot host one just means the boot runs cold.
+			fmt.Fprintf(os.Stderr, "satsim: image store disabled: %v\n", err) //satlint:ignore nondet diagnostics go to stderr, never into results
+		} else {
+			ckpt.SetStore(store)
+		}
+	}
 	boot := func() (*android.System, error) {
 		if noCheckpoint {
 			return android.BootOpts(cfg, layout, u, opts)

@@ -12,10 +12,10 @@ import (
 // sweep must print the same bytes serially and with 4 workers.
 func TestSuiteParallelByteIdentical(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run(&a, "shared-tlb", "original", "armv7", "all", 1, 1, false, false); err != nil {
+	if err := run(&a, "shared-tlb", "original", "armv7", "all", 1, 1, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "shared-tlb", "original", "armv7", "all", 1, 4, false, false); err != nil {
+	if err := run(&b, "shared-tlb", "original", "armv7", "all", 1, 4, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
@@ -24,7 +24,7 @@ func TestSuiteParallelByteIdentical(t *testing.T) {
 	// Fork-vs-fresh differential: -nocheckpoint boots every scenario
 	// from scratch and must print the same bytes.
 	var c bytes.Buffer
-	if err := run(&c, "shared-tlb", "original", "armv7", "all", 1, 1, false, true); err != nil {
+	if err := run(&c, "shared-tlb", "original", "armv7", "all", 1, 1, false, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Bytes(), c.Bytes()) {
@@ -37,10 +37,10 @@ func TestSuiteParallelByteIdentical(t *testing.T) {
 // and a populated source snapshot including the kernel and per-CPU TLBs.
 func TestJSONParallelByteIdenticalAndSchema(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run(&a, "stock", "2mb", "armv7", "all", 1, 1, true, false); err != nil {
+	if err := run(&a, "stock", "2mb", "armv7", "all", 1, 1, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "stock", "2mb", "armv7", "all", 1, 4, true, false); err != nil {
+	if err := run(&b, "stock", "2mb", "armv7", "all", 1, 4, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {

@@ -1,0 +1,157 @@
+// Persistent-image support: serializable snapshots of a booted System
+// (internal/imagestore). The system layer owns the machine-wide identity
+// lists: every page-cache file and leaf page-table page is registered
+// once, in a deterministic order (boot files first, then discovery order
+// of the PID-sorted process walk), and referenced by index everywhere
+// else, so the sharing structure of the machine survives serialization.
+
+package android
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// FileMeta is the serializable identity of one page-cache file; its
+// resident pages are serialized separately by the image encoder.
+type FileMeta struct {
+	Name string
+	Size int
+}
+
+// SystemSnapshot is the serializable state of a booted System. File
+// references are indices into Files; the boot's role fields (libraries,
+// boot image, app binary) are recorded so the restored System can answer
+// Files() and the address-plan queries exactly like the original.
+type SystemSnapshot struct {
+	Kernel      core.KernelSnapshot
+	Layout      Layout
+	Opts        Options
+	ZygotePID   int
+	LibCodeBase []arch.VirtAddr
+	LibDataBase []arch.VirtAddr
+	JavaCode    arch.VirtAddr
+	JavaData    arch.VirtAddr
+	LibFiles    []int32
+	JavaFile    int32
+	AppFile     int32
+	Files       []FileMeta
+}
+
+// SnapshotState captures the system. The returned file and table lists
+// are the machine-wide identity lists the snapshot's indices refer to;
+// the caller serializes their bulky contents (page arrays, PTE arrays)
+// alongside the snapshot.
+func (sys *System) SnapshotState() (SystemSnapshot, []*vm.File, []*pagetable.LeafTable) {
+	var files []*vm.File
+	fileIdx := make(map[*vm.File]int32)
+	fileIndex := func(f *vm.File) int32 {
+		if i, ok := fileIdx[f]; ok {
+			return i
+		}
+		i := int32(len(files))
+		fileIdx[f] = i
+		files = append(files, f)
+		return i
+	}
+	var tables []*pagetable.LeafTable
+	tableIdx := make(map[*pagetable.LeafTable]int32)
+	tableIndex := func(t *pagetable.LeafTable) int32 {
+		if i, ok := tableIdx[t]; ok {
+			return i
+		}
+		i := int32(len(tables))
+		tableIdx[t] = i
+		tables = append(tables, t)
+		return i
+	}
+
+	// Register the boot's files first so their indices are independent of
+	// which VMA the process walk meets first; files created after boot
+	// (app binaries of live processes) follow in discovery order.
+	for _, f := range sys.Files() {
+		fileIndex(f)
+	}
+
+	s := SystemSnapshot{
+		Kernel:      sys.Kernel.SnapshotState(fileIndex, tableIndex),
+		Layout:      sys.Layout,
+		Opts:        sys.Opts,
+		ZygotePID:   sys.Zygote.PID,
+		LibCodeBase: sys.libCodeBase,
+		LibDataBase: sys.libDataBase,
+		JavaCode:    sys.javaCode,
+		JavaData:    sys.javaData,
+		LibFiles:    make([]int32, len(sys.libFiles)),
+		JavaFile:    fileIndex(sys.javaFile),
+		AppFile:     fileIndex(sys.appFile),
+	}
+	for i, f := range sys.libFiles {
+		s.LibFiles[i] = fileIndex(f)
+	}
+	s.Files = make([]FileMeta, len(files))
+	for i, f := range files {
+		s.Files[i] = FileMeta{Name: f.Name, Size: f.Size}
+	}
+	return s, files, tables
+}
+
+// RestoreSystem rebuilds a booted System. phys is the restored physical
+// memory (nil to build it here); files and tables are the restored
+// machine-wide lists (built by the image decoder from the snapshot's
+// Files metadata and the stored page/PTE sections); u is the workload
+// universe the image was booted from, which the caller has verified by
+// key.
+func RestoreSystem(s SystemSnapshot, u *workload.Universe, phys *mem.PhysMem, files []*vm.File, tables []*pagetable.LeafTable) (*System, error) {
+	if len(files) != len(s.Files) {
+		return nil, fmt.Errorf("android: snapshot names %d files, decoder built %d", len(s.Files), len(files))
+	}
+	if len(s.LibFiles) != len(s.LibCodeBase) || len(s.LibFiles) != len(s.LibDataBase) {
+		return nil, fmt.Errorf("android: snapshot library lists disagree: %d files, %d code bases, %d data bases",
+			len(s.LibFiles), len(s.LibCodeBase), len(s.LibDataBase))
+	}
+	fileAt := func(i int32, role string) (*vm.File, error) {
+		if i < 0 || int(i) >= len(files) {
+			return nil, fmt.Errorf("android: snapshot names %s file %d of %d", role, i, len(files))
+		}
+		return files[i], nil
+	}
+	k, err := core.RestoreKernel(s.Kernel, phys, files, tables)
+	if err != nil {
+		return nil, err
+	}
+	zyg := k.ProcessByPID(s.ZygotePID)
+	if zyg == nil {
+		return nil, fmt.Errorf("android: snapshot has no zygote process %d", s.ZygotePID)
+	}
+	sys := &System{
+		Kernel:      k,
+		Universe:    u,
+		Layout:      s.Layout,
+		Zygote:      zyg,
+		libCodeBase: s.LibCodeBase,
+		libDataBase: s.LibDataBase,
+		javaCode:    s.JavaCode,
+		javaData:    s.JavaData,
+		libFiles:    make([]*vm.File, len(s.LibFiles)),
+		Opts:        s.Opts,
+	}
+	for i, fi := range s.LibFiles {
+		if sys.libFiles[i], err = fileAt(fi, "library"); err != nil {
+			return nil, err
+		}
+	}
+	if sys.javaFile, err = fileAt(s.JavaFile, "boot-image"); err != nil {
+		return nil, err
+	}
+	if sys.appFile, err = fileAt(s.AppFile, "app-binary"); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

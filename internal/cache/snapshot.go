@@ -1,0 +1,68 @@
+// Persistent-image support: serializable snapshots (internal/imagestore).
+// A cache's state is its tag array, its per-set MRU registers, its age
+// matrices, and its counters; everything else is derived from the Config
+// at construction. The MRU registers must be stored, not rebuilt: a
+// first-slot register hit deliberately skips the age-matrix touch, so a
+// restored machine with cleared registers would diverge from the
+// captured one on its first access.
+
+package cache
+
+import "fmt"
+
+// MRUSnapshot is the serializable form of one set's MRU register.
+type MRUSnapshot struct {
+	Tag, Tag2 uint32
+	Way, Way2 int32
+}
+
+// Snapshot is the serializable state of one cache level.
+type Snapshot struct {
+	Config     Config
+	MemLatency int
+	Stats      Stats
+	Tags       []uint32
+	MRU        []MRUSnapshot
+	Age        []uint64
+}
+
+// SnapshotState captures the level's state. The returned Tags and Age
+// slices are copies; the snapshot is independent of the live cache.
+func (c *Cache) SnapshotState() Snapshot {
+	s := Snapshot{
+		Config:     c.cfg,
+		MemLatency: c.memLatency,
+		Stats:      c.stats,
+		Tags:       append([]uint32(nil), c.tags...),
+		MRU:        make([]MRUSnapshot, len(c.mru)),
+		Age:        append([]uint64(nil), c.age...),
+	}
+	for i, m := range c.mru {
+		s.MRU[i] = MRUSnapshot{Tag: m.tag, Tag2: m.tag2, Way: m.way, Way2: m.way2}
+	}
+	return s
+}
+
+// Restore rebuilds a cache level over the given lower level. The Tags
+// and Age slices are adopted without copying — they may point into a
+// memory-mapped image, because a restored image is only ever forked
+// (Clone copies the arrays) or read, never accessed directly.
+func Restore(s Snapshot, next *Cache) (*Cache, error) {
+	c := New(s.Config, next, s.MemLatency)
+	if len(s.Tags) != len(c.tags) {
+		return nil, fmt.Errorf("cache %s: snapshot has %d tags, geometry wants %d", s.Config.Name, len(s.Tags), len(c.tags))
+	}
+	if len(s.MRU) != len(c.mru) {
+		return nil, fmt.Errorf("cache %s: snapshot has %d MRU registers, geometry wants %d", s.Config.Name, len(s.MRU), len(c.mru))
+	}
+	if len(s.Age) != len(c.age) {
+		return nil, fmt.Errorf("cache %s: snapshot has %d age words, geometry wants %d", s.Config.Name, len(s.Age), len(c.age))
+	}
+	c.tags = s.Tags
+	c.age = s.Age
+	for i, m := range s.MRU {
+		c.mru[i] = mruReg{tag: m.Tag, tag2: m.Tag2, way: m.Way, way2: m.Way2}
+	}
+	c.stats = s.Stats
+	return c, nil
+}

@@ -56,6 +56,22 @@ func (img *Image) Fork() *android.System {
 	return img.proto.Clone()
 }
 
+// Adopt wraps an already-private machine as an image without the
+// defensive clone Capture performs. The caller transfers ownership: sys
+// must never be run or mutated afterwards. This is the admission path
+// for deserialized machines (internal/imagestore), which are fresh by
+// construction — cloning them would only copy state nobody else holds.
+func Adopt(sys *android.System) *Image {
+	return &Image{proto: sys}
+}
+
+// Proto exposes the image's captured machine for serialization. It must
+// be treated as strictly read-only: the immutability of this machine is
+// what makes every Fork byte-identical to a fresh boot.
+func (img *Image) Proto() *android.System {
+	return img.proto
+}
+
 // Boot is the prefix simulation a Cache memoizes: it boots a fresh
 // machine for the given parameters.
 type Boot func() (*android.System, error)
@@ -76,11 +92,27 @@ type centry struct {
 	err  error
 }
 
+// ImageStore is a persistent second level under the in-memory cache: a
+// Load hit skips the boot entirely, a miss falls back to booting and the
+// result is written back with Save. Implementations must only return
+// verified images — a Load hit is admitted to the cache without further
+// checks, so corrupt or stale entries must come back as a miss (see
+// internal/imagestore, which gates admission on the stored fingerprint).
+// Both methods may be called concurrently.
+type ImageStore interface {
+	// Load returns the verified image stored under key, or false.
+	Load(key string) (*Image, bool)
+	// Save persists the image under key, best-effort: a store that
+	// cannot write simply leaves the next process to boot cold.
+	Save(key string, img *Image)
+}
+
 // Cache memoizes checkpoint images by prefix key. The zero value is not
 // usable; construct with NewCache. Safe for concurrent use.
 type Cache struct {
-	mu sync.Mutex
-	m  map[string]*centry
+	mu    sync.Mutex
+	m     map[string]*centry
+	store ImageStore
 }
 
 // NewCache returns an empty image cache.
@@ -88,10 +120,21 @@ func NewCache() *Cache {
 	return &Cache{m: make(map[string]*centry)}
 }
 
+// SetStore attaches a persistent image store consulted between the
+// in-memory cache and the boot function: miss → store load → cold boot
+// plus write-back. Call before the first Image request; a nil store
+// (the default) keeps the cache purely in-memory.
+func (c *Cache) SetStore(s ImageStore) {
+	c.mu.Lock()
+	c.store = s
+	c.mu.Unlock()
+}
+
 // Image returns the memoized image for key, booting and capturing it on
 // first request. Every concurrent caller with the same key shares one
 // boot. A boot error is memoized too: retrying a deterministic boot
-// cannot succeed.
+// cannot succeed. With an attached ImageStore the boot is first short-
+// circuited by a verified store load, and a cold boot is written back.
 func (c *Cache) Image(key string, boot Boot) (*Image, error) {
 	c.mu.Lock()
 	e, ok := c.m[key]
@@ -99,14 +142,24 @@ func (c *Cache) Image(key string, boot Boot) (*Image, error) {
 		e = &centry{}
 		c.m[key] = e
 	}
+	store := c.store
 	c.mu.Unlock()
 	e.once.Do(func() {
+		if store != nil {
+			if img, ok := store.Load(key); ok {
+				e.img = img
+				return
+			}
+		}
 		sys, err := boot()
 		if err != nil {
 			e.err = err
 			return
 		}
 		e.img = Capture(sys)
+		if store != nil {
+			store.Save(key, e.img)
+		}
 	})
 	return e.img, e.err
 }
@@ -153,10 +206,17 @@ func (c *Cache) Len() int {
 // Key canonicalizes the boot parameters of android.BootOpts into a
 // memoization key: any two boots with equal keys produce identical
 // machines (boot is deterministic in these parameters), so they may
-// share one image. The universe is keyed by identity — distinct
-// Universe values could carry different preloaded-code landscapes.
+// share one image. The universe is keyed by its content hash and the
+// architecture name is normalized (empty means armv7, matching
+// android.BootOpts), so the key is stable across processes — it doubles
+// as the persistent image-store key (internal/imagestore), where a
+// pointer identity or an arch alias would either never hit or collide
+// ARMv7 and Sv39 images.
 func Key(cfg core.Config, layout android.Layout, u *workload.Universe, opts android.Options) string {
-	return fmt.Sprintf("cfg=%+v layout=%d universe=%p opts=%+v", cfg, layout, u, opts)
+	if opts.Arch == "" {
+		opts.Arch = "armv7"
+	}
+	return fmt.Sprintf("cfg=%+v layout=%d universe=%s opts=%+v", cfg, layout, u.ContentHash(), opts)
 }
 
 // Fingerprint renders the image's complete observable state as a string:

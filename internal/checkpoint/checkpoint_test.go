@@ -150,12 +150,15 @@ func TestCacheMemoizesBoots(t *testing.T) {
 
 func TestKeySeparatesParameters(t *testing.T) {
 	u := workload.DefaultUniverse()
+	otherU := &workload.Universe{AppProcessPages: 1, Libs: u.Libs,
+		JavaCodePages: u.JavaCodePages, JavaDataPages: u.JavaDataPages}
 	base := Key(core.SharedPTP(), android.LayoutOriginal, u, android.Options{})
 	for name, other := range map[string]string{
 		"config":   Key(core.Stock(), android.LayoutOriginal, u, android.Options{}),
 		"layout":   Key(core.SharedPTP(), android.Layout2MB, u, android.Options{}),
-		"universe": Key(core.SharedPTP(), android.LayoutOriginal, workload.DefaultUniverse(), android.Options{}),
+		"universe": Key(core.SharedPTP(), android.LayoutOriginal, otherU, android.Options{}),
 		"options":  Key(core.SharedPTP(), android.LayoutOriginal, u, android.Options{CPUs: 4}),
+		"arch":     Key(core.SharedPTP(), android.LayoutOriginal, u, android.Options{Arch: "sv39"}),
 	} {
 		if other == base {
 			t.Errorf("key ignores the %s parameter", name)
@@ -163,6 +166,16 @@ func TestKeySeparatesParameters(t *testing.T) {
 	}
 	if again := Key(core.SharedPTP(), android.LayoutOriginal, u, android.Options{}); again != base {
 		t.Error("equal parameters produce unequal keys")
+	}
+	// The key must be stable across processes: a second universe with the
+	// same content and the normalized default architecture name the same
+	// image. Both properties are what lets a persistent store built in
+	// one process warm-start another.
+	if k2 := Key(core.SharedPTP(), android.LayoutOriginal, workload.DefaultUniverse(), android.Options{}); k2 != base {
+		t.Error("identical-content universes produce unequal keys")
+	}
+	if k2 := Key(core.SharedPTP(), android.LayoutOriginal, u, android.Options{Arch: "armv7"}); k2 != base {
+		t.Error("explicit armv7 and default arch produce unequal keys")
 	}
 }
 

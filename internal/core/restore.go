@@ -1,0 +1,269 @@
+// Persistent-image support: serializable snapshots of the whole machine
+// (internal/imagestore). SnapshotState and RestoreKernel mirror Clone:
+// the same state Clone copies eagerly is serialized by value, and the
+// state Clone shares copy-on-write — PTE arrays, frame metadata,
+// page-cache contents — is referenced by machine-wide index into lists
+// the caller owns, so sharing (two slots naming one PTP) survives the
+// round trip. A restored kernel gets a fresh event bus, exactly like a
+// clone: checkpoints are captured before any subscriber attaches.
+
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/pagetable"
+	"repro/internal/vm"
+)
+
+// ContextSnapshot is the serializable state of one hardware context. A
+// process context's page-table pointer is implicitly its process's; an
+// orphan context (left on a core by the exit of its process, see Clone)
+// has none.
+type ContextSnapshot struct {
+	ID           int
+	Name         string
+	ASID         arch.ASID
+	DACR         arch.DACR
+	KernelTextPA arch.PhysAddr
+	FlushGlobals bool
+	Stats        cpu.Stats
+}
+
+// ProcessSnapshot is the serializable state of one process.
+type ProcessSnapshot struct {
+	PID           int
+	Name          string
+	IsZygote      bool
+	IsZygoteChild bool
+	ForkStats     ForkStats
+	PTEsCopied    uint64
+	MM            vm.MMSnapshot
+	Ctx           ContextSnapshot
+}
+
+// KernelSnapshot is the serializable state of one machine. Processes are
+// ordered by PID; the context index space referenced by CPUs is the
+// processes in that order followed by Orphans.
+type KernelSnapshot struct {
+	Arch         string
+	Config       Config
+	ForkCosts    ForkCosts
+	Counters     Counters
+	IPICost      int
+	NextPID      int
+	NextASID     arch.ASID
+	KernelTextPA arch.PhysAddr
+	Phys         mem.Snapshot
+	L2           cache.Snapshot
+	Procs        []ProcessSnapshot
+	Orphans      []ContextSnapshot
+	CPUs         []cpu.Snapshot
+	// CPUIndex and CurCPU locate k.CPU and the scheduling cursor within
+	// the CPUs list.
+	CPUIndex int
+	CurCPU   int
+}
+
+func contextSnapshot(c *cpu.Context) ContextSnapshot {
+	return ContextSnapshot{
+		ID:           c.ID,
+		Name:         c.Name,
+		ASID:         c.ASID,
+		DACR:         c.DACR,
+		KernelTextPA: c.KernelTextPA,
+		FlushGlobals: c.FlushGlobals,
+		Stats:        c.Stats,
+	}
+}
+
+// SnapshotState captures the machine. fileIndex and tableIndex resolve
+// machine-wide identities for page-cache files and leaf page-table
+// pages, registering each object on first sight; the caller (the image
+// encoder) keeps the registration lists and serializes their contents
+// separately.
+func (k *Kernel) SnapshotState(fileIndex func(*vm.File) int32, tableIndex func(*pagetable.LeafTable) int32) KernelSnapshot {
+	s := KernelSnapshot{
+		Arch:         k.mmu.Name(),
+		Config:       k.Config,
+		ForkCosts:    k.ForkCosts,
+		Counters:     k.Counters,
+		IPICost:      k.IPICost,
+		NextPID:      k.nextPID,
+		NextASID:     k.nextASID,
+		KernelTextPA: k.kernelTextPA,
+		Phys:         k.Phys.SnapshotState(),
+		L2:           k.l2.SnapshotState(),
+	}
+
+	pids := make([]int, 0, len(k.procs))
+	for pid := range k.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	ctxIdx := make(map[*cpu.Context]int32, len(pids))
+	for _, pid := range pids {
+		p := k.procs[pid]
+		ctxIdx[p.Ctx] = int32(len(s.Procs))
+		s.Procs = append(s.Procs, ProcessSnapshot{
+			PID:           p.PID,
+			Name:          p.Name,
+			IsZygote:      p.IsZygote,
+			IsZygoteChild: p.IsZygoteChild,
+			ForkStats:     p.ForkStats,
+			PTEsCopied:    p.PTEsCopied,
+			MM:            p.MM.SnapshotState(fileIndex, tableIndex),
+			Ctx:           contextSnapshot(p.Ctx),
+		})
+	}
+
+	// Orphan contexts (cores still billing an exited process) come after
+	// the process contexts, discovered in core order.
+	ctxIndex := func(c *cpu.Context) int32 {
+		if i, ok := ctxIdx[c]; ok {
+			return i
+		}
+		i := int32(len(s.Procs) + len(s.Orphans))
+		ctxIdx[c] = i
+		s.Orphans = append(s.Orphans, contextSnapshot(c))
+		return i
+	}
+	for i, c := range k.cpus {
+		s.CPUs = append(s.CPUs, c.SnapshotState(ctxIndex))
+		if c == k.CPU {
+			s.CPUIndex = i
+		}
+		if c == k.curCPU {
+			s.CurCPU = i
+		}
+	}
+	return s
+}
+
+// RestoreKernel rebuilds a machine. phys is the restored physical
+// memory (mem.Restore over the snapshot's Phys — the caller builds it
+// first because the files and tables need it too); files and tables are
+// the machine-wide lists the snapshot's indices refer to, already
+// restored by the caller (vm.RestoreFile, pagetable.RestoreLeafTable) —
+// typically aliasing a memory-mapped image.
+func RestoreKernel(s KernelSnapshot, phys *mem.PhysMem, files []*vm.File, tables []*pagetable.LeafTable) (*Kernel, error) {
+	m, ok := arch.Lookup(s.Arch)
+	if !ok {
+		return nil, fmt.Errorf("core: snapshot names unknown architecture %q", s.Arch)
+	}
+	if s.Config.SharePTP && s.Config.CopyPTEsAtFork {
+		return nil, fmt.Errorf("core: snapshot config is contradictory: %+v", s.Config)
+	}
+	if phys == nil {
+		var err error
+		if phys, err = mem.Restore(s.Phys); err != nil {
+			return nil, err
+		}
+	}
+	k := &Kernel{
+		Phys:         phys,
+		Config:       s.Config,
+		ForkCosts:    s.ForkCosts,
+		Counters:     s.Counters,
+		IPICost:      s.IPICost,
+		mmu:          m,
+		geo:          m.Geometry(),
+		tag:          m.Tagging(),
+		prot:         m.Protection(),
+		bus:          obs.NewBus(),
+		procs:        make(map[int]*Process, len(s.Procs)),
+		nextPID:      s.NextPID,
+		nextASID:     s.NextASID,
+		kernelTextPA: s.KernelTextPA,
+	}
+	k.asidMax = k.tag.MaxASID()
+	l2, err := cache.Restore(s.L2, nil)
+	if err != nil {
+		return nil, err
+	}
+	k.l2 = l2
+	k.l2.AttachBus(k.bus)
+
+	contexts := make([]*cpu.Context, 0, len(s.Procs)+len(s.Orphans))
+	for i := range s.Procs {
+		ps := &s.Procs[i]
+		pt, err := pagetable.Restore(phys, k.geo, ps.MM.PT, tables)
+		if err != nil {
+			return nil, fmt.Errorf("core: process %d %q: %w", ps.PID, ps.Name, err)
+		}
+		mm, err := vm.RestoreMM(phys, pt, ps.MM, files)
+		if err != nil {
+			return nil, fmt.Errorf("core: process %d %q: %w", ps.PID, ps.Name, err)
+		}
+		p := &Process{
+			PID:           ps.PID,
+			Name:          ps.Name,
+			MM:            mm,
+			IsZygote:      ps.IsZygote,
+			IsZygoteChild: ps.IsZygoteChild,
+			ForkStats:     ps.ForkStats,
+			PTEsCopied:    ps.PTEsCopied,
+			kernel:        k,
+			alive:         true,
+		}
+		p.Ctx = &cpu.Context{
+			ID:           ps.Ctx.ID,
+			Name:         ps.Ctx.Name,
+			PT:           mm.PT,
+			ASID:         ps.Ctx.ASID,
+			DACR:         ps.Ctx.DACR,
+			KernelTextPA: ps.Ctx.KernelTextPA,
+			FlushGlobals: ps.Ctx.FlushGlobals,
+			Stats:        ps.Ctx.Stats,
+		}
+		if _, dup := k.procs[p.PID]; dup {
+			return nil, fmt.Errorf("core: snapshot has two processes with PID %d", p.PID)
+		}
+		k.procs[p.PID] = p
+		contexts = append(contexts, p.Ctx)
+	}
+	for i := range s.Orphans {
+		os := &s.Orphans[i]
+		contexts = append(contexts, &cpu.Context{
+			ID:           os.ID,
+			Name:         os.Name,
+			ASID:         os.ASID,
+			DACR:         os.DACR,
+			KernelTextPA: os.KernelTextPA,
+			FlushGlobals: os.FlushGlobals,
+			Stats:        os.Stats,
+		})
+	}
+
+	if len(s.CPUs) == 0 {
+		return nil, fmt.Errorf("core: snapshot has no CPUs")
+	}
+	for i := range s.CPUs {
+		cs := &s.CPUs[i]
+		var cur *cpu.Context
+		if cs.Context >= 0 {
+			if int(cs.Context) >= len(contexts) {
+				return nil, fmt.Errorf("core: cpu%d names context %d of %d", i, cs.Context, len(contexts))
+			}
+			cur = contexts[cs.Context]
+		}
+		c, err := cpu.Restore(*cs, k, k.l2, k.geo, cur)
+		if err != nil {
+			return nil, fmt.Errorf("core: cpu%d: %w", i, err)
+		}
+		c.AttachBus(k.bus)
+		k.cpus = append(k.cpus, c)
+	}
+	if s.CPUIndex < 0 || s.CPUIndex >= len(k.cpus) || s.CurCPU < 0 || s.CurCPU >= len(k.cpus) {
+		return nil, fmt.Errorf("core: snapshot CPU cursors %d/%d out of range", s.CPUIndex, s.CurCPU)
+	}
+	k.CPU = k.cpus[s.CPUIndex]
+	k.curCPU = k.cpus[s.CurCPU]
+	return k, nil
+}

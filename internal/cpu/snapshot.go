@@ -1,0 +1,91 @@
+// Persistent-image support: serializable snapshots (internal/imagestore).
+// A core is its three TLBs, its two private cache levels (the shared L2
+// is machine-wide state), its cost model and mode bits, and its clock.
+// The sampling fields are not stored: checkpoints are captured before
+// any sampling subscriber attaches, so they are zero by construction.
+
+package cpu
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/tlb"
+)
+
+// Snapshot is the serializable state of one core. The running context is
+// recorded by its machine-wide context index (-1 before the first
+// switch); the kernel layer resolves it back to a pointer at restore.
+type Snapshot struct {
+	MicroI, MicroD, Main tlb.Snapshot
+	L1I, L1D             cache.Snapshot
+	Costs                Costs
+	UseASID              bool
+	KeepGlobalOnFlush    bool
+	Now                  uint64
+	LastFetchVA          arch.VirtAddr
+	Context              int32
+}
+
+// SnapshotState captures the core. ctxIndex resolves the running context
+// to its machine-wide index, registering it on first sight.
+func (c *CPU) SnapshotState(ctxIndex func(*Context) int32) Snapshot {
+	s := Snapshot{
+		MicroI:            c.MicroI.SnapshotState(),
+		MicroD:            c.MicroD.SnapshotState(),
+		Main:              c.Main.SnapshotState(),
+		L1I:               c.Caches.L1I.SnapshotState(),
+		L1D:               c.Caches.L1D.SnapshotState(),
+		Costs:             c.Costs,
+		UseASID:           c.UseASID,
+		KeepGlobalOnFlush: c.KeepGlobalOnFlush,
+		Now:               c.now,
+		LastFetchVA:       c.lastFetchVA,
+		Context:           -1,
+	}
+	if c.cur != nil {
+		s.Context = ctxIndex(c.cur)
+	}
+	return s
+}
+
+// Restore rebuilds a core over an already-restored shared L2. cur is the
+// resolved running context (nil before the first switch); the caller
+// translates the snapshot's context index. The restored core has no
+// sampler attached, matching the captured state.
+func Restore(s Snapshot, handler FaultHandler, l2 *cache.Cache, geo arch.Geometry, cur *Context) (*CPU, error) {
+	microI, err := tlb.Restore(s.MicroI, geo.PagesPerLarge())
+	if err != nil {
+		return nil, err
+	}
+	microD, err := tlb.Restore(s.MicroD, geo.PagesPerLarge())
+	if err != nil {
+		return nil, err
+	}
+	main, err := tlb.Restore(s.Main, geo.PagesPerLarge())
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := cache.Restore(s.L1I, l2)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := cache.Restore(s.L1D, l2)
+	if err != nil {
+		return nil, err
+	}
+	return &CPU{
+		MicroI:            microI,
+		MicroD:            microD,
+		Main:              main,
+		Caches:            &cache.Hierarchy{L1I: l1i, L1D: l1d, L2: l2},
+		Costs:             s.Costs,
+		UseASID:           s.UseASID,
+		KeepGlobalOnFlush: s.KeepGlobalOnFlush,
+		Handler:           handler,
+		geo:               geo,
+		largeOffMask:      geo.LargePageSize() - 1,
+		cur:               cur,
+		now:               s.Now,
+		lastFetchVA:       s.LastFetchVA,
+	}, nil
+}

@@ -83,6 +83,15 @@ type Session struct {
 	// registry name ("armv7", "sv39"; empty means armv7). Scenario
 	// options that set their own Arch override it.
 	Arch string
+	// ImageStore, when non-nil, is a persistent second level under the
+	// in-memory checkpoint cache (internal/imagestore): boot-prefix and
+	// warmup images missing from memory are loaded from the store, and
+	// cold boots are written back, so later processes warm-start.
+	// Ignored under NoCheckpoint, which bypasses the cache entirely.
+	// Set before the first sweep; results are byte-identical with or
+	// without a store (stored images are fingerprint-verified copies of
+	// the machines they replace).
+	ImageStore checkpoint.ImageStore
 
 	universe     *workload.Universe
 	universeOnce sync.Once
@@ -212,6 +221,9 @@ func (s *Session) warmImage(cfg core.Config, layout android.Layout, opts android
 func (s *Session) ckptCache() *checkpoint.Cache {
 	s.ckptOnce.Do(func() {
 		s.ckpt = checkpoint.NewCache()
+		if s.ImageStore != nil {
+			s.ckpt.SetStore(s.ImageStore)
+		}
 	})
 	return s.ckpt
 }

@@ -1,0 +1,42 @@
+//go:build linux
+
+package imagestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-write, MAP_PRIVATE: the restored machine's
+// copy-on-write aliases may be written through their own page faults,
+// and a private mapping keeps every such write out of the file. The
+// returned mapped flag tells unmapFile whether data came from mmap.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := fi.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, false, os.ErrInvalid
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// unmapFile releases a mapping made by mapFile. Only called on decode
+// failure: a successfully loaded image aliases the mapping for life.
+func unmapFile(data []byte, mapped bool) {
+	if mapped {
+		_ = syscall.Munmap(data)
+	}
+}

@@ -1,0 +1,22 @@
+//go:build !linux
+
+package imagestore
+
+import "os"
+
+// mapFile on platforms without the mmap shim reads the whole file into
+// an 8-aligned buffer (backed by []uint64, since castSlice needs the
+// base aligned for every cast type). Loads still work; they just pay a
+// copy of the file instead of a mapping.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	words := make([]uint64, (len(raw)+7)/8)
+	buf := bytesOf(words)[:len(raw)]
+	copy(buf, raw)
+	return buf, false, nil
+}
+
+func unmapFile(data []byte, mapped bool) {}

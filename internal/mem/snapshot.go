@@ -1,0 +1,92 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Snapshot is the complete serializable state of a PhysMem: the flat
+// frame-metadata array plus the allocator bookkeeping. It exists for the
+// persistent image store (internal/imagestore); the frame array is by
+// far the largest section of an image, so both directions share slices
+// instead of copying.
+type Snapshot struct {
+	// NFrames is the physical memory size in frames.
+	NFrames int
+	// Frames is the frame metadata, flattened chunk by chunk; it has
+	// exactly NFrames entries.
+	Frames []Frame
+	// FreeList is the allocator free list; order is significant (the
+	// allocator pops from the back, LIFO).
+	FreeList []arch.FrameNum
+	// Next is the bump pointer.
+	Next arch.FrameNum
+	// Stats is the cumulative allocator statistics.
+	Stats Stats
+}
+
+// SnapshotState flattens the allocator state. The returned slices alias no
+// live chunk (the frame array is freshly assembled), except that a
+// caller must still treat the snapshot as read-only while encoding.
+func (m *PhysMem) SnapshotState() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	flat := make([]Frame, m.nframes)
+	for i, c := range m.chunks {
+		copy(flat[i*chunkFrames:], c)
+	}
+	s := Snapshot{
+		NFrames:  m.nframes,
+		Frames:   flat,
+		FreeList: append([]arch.FrameNum(nil), m.freeList...),
+		Next:     m.next,
+		Stats:    m.stats,
+	}
+	s.Stats.ByKind = make(map[FrameKind]int, len(m.stats.ByKind))
+	for k, v := range m.stats.ByKind {
+		s.Stats.ByKind[k] = v
+	}
+	return s
+}
+
+// Restore rebuilds a PhysMem from a snapshot. The chunk slices alias
+// s.Frames without copying and the PhysMem starts with no chunk
+// ownership, exactly like the survivor of a Fork: the first write to any
+// chunk copies it out of the snapshot buffer. That makes Restore safe
+// over memory-mapped image files — the mapping is never written.
+func Restore(s Snapshot) (*PhysMem, error) {
+	if s.NFrames <= 0 || len(s.Frames) != s.NFrames {
+		return nil, fmt.Errorf("mem: snapshot has %d frame entries for %d frames", len(s.Frames), s.NFrames)
+	}
+	if int(s.Next) > s.NFrames {
+		return nil, fmt.Errorf("mem: snapshot bump pointer %d beyond %d frames", s.Next, s.NFrames)
+	}
+	nChunks := (s.NFrames + chunkFrames - 1) / chunkFrames
+	m := &PhysMem{
+		nframes:  s.NFrames,
+		chunks:   make([][]Frame, nChunks),
+		owned:    make([]bool, nChunks),
+		freeList: append([]arch.FrameNum(nil), s.FreeList...),
+		next:     s.Next,
+		stats:    s.Stats,
+	}
+	for i := range m.chunks {
+		lo := i * chunkFrames
+		hi := lo + chunkFrames
+		if hi > s.NFrames {
+			hi = s.NFrames
+		}
+		m.chunks[i] = s.Frames[lo:hi:hi]
+	}
+	m.stats.ByKind = make(map[FrameKind]int, len(s.Stats.ByKind))
+	for k, v := range s.Stats.ByKind {
+		m.stats.ByKind[k] = v
+	}
+	for _, fn := range m.freeList {
+		if int(fn) >= s.NFrames {
+			return nil, fmt.Errorf("mem: snapshot free list entry %d beyond %d frames", fn, s.NFrames)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,96 @@
+package pagetable
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+)
+
+// SlotSnapshot is the serializable form of one SlotEntry: the leaf table
+// is named by its index in the machine-wide table list (-1 when the slot
+// is invalid), so simulated-kernel PTP sharing — two slots of two
+// address spaces naming the same table — survives a round trip exactly
+// like CloneShared's identity map preserves it across a fork.
+type SlotSnapshot struct {
+	Table    int32
+	Domain   uint8
+	NeedCopy bool
+}
+
+// Snapshot is the serializable state of one PageTable. PTE contents are
+// not here: they live in the machine-wide leaf-table list, stored as one
+// flat fixed-stride section (see internal/imagestore).
+type Snapshot struct {
+	Slots      []SlotSnapshot
+	RootFrames []arch.FrameNum
+	MidFrames  []arch.FrameNum
+	Stats      Stats
+}
+
+// SnapshotState flattens the table. index resolves a leaf table to its
+// machine-wide identity index, registering it on first sight; the
+// encoder passes one index closure for the whole machine so shared
+// tables serialize once.
+func (pt *PageTable) SnapshotState(index func(*LeafTable) int32) Snapshot {
+	s := Snapshot{
+		Slots:      make([]SlotSnapshot, len(pt.slots)),
+		RootFrames: pt.rootFrames,
+		MidFrames:  pt.midFrames,
+		Stats:      pt.stats,
+	}
+	for i, e := range pt.slots {
+		ss := SlotSnapshot{Table: -1, Domain: e.Domain, NeedCopy: e.NeedCopy}
+		if e.Table != nil {
+			ss.Table = index(e.Table)
+		}
+		s.Slots[i] = ss
+	}
+	return s
+}
+
+// SnapshotPTEs exposes the table's PTE array for serialization. The
+// returned slice is the live array: strictly read-only.
+func (t *LeafTable) SnapshotPTEs() []PTE { return t.ptes }
+
+// RestoreLeafTable rebuilds a leaf table whose PTE array aliases ptes
+// copy-on-write — the restored table behaves exactly like the survivor
+// of a CloneShared: the first mutation copies the array, so ptes may
+// point straight into a memory-mapped image file. The populated count is
+// recomputed from the entries.
+func RestoreLeafTable(frame arch.FrameNum, ptes []PTE, entryBytes int) *LeafTable {
+	t := &LeafTable{Frame: frame, ptes: ptes, cow: true, entryBytes: entryBytes}
+	for i := range ptes {
+		if ptes[i].Valid() {
+			t.populated++
+		}
+	}
+	return t
+}
+
+// Restore rebuilds a page table from its snapshot against the restored
+// physical memory and the machine-wide leaf-table list.
+func Restore(phys *mem.PhysMem, geo arch.Geometry, s Snapshot, tables []*LeafTable) (*PageTable, error) {
+	if len(s.Slots) != geo.NumSlots() {
+		return nil, fmt.Errorf("pagetable: snapshot has %d slots, geometry wants %d", len(s.Slots), geo.NumSlots())
+	}
+	pt := &PageTable{
+		phys:       phys,
+		geo:        geo,
+		slots:      make([]SlotEntry, len(s.Slots)),
+		rootFrames: s.RootFrames,
+		midFrames:  s.MidFrames,
+		stats:      s.Stats,
+	}
+	for i, ss := range s.Slots {
+		e := SlotEntry{Domain: ss.Domain, NeedCopy: ss.NeedCopy}
+		if ss.Table >= 0 {
+			if int(ss.Table) >= len(tables) {
+				return nil, fmt.Errorf("pagetable: slot %d names table %d of %d", i, ss.Table, len(tables))
+			}
+			e.Table = tables[ss.Table]
+		}
+		pt.slots[i] = e
+	}
+	return pt, nil
+}

@@ -62,10 +62,10 @@ func (cc *CloneCtx) File(f *File) *File {
 // merge into one fresh array, which source and clone then share.
 func (f *File) cloneShared(phys *mem.PhysMem) *File {
 	if len(f.pages) > 0 || f.frozen == nil {
-		merged := make([]filePage, 0, len(f.frozen)+len(f.pages))
+		merged := make([]FilePage, 0, len(f.frozen)+len(f.pages))
 		a, b := f.frozen, f.pages
 		for len(a) > 0 && len(b) > 0 {
-			if a[0].idx < b[0].idx {
+			if a[0].Idx < b[0].Idx {
 				merged = append(merged, a[0])
 				a = a[1:]
 			} else {

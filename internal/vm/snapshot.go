@@ -1,0 +1,124 @@
+// Persistent-image support: serializable snapshots of files and address
+// spaces (internal/imagestore). Restores mirror the checkpoint clones in
+// clone.go — frozen page-cache arrays and PTE arrays alias the decoded
+// buffer and are copied on first write — so a restored machine behaves
+// exactly like the survivor of a CloneShared.
+
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+)
+
+// VMASnapshot is the serializable form of one region; the backing file
+// is named by its index in the machine-wide file list (-1 = anonymous),
+// so two regions mapping one file keep sharing it after a round trip.
+type VMASnapshot struct {
+	Start, End arch.VirtAddr
+	Prot       Prot
+	Flags      VMAFlags
+	File       int32
+	FileOff    int
+	Name       string
+	Category   Category
+}
+
+// MMSnapshot is the serializable state of one address space. Leaf-table
+// PTE contents live in the machine-wide table list, referenced by index
+// from PT.
+type MMSnapshot struct {
+	ASID     arch.ASID
+	Counters Counters
+	VMAs     []VMASnapshot
+	PT       pagetable.Snapshot
+}
+
+// SnapshotState flattens the address space. fileIndex and tableIndex
+// resolve machine-wide identities, registering objects on first sight;
+// the encoder passes one pair of closures for the whole machine.
+func (mm *MM) SnapshotState(fileIndex func(*File) int32, tableIndex func(*pagetable.LeafTable) int32) MMSnapshot {
+	s := MMSnapshot{
+		ASID:     mm.ASID,
+		Counters: mm.Counters,
+		VMAs:     make([]VMASnapshot, len(mm.vmas)),
+		PT:       mm.PT.SnapshotState(tableIndex),
+	}
+	for i, v := range mm.vmas {
+		vs := VMASnapshot{
+			Start: v.Start, End: v.End, Prot: v.Prot, Flags: v.Flags,
+			File: -1, FileOff: v.FileOff, Name: v.Name, Category: v.Category,
+		}
+		if v.File != nil {
+			vs.File = fileIndex(v.File)
+		}
+		s.VMAs[i] = vs
+	}
+	return s
+}
+
+// RestoreMM rebuilds an address space against the restored physical
+// memory, page table and machine-wide file list.
+func RestoreMM(phys *mem.PhysMem, pt *pagetable.PageTable, s MMSnapshot, files []*File) (*MM, error) {
+	mm := &MM{
+		PT:       pt,
+		ASID:     s.ASID,
+		Counters: s.Counters,
+		phys:     phys,
+		vmas:     make([]*VMA, len(s.VMAs)),
+	}
+	arr := make([]VMA, len(s.VMAs))
+	for i, vs := range s.VMAs {
+		arr[i] = VMA{
+			Start: vs.Start, End: vs.End, Prot: vs.Prot, Flags: vs.Flags,
+			FileOff: vs.FileOff, Name: vs.Name, Category: vs.Category,
+		}
+		if vs.File >= 0 {
+			if int(vs.File) >= len(files) {
+				return nil, fmt.Errorf("vm: region %q names file %d of %d", vs.Name, vs.File, len(files))
+			}
+			arr[i].File = files[vs.File]
+		}
+		mm.vmas[i] = &arr[i]
+	}
+	return mm, nil
+}
+
+// SnapshotPages returns the file's resident page cache as one sorted
+// array — the frozen base merged with the private overlay. When the
+// overlay is empty (always true for a checkpoint image, whose files were
+// normalized by cloneShared at capture) the frozen array itself is
+// returned; treat it as read-only.
+func (f *File) SnapshotPages() []FilePage {
+	if len(f.pages) == 0 {
+		return f.frozen
+	}
+	merged := make([]FilePage, 0, len(f.frozen)+len(f.pages))
+	a, b := f.frozen, f.pages
+	for len(a) > 0 && len(b) > 0 {
+		if a[0].Idx < b[0].Idx {
+			merged = append(merged, a[0])
+			a = a[1:]
+		} else {
+			merged = append(merged, b[0])
+			b = b[1:]
+		}
+	}
+	merged = append(merged, a...)
+	merged = append(merged, b...)
+	return merged
+}
+
+// RestoreFile rebuilds a file whose frozen page-cache base aliases
+// pages without copying — safe over a memory-mapped image, because the
+// frozen layer is immutable: reads bypass it into the overlay only via
+// insertRun, and a checkpoint clone shares it as-is.
+func RestoreFile(phys *mem.PhysMem, name string, size int, pages []FilePage) *File {
+	if pages == nil {
+		pages = []FilePage{}
+	}
+	return &File{Name: name, Size: size, phys: phys, frozen: pages}
+}

@@ -135,29 +135,31 @@ type File struct {
 	// lookups are a short binary search with no hashing, iteration is a
 	// merge in index order with no sort, and a checkpoint clone shares
 	// one contiguous block instead of a bucket graph.
-	pages  []filePage
-	frozen []filePage
+	pages  []FilePage
+	frozen []FilePage
 }
 
-// filePage is one resident page-cache entry.
-type filePage struct {
-	idx   int32
-	frame arch.FrameNum
+// FilePage is one resident page-cache entry. It is exported for the
+// persistent image store (internal/imagestore), which serializes page
+// caches as flat sorted arrays of this struct.
+type FilePage struct {
+	Idx   int32
+	Frame arch.FrameNum
 }
 
 // findPage binary-searches a sorted filePage array.
-func findPage(s []filePage, idx int32) (arch.FrameNum, bool) {
+func findPage(s []FilePage, idx int32) (arch.FrameNum, bool) {
 	lo, hi := 0, len(s)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if s[mid].idx < idx {
+		if s[mid].Idx < idx {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(s) && s[lo].idx == idx {
-		return s[lo].frame, true
+	if lo < len(s) && s[lo].Idx == idx {
+		return s[lo].Frame, true
 	}
 	return 0, false
 }
@@ -199,11 +201,11 @@ func (f *File) PageFrame(idx int) (arch.FrameNum, error) {
 // Checkpoint clones start with a nil overlay; the first write allocates
 // it, so an unwritten file costs nothing per fork.
 func (f *File) insertRun(base int32, fr arch.FrameNum, n int) {
-	i := sort.Search(len(f.pages), func(i int) bool { return f.pages[i].idx >= base })
-	f.pages = append(f.pages, make([]filePage, n)...)
+	i := sort.Search(len(f.pages), func(i int) bool { return f.pages[i].Idx >= base })
+	f.pages = append(f.pages, make([]FilePage, n)...)
 	copy(f.pages[i+n:], f.pages[i:])
 	for k := 0; k < n; k++ {
-		f.pages[i+k] = filePage{idx: base + int32(k), frame: fr + arch.FrameNum(k)}
+		f.pages[i+k] = FilePage{Idx: base + int32(k), Frame: fr + arch.FrameNum(k)}
 	}
 }
 
@@ -217,11 +219,11 @@ func (f *File) ForEachPage(fn func(idx int, frame arch.FrameNum)) {
 	a, b := f.frozen, f.pages
 	for len(a) > 0 || len(b) > 0 {
 		switch {
-		case len(b) == 0 || (len(a) > 0 && a[0].idx < b[0].idx):
-			fn(int(a[0].idx), a[0].frame)
+		case len(b) == 0 || (len(a) > 0 && a[0].Idx < b[0].Idx):
+			fn(int(a[0].Idx), a[0].Frame)
 			a = a[1:]
 		default:
-			fn(int(b[0].idx), b[0].frame)
+			fn(int(b[0].Idx), b[0].Frame)
 			b = b[1:]
 		}
 	}

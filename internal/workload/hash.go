@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// hashOnce caches the content hash: the universe is immutable after
+// construction, so the first computation is good forever and concurrent
+// sweep workers may race to ask for it.
+var hashMu sync.Mutex
+var hashCache = map[*Universe]string{}
+
+// ContentHash returns a stable digest of the universe's complete
+// preloaded-code landscape: every library size, the Java boot image, the
+// hotness ranking and the zygote footprint. Two universes with equal
+// hashes sample identically, so the hash can stand in for the universe
+// in persistent cache keys — unlike pointer identity, it survives
+// process boundaries (internal/imagestore keys images with it).
+func (u *Universe) ContentHash() string {
+	hashMu.Lock()
+	if h, ok := hashCache[u]; ok {
+		hashMu.Unlock()
+		return h
+	}
+	hashMu.Unlock()
+
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(u.AppProcessPages)
+	writeInt(u.JavaCodePages)
+	writeInt(u.JavaDataPages)
+	writeInt(len(u.Libs))
+	for _, l := range u.Libs {
+		fmt.Fprintf(h, "%s\x00", l.Name)
+		writeInt(l.CodePages)
+		writeInt(l.DataPages)
+	}
+	writeInt(u.zygoteTouched)
+	writeInt(len(u.hotOrder))
+	for _, p := range u.hotOrder {
+		writeInt(p)
+	}
+	sum := fmt.Sprintf("%x", h.Sum(nil))
+
+	hashMu.Lock()
+	hashCache[u] = sum
+	hashMu.Unlock()
+	return sum
+}

@@ -82,8 +82,8 @@ const ZygoteTouchedPTEs = 5900
 // AppSpec.Seed that BuildProfile plumbs through: the universe is the one
 // shared landscape every experiment runs against — the paper measures
 // many applications on ONE device image — so it must be identical across
-// all sessions, sweeps and workers (checkpoint keys even identify it by
-// pointer). Per-application randomness enters later, in BuildProfile,
+// all sessions, sweeps and workers (checkpoint keys embed its content
+// hash). Per-application randomness enters later, in BuildProfile,
 // seeded from each AppSpec. Changing this constant changes every golden
 // file; TestUniverseSeedIsFixed pins the separation.
 func DefaultUniverse() *Universe {
