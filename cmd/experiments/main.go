@@ -154,7 +154,7 @@ func run(argv []string, out *os.File) (err error) {
 		if serr != nil {
 			// The store is an optimization; a directory or platform that
 			// cannot host one just means every boot runs cold.
-			fmt.Fprintf(os.Stderr, "experiments: image store disabled: %v\n", serr) //satlint:ignore nondet diagnostics go to stderr, never into results
+			fmt.Fprintf(os.Stderr, "experiments: image store disabled: %v\n", serr)
 		} else {
 			s.ImageStore = store
 		}

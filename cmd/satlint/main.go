@@ -1,19 +1,31 @@
-// Command satlint machine-checks the simulator's determinism and
-// observability invariants: the conventions that keep counts and JSON
-// output bit-for-bit identical across serial and -parallel runs, which
-// golden tests can only probe and review can only hope to remember.
+// Command satlint machine-checks the simulator's determinism,
+// observability, and checkpoint-aliasing invariants: the conventions
+// that keep counts and JSON output bit-for-bit identical across serial
+// and -parallel runs and captured images safe to share between forks,
+// which golden tests can only probe and review can only hope to
+// remember.
 //
-// It is a multichecker over five project-specific analyzers:
+// It is a multichecker over eight project-specific analyzers:
 //
+//	captureimmut   forbid writes to frozen-after-capture checkpoint state
 //	deprecated     forbid new uses of module symbols marked "// Deprecated:"
+//	detflow        forbid nondeterministic values flowing into observable output
 //	maporder       forbid map iteration that feeds ordered output
 //	nondet         forbid wall-clock time and globally-seeded randomness
 //	obsguard       require Bus.Wants (or a nil-bus check) around event publication
 //	snapshotfresh  require Snapshot() to return a freshly allocated map
+//	unsafecast     require bounds and alignment checks before unsafe casts
+//
+// captureimmut and detflow are fact-based: properties proven in one
+// package (a type is frozen, a function's result reads the clock) are
+// serialized as facts and re-imported when dependent packages are
+// analyzed, so violations are reported across package boundaries. In
+// vet mode facts ride the unitchecker vetx files; in standalone mode
+// dependencies are analyzed first in import order.
 //
 // Usage:
 //
-//	satlint [-list] [package ...]
+//	satlint [-list] [-json] [package ...]
 //	go vet -vettool=$(command -v satlint) ./...
 //
 // Standalone mode type-checks the module from source and analyzes the
@@ -22,17 +34,24 @@
 // it: the go command supplies compiler export data per package, making
 // the sweep incremental and build-cached.
 //
+// -json replaces the text output with a JSON array of diagnostics
+// {file, line, col, analyzer, message, ignored}; suppressed findings
+// are included with ignored=true so tooling can audit the directives,
+// but only non-ignored findings affect the exit status.
+//
 // A finding can be silenced, with attribution, by an ignore directive on
 // the offending line or the line above:
 //
 //	//satlint:ignore <analyzer>[,<analyzer>] <reason>
 //
 // The reason is mandatory; a reasonless directive suppresses nothing and
-// is itself a finding. Exit status: 0 clean, 1 driver error, 2 findings.
+// is itself a finding — as is a directive that suppresses nothing at
+// all. Exit status: 0 clean, 1 driver error, 2 findings.
 package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -64,6 +83,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("satlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "print analyzer names and docs, then exit")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -76,7 +96,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return framework.RunVet(rest[0], satlint.Analyzers(), stderr)
 	}
-	return standalone(rest, stdout, stderr)
+	return standalone(rest, *asJSON, stdout, stderr)
 }
 
 // printVersion implements -V=full in the form the go command's build
@@ -101,9 +121,21 @@ func printList(w io.Writer) {
 	}
 }
 
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Ignored  bool   `json:"ignored"`
+}
+
 // standalone loads the module from source and analyzes the requested
 // packages: "./..." (default) for the whole module, or directory paths.
-func standalone(patterns []string, stdout, stderr io.Writer) int {
+// Dependency facts are computed in import order by the framework
+// driver, so cross-package analyzers see the same facts as in vet mode.
+func standalone(patterns []string, asJSON bool, stdout, stderr io.Writer) int {
 	root, err := framework.FindModuleRoot(".")
 	if err != nil {
 		fmt.Fprintln(stderr, "satlint:", err)
@@ -126,16 +158,39 @@ func standalone(patterns []string, stdout, stderr io.Writer) int {
 		}
 		units = append(units, us...)
 	}
+	driver := framework.NewDriver(loader, satlint.Analyzers())
 	findings := 0
+	var all []jsonDiagnostic
 	for _, unit := range units {
-		diags, err := framework.RunAnalyzers(unit, satlint.Analyzers())
+		diags, err := driver.Run(unit)
 		if err != nil {
 			fmt.Fprintln(stderr, "satlint:", err)
 			return 1
 		}
 		for _, d := range diags {
-			fmt.Fprintf(stdout, "%s: [%s] %s\n", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
-			findings++
+			pos := loader.Fset.Position(d.Pos)
+			if asJSON {
+				all = append(all, jsonDiagnostic{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: d.Analyzer, Message: d.Message, Ignored: d.Ignored,
+				})
+			} else if !d.Ignored {
+				fmt.Fprintf(stdout, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+			}
+			if !d.Ignored {
+				findings++
+			}
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []jsonDiagnostic{} // emit [], not null, for empty runs
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(stderr, "satlint:", err)
+			return 1
 		}
 	}
 	if findings > 0 {

@@ -2,15 +2,20 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/analysis/satlint"
 )
 
-// wantAnalyzers is the contract: the suite registers exactly these five.
+// wantAnalyzers is the contract: the suite registers exactly these
+// eight, alphabetically.
 var wantAnalyzers = []string{
-	"deprecated", "maporder", "nondet", "obsguard", "snapshotfresh",
+	"captureimmut", "deprecated", "detflow", "maporder", "nondet",
+	"obsguard", "snapshotfresh", "unsafecast",
 }
 
 func TestSuiteRegistersAllAnalyzers(t *testing.T) {
@@ -41,6 +46,92 @@ func TestListFlagPrintsEveryAnalyzer(t *testing.T) {
 	}
 	if n := len(strings.Split(strings.TrimSpace(out), "\n")); n != len(wantAnalyzers) {
 		t.Errorf("-list printed %d lines, want %d:\n%s", n, len(wantAnalyzers), out)
+	}
+}
+
+// TestJSONOutput runs the standalone driver over a throwaway module
+// with one real finding and one suppressed finding, and checks the -json
+// contract: both appear in the array (the suppressed one with
+// ignored=true), only the real one drives the exit code, and text mode
+// stays silent about the suppressed one.
+func TestJSONOutput(t *testing.T) {
+	root := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmod\n\ngo 1.22\n")
+	write("p/p.go", `package p
+
+import "time"
+
+func Bad() time.Time {
+	return time.Now()
+}
+
+func Excused() time.Time {
+	//satlint:ignore nondet fixture: suppressed on purpose
+	return time.Now()
+}
+`)
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"satlint", "-json", "./p"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("-json run exited %d, want 2 (one live finding); stderr: %s", code, stderr.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, stdout.String())
+	}
+	var live, suppressed int
+	for _, d := range diags {
+		if d.Analyzer != "nondet" || d.Line == 0 || d.Col == 0 || !strings.HasSuffix(d.File, "p.go") {
+			t.Errorf("malformed diagnostic %+v", d)
+		}
+		if d.Ignored {
+			suppressed++
+		} else {
+			live++
+		}
+	}
+	if live != 1 || suppressed != 1 {
+		t.Errorf("got %d live + %d suppressed diagnostics, want 1 + 1:\n%s",
+			live, suppressed, stdout.String())
+	}
+
+	// Text mode: the suppressed finding stays out of stdout entirely.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"satlint", "./p"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("text run exited %d, want 2", code)
+	}
+	if n := strings.Count(stdout.String(), "[nondet]"); n != 1 {
+		t.Errorf("text mode printed %d nondet findings, want 1:\n%s", n, stdout.String())
+	}
+
+	// A clean package emits [], not null.
+	write("q/q.go", "package q\n\nfunc Fine() int { return 1 }\n")
+	stdout.Reset()
+	if code := run([]string{"satlint", "-json", "./q"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean -json run exited %d; stderr: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json run printed %q, want []", got)
 	}
 }
 

@@ -269,7 +269,7 @@ func runSuite(cfg core.Config, layout android.Layout, archName string, u *worklo
 		if store, err := imagestore.Open(storeDir, u); err != nil {
 			// The store is an optimization; a directory or platform that
 			// cannot host one just means the boot runs cold.
-			fmt.Fprintf(os.Stderr, "satsim: image store disabled: %v\n", err) //satlint:ignore nondet diagnostics go to stderr, never into results
+			fmt.Fprintf(os.Stderr, "satsim: image store disabled: %v\n", err)
 		} else {
 			ckpt.SetStore(store)
 		}

@@ -1,0 +1,332 @@
+// Package captureimmut defines a satlint analyzer that machine-checks
+// the checkpoint layer's core aliasing invariant: once captured, an
+// image — and every piece of state a capture embeds by value — is
+// immutable. Forks may copy it, loads may alias it (imagestore maps
+// files read-only in spirit), but nothing may write through it, or every
+// fork sharing the state silently diverges.
+//
+// The invariant is declared at the root: a type marked
+//
+//	//satlint:frozen <reason>
+//
+// is frozen-after-capture, and so is every named struct type reachable
+// from it by value — struct fields, embedded structs, and slice/array
+// elements. Reachability stops at pointers, maps, channels, functions,
+// and interfaces: a pointer field is a deliberate boundary into live,
+// mutable state. Frozen-ness is exported as a fact on each reachable
+// type, so a write in a package that never saw the directive — the
+// cross-package case reviews historically miss — is still reported.
+//
+// Writes on the capture path itself are declared with
+//
+//	//satlint:mutates <reason>
+//
+// on the constructing function, or happen through a fresh local (a
+// variable this function allocated via composite literal, make, new, or
+// zero-value declaration), which the analyzer recognizes without
+// annotation.
+package captureimmut
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// FrozenFact marks a named type as frozen after capture. It is exported
+// for the type carrying the //satlint:frozen directive and for every
+// named struct type reachable from it by value.
+type FrozenFact struct {
+	Reason string // the directive's reason, or "reachable from <root>"
+}
+
+// AFact marks FrozenFact as a framework fact.
+func (*FrozenFact) AFact() {}
+
+// Analyzer reports writes to frozen-after-capture state.
+var Analyzer = &framework.Analyzer{
+	Name: "captureimmut",
+	Doc: `forbid writes to frozen-after-capture checkpoint state
+
+Types marked //satlint:frozen <reason> (checkpoint images and the
+snapshot types they embed by value) must not be written after
+construction: captured state is shared by every fork and by the mmap'd
+image store, so one write corrupts every sharer. This analyzer exports a
+frozen fact for each marked type and everything value-reachable from it,
+then reports field stores, element stores, and in-place appends into
+frozen values — across package boundaries — unless the write goes
+through a local this function freshly allocated or the function is
+marked //satlint:mutates <reason>.`,
+	Run:       run,
+	FactTypes: []framework.Fact{new(FrozenFact)},
+}
+
+func run(pass *framework.Pass) error {
+	exportFrozen(pass)
+	checkWrites(pass)
+	return nil
+}
+
+// exportFrozen finds //satlint:frozen directives on type declarations
+// and exports FrozenFact for each marked type and its value-reachable
+// named struct types.
+func exportFrozen(pass *framework.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				reason := frozenReason(gd.Doc, ts.Doc, ts.Comment)
+				if reason == "" {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				pass.ExportObjectFact(obj, &FrozenFact{Reason: reason})
+				spreadFrozen(pass, obj.Type(), obj.Name(), map[*types.TypeName]bool{obj: true})
+			}
+		}
+	}
+}
+
+// frozenReason extracts the reason of the first //satlint:frozen
+// directive among the candidate comment groups, or "".
+func frozenReason(groups ...*ast.CommentGroup) string {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "satlint:frozen")
+			if !ok {
+				continue
+			}
+			if reason := strings.TrimSpace(rest); reason != "" {
+				return reason
+			}
+		}
+	}
+	return ""
+}
+
+// spreadFrozen exports FrozenFact for every named struct type reachable
+// from t by value: struct fields (including embedded) and slice/array
+// elements, through named types, stopping at pointers, maps, channels,
+// functions, and interfaces.
+func spreadFrozen(pass *framework.Pass, t types.Type, root string, seen map[*types.TypeName]bool) {
+	switch t := t.(type) {
+	case *types.Named:
+		tn := t.Obj()
+		if tn.Pkg() == nil {
+			return
+		}
+		if !seen[tn] {
+			seen[tn] = true
+			pass.ExportObjectFact(tn, &FrozenFact{Reason: "reachable by value from frozen " + root})
+		}
+		spreadFrozen(pass, t.Underlying(), root, seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			spreadFrozen(pass, t.Field(i).Type(), root, seen)
+		}
+	case *types.Slice:
+		spreadFrozen(pass, t.Elem(), root, seen)
+	case *types.Array:
+		spreadFrozen(pass, t.Elem(), root, seen)
+	}
+	// Pointers, maps, channels, funcs, interfaces, basics: boundary.
+}
+
+// isFrozen reports whether t (behind pointers) is a named type carrying
+// a FrozenFact, returning the reason.
+func isFrozen(pass *framework.Pass, t types.Type) (string, bool) {
+	named := framework.NamedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	var f FrozenFact
+	if pass.ImportObjectFact(named.Obj(), &f) {
+		return f.Reason, true
+	}
+	return "", false
+}
+
+// checkWrites reports assignments and in/decrements that store into
+// frozen state outside an allowance.
+func checkWrites(pass *framework.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+				continue
+			}
+			if reason := mutatesReason(fd.Doc); reason != "" {
+				continue // declared capture-path writer
+			}
+			fresh := freshLocals(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkStore(pass, lhs, fresh)
+					}
+				case *ast.IncDecStmt:
+					checkStore(pass, n.X, fresh)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// mutatesReason extracts the reason of a //satlint:mutates directive in
+// the function's doc comment, or "".
+func mutatesReason(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "satlint:mutates")
+		if !ok {
+			continue
+		}
+		if reason := strings.TrimSpace(rest); reason != "" {
+			return reason
+		}
+	}
+	return ""
+}
+
+// freshLocals collects the objects of variables this function body
+// visibly allocates itself: assigned or declared from a composite
+// literal, &composite-literal, make, or new, or declared without a
+// value (zero value). Writes through these cannot reach captured state.
+func freshLocals(pass *framework.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) || !isFreshExpr(pass, n.Rhs[i]) {
+					continue
+				}
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					fresh[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if len(n.Values) > i && !isFreshExpr(pass, n.Values[i]) {
+					continue
+				}
+				if obj := pass.TypesInfo.ObjectOf(name); obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshExpr reports whether e is a freshly allocating expression.
+func isFreshExpr(pass *framework.Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				return id.Name == "make" || id.Name == "new"
+			}
+		}
+	}
+	return false
+}
+
+// deepValue reports whether t has value semantics all the way down —
+// no slice, map, pointer, channel, function, or interface component —
+// so that assigning it always produces an independent copy.
+func deepValue(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return true
+	}
+	seen[t] = true
+	switch t := t.Underlying().(type) {
+	case *types.Basic:
+		return t.Kind() != types.UnsafePointer
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if !deepValue(t.Field(i).Type(), seen) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return deepValue(t.Elem(), seen)
+	}
+	return false
+}
+
+// checkStore reports lhs when it stores into frozen state: the store
+// target is a selector or index expression some step of which has a
+// frozen named type, and the chain is not rooted at a fresh local.
+func checkStore(pass *framework.Pass, lhs ast.Expr, fresh map[types.Object]bool) {
+	switch ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return // a bare identifier store replaces a copy, not shared state
+	}
+	if root := framework.RootIdent(lhs); root != nil {
+		if obj := pass.TypesInfo.ObjectOf(root); obj != nil {
+			if fresh[obj] {
+				return
+			}
+			// A local (parameter, receiver, or variable) whose type has
+			// deep value semantics is always a private copy; writes to
+			// it cannot reach captured state.
+			if v, ok := obj.(*types.Var); ok &&
+				obj.Parent() != pass.Pkg.Scope() &&
+				deepValue(v.Type(), map[types.Type]bool{}) {
+				return
+			}
+		}
+	}
+	// Walk the access chain outside-in; report the outermost frozen step.
+	for e := lhs; ; {
+		e = ast.Unparen(e)
+		if reason, ok := isFrozen(pass, pass.TypesInfo.TypeOf(e)); ok {
+			named := framework.NamedOf(pass.TypesInfo.TypeOf(e))
+			pass.Reportf(lhs.Pos(),
+				"write into frozen type %s (%s); captured state is shared by every fork — copy it first, or mark the constructor //satlint:mutates",
+				named.Obj().Name(), reason)
+			return
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}

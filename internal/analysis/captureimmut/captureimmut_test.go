@@ -1,0 +1,15 @@
+package captureimmut_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/captureimmut"
+)
+
+// TestCaptureimmut runs the declaring package first, then the dependent
+// package whose every finding requires the frozen facts to have crossed
+// the package boundary.
+func TestCaptureimmut(t *testing.T) {
+	analysistest.Run(t, captureimmut.Analyzer, "frozensrc", "frozenuse")
+}

@@ -1,0 +1,66 @@
+// Package frozensrc declares a capture-frozen image type, standing in
+// for internal/checkpoint: the package that owns the frozen directive
+// and the legitimate capture path.
+package frozensrc
+
+// Live is only reachable through a pointer: the frozen closure stops at
+// the indirection, so Live stays mutable.
+type Live struct {
+	Hits int
+}
+
+// Slot is embedded by value in Image's slice, so freezing Image freezes
+// Slot too.
+type Slot struct { // want fact:`Slot: .*reachable by value from frozen Image`
+	Table  int32
+	Domain uint8
+}
+
+// Image is a captured checkpoint: shared by every fork, never written.
+//
+//satlint:frozen captured images are shared by every fork
+type Image struct { // want fact:`Image: .*captured images are shared by every fork`
+	Epoch int64
+	Slots []Slot
+	Live  *Live
+}
+
+// Capture builds an image through a fresh local: the construction
+// writes are recognized without any annotation.
+func Capture(n int) *Image {
+	img := Image{Slots: make([]Slot, n)}
+	for i := range img.Slots {
+		img.Slots[i] = Slot{Table: int32(i)}
+	}
+	img.Epoch = 1
+	return &img
+}
+
+// Rewrite writes a captured image in its own package: reported even
+// here, where the directive is in plain sight.
+func Rewrite(img *Image) {
+	img.Epoch = 2 // want `write into frozen type Image`
+}
+
+// Patch is a declared capture-path writer: the directive shifts the
+// burden to review of its stated reason.
+//
+//satlint:mutates re-stamps the epoch before first publication
+func Patch(img *Image) {
+	img.Epoch = 3
+}
+
+// Touch mutates the pointer-reachable side: Live is not frozen, but the
+// access path runs through the frozen Image, which is exactly how a
+// fork-visible write looks.
+func Touch(img *Image) {
+	img.Live.Hits++ // want `write into frozen type Image`
+}
+
+// Scratch mutates a private deep-value copy: a Slot assignment copies
+// the whole struct, so the write cannot reach captured state.
+func Scratch(img *Image) Slot {
+	s := img.Slots[0]
+	s.Table = 9
+	return s
+}

@@ -1,0 +1,54 @@
+// Package frozenuse writes to frozensrc state without ever seeing the
+// //satlint:frozen directive: the frozen facts arrive through the
+// import, so every reported line below proves cross-package
+// propagation.
+package frozenuse
+
+import "frozensrc"
+
+// Corrupt is the seeded regression from the checkpoint PRs: a
+// deliberate write into a captured image from another package.
+func Corrupt(img *frozensrc.Image) {
+	img.Epoch = 99 // want `write into frozen type Image`
+}
+
+// CorruptSlot writes an element of the image's slot array in place —
+// the exact aliasing hazard the imagestore mmap sharing forbids.
+func CorruptSlot(img *frozensrc.Image) {
+	img.Slots[0].Table = -1 // want `write into frozen type Slot`
+}
+
+// GrowInPlace appends through the frozen image's slice header.
+func GrowInPlace(img *frozensrc.Image) {
+	img.Slots = append(img.Slots, frozensrc.Slot{}) // want `write into frozen type Image`
+}
+
+// CopyThenWrite takes a full deep-value copy of one slot: legitimate.
+func CopyThenWrite(img *frozensrc.Image) frozensrc.Slot {
+	s := img.Slots[0]
+	s.Domain = 7
+	return s
+}
+
+// FreshImage builds its own image and may write it freely before
+// handing it over to capture.
+func FreshImage() *frozensrc.Image {
+	img := frozensrc.Image{Slots: make([]frozensrc.Slot, 4)}
+	img.Slots[2] = frozensrc.Slot{Table: 2}
+	img.Epoch = 1
+	return &img
+}
+
+// MutateLive writes the pointer-reachable live side through a bare
+// *Live: Live is beyond the value-reachability boundary, so this is
+// allowed.
+func MutateLive(l *frozensrc.Live) {
+	l.Hits++
+}
+
+// Blessed declares itself part of the capture path.
+//
+//satlint:mutates restores a just-loaded image before it is published
+func Blessed(img *frozensrc.Image) {
+	img.Epoch = 4
+}

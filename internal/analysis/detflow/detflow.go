@@ -1,0 +1,312 @@
+// Package detflow defines a satlint analyzer that upgrades nondet's
+// local pattern-match into fact-based taint tracking. nondet bans
+// calling time.Now or the global math/rand generator at all; what it
+// cannot see is a *laundered* source — a helper in one package that
+// reads the wall clock (perhaps behind a justified ignore directive,
+// for stderr-only timing) whose return value a *different* package then
+// feeds into an obs event, a metrics snapshot, or golden-bearing
+// output. One such flow makes serial and -parallel runs diverge, which
+// is the invariant the whole sweep architecture stands on.
+//
+// The analysis has tainted polarity: a function whose result derives
+// from a wall-clock or global-rand read exports a TaintedFact; absence
+// of a fact means deterministic. Taint is computed to a fixpoint within
+// each package (helpers calling helpers) and propagates across package
+// boundaries through the fact store, so the report lands at the sink —
+// the event literal or output call — naming the original source, however
+// many packages away it was read.
+package detflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/nondet"
+)
+
+// TaintedFact marks a function whose return value derives from a
+// nondeterministic source.
+type TaintedFact struct {
+	Root string // the originating source, e.g. "time.Now"
+}
+
+// AFact marks TaintedFact as a framework fact.
+func (*TaintedFact) AFact() {}
+
+// obsPath is the package whose events and snapshots are the guarded
+// sinks.
+const obsPath = "repro/internal/obs"
+
+// Analyzer reports nondeterministic values flowing into observable
+// output, across package boundaries.
+var Analyzer = &framework.Analyzer{
+	Name: "detflow",
+	Doc: `forbid wall-clock and global-rand values flowing into observable output
+
+Functions whose results derive from time.Now (and friends) or the
+process-global math/rand generator are marked with a tainted fact —
+transitively, across package boundaries. A tainted value reaching an
+obs.Event field, a Bus.Publish argument, a Snapshot map store, or
+stdout (fmt.Print*/Fprint* to os.Stdout) is reported at the sink,
+naming the original source. This catches what nondet's local ban
+cannot: a clock read legitimately ignored in one package (stderr
+timing) whose value later leaks into golden-bearing output from
+another.`,
+	Run:       run,
+	FactTypes: []framework.Fact{new(TaintedFact)},
+}
+
+func run(pass *framework.Pass) error {
+	tainted := computeTaint(pass)
+	checkSinks(pass, tainted)
+	return nil
+}
+
+// computeTaint finds this package's tainted functions to a fixpoint,
+// exports their facts, and returns them keyed by object.
+func computeTaint(pass *framework.Pass) map[types.Object]string {
+	tainted := map[types.Object]string{}
+	var decls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil || tainted[obj] != "" {
+				continue
+			}
+			if root := bodyTaintRoot(pass, fd.Body, tainted); root != "" {
+				tainted[obj] = root
+				changed = true
+			}
+		}
+	}
+	for obj, root := range tainted {
+		if fn, ok := obj.(*types.Func); ok && keyable(fn) && !pass.IsTestFile(fn.Pos()) {
+			pass.ExportObjectFact(fn, &TaintedFact{Root: root})
+		}
+	}
+	return tainted
+}
+
+// keyable reports whether fn can carry an exported fact (package-level
+// function or method of a named type).
+func keyable(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		return fn.Pkg() != nil && fn.Parent() == fn.Pkg().Scope()
+	}
+	return framework.NamedOf(sig.Recv().Type()) != nil
+}
+
+// bodyTaintRoot reports the source name if body contains a direct
+// nondeterministic read or a call to a tainted function, else "".
+func bodyTaintRoot(pass *framework.Pass, body *ast.BlockStmt, tainted map[types.Object]string) string {
+	root := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if root != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		root = callTaintRoot(pass, call, tainted)
+		return root == ""
+	})
+	return root
+}
+
+// callTaintRoot classifies one call: a direct source, a locally-known
+// tainted function, or a dependency function with an imported
+// TaintedFact.
+func callTaintRoot(pass *framework.Pass, call *ast.CallExpr, tainted map[types.Object]string) string {
+	fn := framework.CalledFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return ""
+	}
+	if framework.IsPkgFunc(fn, "time", nondet.WallClockFuncs()...) {
+		return "time." + fn.Name()
+	}
+	if framework.IsPkgFunc(fn, "math/rand", nondet.GlobalRandFuncs()...) ||
+		framework.IsPkgFunc(fn, "math/rand/v2", nondet.GlobalRandFuncs()...) {
+		return "rand." + fn.Name()
+	}
+	if root := tainted[fn]; root != "" {
+		return root
+	}
+	var f TaintedFact
+	if pass.ImportObjectFact(fn, &f) {
+		return f.Root
+	}
+	return ""
+}
+
+// checkSinks walks every function reporting tainted expressions that
+// reach an observable sink. Within a function, identifiers assigned
+// from tainted expressions are tainted too (one forward pass in source
+// order, which covers straight-line flows like t := pkg.Stamp(); ev.V =
+// t).
+func checkSinks(pass *framework.Pass, tainted map[types.Object]string) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+				continue
+			}
+			vars := taintedVars(pass, fd.Body, tainted)
+			inspectSinks(pass, fd, tainted, vars)
+		}
+	}
+}
+
+// taintedVars collects local variables assigned from tainted
+// expressions.
+func taintedVars(pass *framework.Pass, body *ast.BlockStmt, tainted map[types.Object]string) map[types.Object]string {
+	vars := map[types.Object]string{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(assign.Rhs) {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(id)
+				if obj == nil || vars[obj] != "" {
+					continue
+				}
+				if root := exprTaintRoot(pass, assign.Rhs[i], tainted, vars); root != "" {
+					vars[obj] = root
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return vars
+}
+
+// exprTaintRoot reports the source name if e contains a tainted call or
+// a tainted identifier, else "".
+func exprTaintRoot(pass *framework.Pass, e ast.Expr, tainted map[types.Object]string, vars map[types.Object]string) string {
+	root := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if root != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			root = callTaintRoot(pass, n, tainted)
+		case *ast.Ident:
+			if obj := pass.TypesInfo.ObjectOf(n); obj != nil {
+				root = vars[obj]
+			}
+		}
+		return root == ""
+	})
+	return root
+}
+
+// inspectSinks reports tainted values reaching the sinks inside fd.
+func inspectSinks(pass *framework.Pass, fd *ast.FuncDecl, tainted, vars map[types.Object]string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if framework.IsNamedType(pass.TypesInfo.TypeOf(n), obsPath, "Event") {
+				for _, elt := range n.Elts {
+					val := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						val = kv.Value
+					}
+					reportIfTainted(pass, val, tainted, vars, "obs.Event field")
+				}
+			}
+		case *ast.CallExpr:
+			checkCallSink(pass, n, tainted, vars)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if fd.Name.Name == "Snapshot" {
+					if _, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+						reportIfTainted(pass, n.Rhs[i], tainted, vars, "metrics snapshot entry")
+					}
+				}
+				// A field store into an Event value is a construction
+				// sink, same as a composite-literal field.
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok &&
+					framework.IsNamedType(pass.TypesInfo.TypeOf(sel.X), obsPath, "Event") {
+					reportIfTainted(pass, n.Rhs[i], tainted, vars, "obs.Event field")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCallSink reports tainted arguments of Publish calls and
+// stdout-bound fmt calls.
+func checkCallSink(pass *framework.Pass, call *ast.CallExpr, tainted, vars map[types.Object]string) {
+	fn := framework.CalledFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case framework.IsMethodOf(fn, obsPath, "Bus", "Publish"):
+		for _, arg := range call.Args {
+			// An Event-typed argument was already reported where it was
+			// constructed (composite-literal or field-store sink);
+			// re-reporting it at every publish site would double-count.
+			if framework.IsNamedType(pass.TypesInfo.TypeOf(arg), obsPath, "Event") {
+				continue
+			}
+			reportIfTainted(pass, arg, tainted, vars, "Bus.Publish argument")
+		}
+	case framework.IsPkgFunc(fn, "fmt", "Print", "Printf", "Println"):
+		for _, arg := range call.Args {
+			reportIfTainted(pass, arg, tainted, vars, "stdout output")
+		}
+	case framework.IsPkgFunc(fn, "fmt", "Fprint", "Fprintf", "Fprintln"):
+		if len(call.Args) > 0 && isStdout(pass, call.Args[0]) {
+			for _, arg := range call.Args[1:] {
+				reportIfTainted(pass, arg, tainted, vars, "stdout output")
+			}
+		}
+	}
+}
+
+// isStdout reports whether e is os.Stdout.
+func isStdout(pass *framework.Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stdout" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}
+
+// reportIfTainted reports e when its value derives from a
+// nondeterministic source.
+func reportIfTainted(pass *framework.Pass, e ast.Expr, tainted, vars map[types.Object]string, sink string) {
+	if root := exprTaintRoot(pass, e, tainted, vars); root != "" {
+		pass.Reportf(e.Pos(),
+			"value derived from %s flows into %s; simulator output must be deterministic — plumb scenario identity (sweep.Seed) instead",
+			root, sink)
+	}
+}

@@ -1,0 +1,14 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detflow"
+)
+
+// TestDetflow runs the laundering package first, then the consumer
+// whose findings all depend on imported tainted facts.
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, detflow.Analyzer, "taintsrc", "taintuse")
+}

@@ -1,0 +1,41 @@
+// Package taintsrc launders nondeterminism behind helpers, standing in
+// for a utility package that legitimately reads the clock for
+// stderr-side progress reporting. The helpers are fine in themselves;
+// what matters is the tainted facts they export.
+package taintsrc
+
+import (
+	"math/rand"
+	"time"
+)
+
+// StampMillis reads the wall clock; the ignore directive placates
+// nondet for the stderr-timing use case, but the tainted fact still
+// propagates to every caller.
+func StampMillis() int64 { // want fact:`StampMillis: .*time\.Now`
+	//satlint:ignore nondet stderr progress timing only, never in results
+	return time.Now().UnixMilli()
+}
+
+// Elapsed is tainted transitively: it never touches time itself.
+func Elapsed(since int64) int64 { // want fact:`Elapsed: .*time\.Now`
+	return StampMillis() - since
+}
+
+// Jitter draws from the global generator.
+func Jitter() int { // want fact:`Jitter: .*rand\.Intn`
+	//satlint:ignore nondet demo helper for the detflow fixture
+	return rand.Intn(16)
+}
+
+// Fixed is deterministic: no fact, and callers stay clean.
+func Fixed() int64 { return 42 }
+
+// Clock carries taint through a method, exercising the Type.Method
+// object key.
+type Clock struct{}
+
+// Read is tainted through StampMillis.
+func (Clock) Read() int64 { // want fact:`Clock\.Read: .*time\.Now`
+	return StampMillis()
+}

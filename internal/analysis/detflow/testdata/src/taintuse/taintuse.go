@@ -1,0 +1,76 @@
+// Package taintuse feeds values from taintsrc into observable output
+// without any local clock or rand use: every finding below exists only
+// because the tainted facts crossed the package boundary.
+package taintuse
+
+import (
+	"fmt"
+	"os"
+
+	"taintsrc"
+
+	"repro/internal/obs"
+)
+
+// publishStamp is the seeded regression: a transitive wall-clock value
+// lands in an obs event published from another package.
+func publishStamp(bus *obs.Bus) {
+	if bus.Wants(obs.EvPageFault) {
+		bus.Publish(obs.Event{
+			Kind:  obs.EvPageFault,
+			Value: uint64(taintsrc.Elapsed(0)), // want `value derived from time\.Now flows into obs\.Event field`
+		})
+	}
+}
+
+// publishVar routes the taint through a local variable first.
+func publishVar(bus *obs.Bus) {
+	stamp := taintsrc.StampMillis()
+	ev := obs.Event{Value: uint64(stamp)} // want `value derived from time\.Now flows into obs\.Event field`
+	if bus.Wants(obs.EvPageFault) {
+		bus.Publish(ev)
+	}
+}
+
+// publishFieldStore builds the event field by field.
+func publishFieldStore(bus *obs.Bus) {
+	var ev obs.Event
+	ev.Kind = obs.EvPageFault
+	ev.Value = uint64(taintsrc.StampMillis()) // want `value derived from time\.Now flows into obs\.Event field`
+	if bus.Wants(obs.EvPageFault) {
+		bus.Publish(ev)
+	}
+}
+
+// printStamp leaks a clock-derived value into stdout, where goldens
+// live.
+func printStamp() {
+	fmt.Printf("elapsed=%d\n", taintsrc.Elapsed(7)) // want `value derived from time\.Now flows into stdout output`
+}
+
+// stderrStamp is the sanctioned direction: stderr carries no goldens.
+func stderrStamp() {
+	fmt.Fprintf(os.Stderr, "elapsed=%d\n", taintsrc.Elapsed(7))
+}
+
+// Snapshot mixes a deterministic counter with a rand-derived one: only
+// the tainted store is reported.
+func Snapshot() map[string]uint64 {
+	m := map[string]uint64{}
+	m["forks"] = uint64(taintsrc.Fixed())
+	m["jitter"] = uint64(taintsrc.Jitter()) // want `value derived from rand\.Intn flows into metrics snapshot entry`
+	return m
+}
+
+// methodTaint proves taint flows through method facts too.
+func methodTaint() {
+	var c taintsrc.Clock
+	fmt.Println(c.Read()) // want `value derived from time\.Now flows into stdout output`
+}
+
+// cleanPublish shows deterministic values pass untouched.
+func cleanPublish(bus *obs.Bus) {
+	if bus.Wants(obs.EvPageFault) {
+		bus.Publish(obs.Event{Kind: obs.EvPageFault, Value: uint64(taintsrc.Fixed())})
+	}
+}

@@ -1,0 +1,281 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// A Fact is a serializable claim an analyzer attaches to an object or a
+// package so that properties proven while analyzing one package flow to
+// the packages that import it — the same contract as
+// golang.org/x/tools/go/analysis facts, restricted to what JSON can
+// carry. A fact type must be a pointer to a struct with exported fields;
+// AFact is the marker that keeps arbitrary values out of the store.
+//
+// Facts are private to the analyzer that declares them (in
+// Analyzer.FactTypes): two analyzers never observe each other's facts,
+// so fact vocabularies evolve independently.
+type Fact interface {
+	AFact()
+}
+
+// factTypeName names a fact's concrete type for (de)serialization.
+func factTypeName(f Fact) string {
+	t := reflect.TypeOf(f)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.Name()
+}
+
+// factKey locates one fact: the object's package, the owning analyzer,
+// the object key within the package ("" for a package-level fact), and
+// the fact's concrete type.
+type factKey struct {
+	pkg, analyzer, object, typ string
+}
+
+// FactStore holds every fact visible to one analysis run: the facts of
+// the unit being analyzed plus everything imported from (or destined
+// for) dependency fact files. One object carries at most one fact per
+// (analyzer, fact type); a re-export overwrites.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[factKey]Fact{}}
+}
+
+func (s *FactStore) put(pkg, analyzer, object string, f Fact) {
+	s.m[factKey{pkg: pkg, analyzer: analyzer, object: object, typ: factTypeName(f)}] = f
+}
+
+// get copies the stored fact into f (which must be a pointer of the
+// stored concrete type) and reports whether one was present.
+func (s *FactStore) get(pkg, analyzer, object string, f Fact) bool {
+	got, ok := s.m[factKey{pkg: pkg, analyzer: analyzer, object: object, typ: factTypeName(f)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// A FactEntry is one store element in exported form, for tests and for
+// analysistest's `// want fact:` assertions.
+type FactEntry struct {
+	Pkg      string // import path of the package owning the object
+	Analyzer string
+	Object   string // object key; "" for a package-level fact
+	Fact     Fact
+}
+
+// Entries returns the store's contents in stable order.
+func (s *FactStore) Entries() []FactEntry {
+	out := make([]FactEntry, 0, len(s.m))
+	for k, f := range s.m {
+		out = append(out, FactEntry{Pkg: k.pkg, Analyzer: k.analyzer, Object: k.object, Fact: f})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		if out[i].Object != out[j].Object {
+			return out[i].Object < out[j].Object
+		}
+		return factTypeName(out[i].Fact) < factTypeName(out[j].Fact)
+	})
+	return out
+}
+
+// Len returns the number of facts held.
+func (s *FactStore) Len() int { return len(s.m) }
+
+// factBlob is the serialized form of one fact: the wire format written
+// to unitchecker vetx files and round-tripped by the standalone driver.
+// The file is a JSON array of blobs; an empty file means no facts (the
+// format older satlint versions wrote).
+type factBlob struct {
+	Pkg      string          `json:"pkg"`
+	Analyzer string          `json:"analyzer"`
+	Object   string          `json:"object,omitempty"`
+	Type     string          `json:"type"`
+	Data     json.RawMessage `json:"data"`
+}
+
+// Encode serializes the store: a deterministic JSON array sorted by
+// (pkg, analyzer, object, type).
+func (s *FactStore) Encode() ([]byte, error) {
+	entries := s.Entries()
+	blobs := make([]factBlob, 0, len(entries))
+	for _, e := range entries {
+		data, err := json.Marshal(e.Fact)
+		if err != nil {
+			return nil, fmt.Errorf("encoding %s fact %T on %s.%s: %v", e.Analyzer, e.Fact, e.Pkg, e.Object, err)
+		}
+		blobs = append(blobs, factBlob{
+			Pkg: e.Pkg, Analyzer: e.Analyzer, Object: e.Object,
+			Type: factTypeName(e.Fact), Data: data,
+		})
+	}
+	return json.Marshal(blobs)
+}
+
+// DecodeFacts merges a serialized fact file into the store. Fact types
+// are resolved against the FactTypes the given analyzers declare; blobs
+// from unknown analyzers or undeclared types are skipped, so readers
+// tolerate files written by a satlint with a different analyzer set.
+func DecodeFacts(data []byte, analyzers []*Analyzer, into *FactStore) error {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil // the pre-facts format: an empty file
+	}
+	reg := map[string]map[string]reflect.Type{}
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f)
+			for t.Kind() == reflect.Pointer {
+				t = t.Elem()
+			}
+			if reg[a.Name] == nil {
+				reg[a.Name] = map[string]reflect.Type{}
+			}
+			reg[a.Name][t.Name()] = t
+		}
+	}
+	var blobs []factBlob
+	if err := json.Unmarshal(data, &blobs); err != nil {
+		return fmt.Errorf("parsing fact file: %v", err)
+	}
+	for _, b := range blobs {
+		typ, ok := reg[b.Analyzer][b.Type]
+		if !ok {
+			continue
+		}
+		f, ok := reflect.New(typ).Interface().(Fact)
+		if !ok {
+			continue
+		}
+		if err := json.Unmarshal(b.Data, f); err != nil {
+			return fmt.Errorf("decoding %s fact %s on %s.%s: %v", b.Analyzer, b.Type, b.Pkg, b.Object, err)
+		}
+		into.put(b.Pkg, b.Analyzer, b.Object, f)
+	}
+	return nil
+}
+
+// objectKey names obj within its package, or reports that the object is
+// not keyable. Facts attach only to objects an importer can find again
+// through export data:
+//
+//	"Name"        a package-level func, type, var, or const
+//	"Type.Method" a method (value or pointer receiver) of a named type
+//
+// Locals, struct fields, and interface methods are not keyable; analyses
+// needing per-field claims should attach the fact to the enclosing named
+// type and reconstruct field detail structurally.
+func objectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			named := NamedOf(sig.Recv().Type())
+			if named == nil {
+				return "", false
+			}
+			return named.Obj().Name() + "." + fn.Name(), true
+		}
+	}
+	if obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// LookupObjectKey resolves a key produced by objectKey against pkg
+// (source-checked or loaded from export data), or nil.
+func LookupObjectKey(pkg *types.Package, key string) types.Object {
+	typeName, method, isMethod := strings.Cut(key, ".")
+	if !isMethod {
+		return pkg.Scope().Lookup(key)
+	}
+	tn, ok := pkg.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == method {
+			return m
+		}
+	}
+	return nil
+}
+
+// checkFactType panics unless the analyzer declared fact's type in
+// FactTypes — an undeclared type would export fine but silently fail to
+// decode on the importing side, which is a far worse failure mode.
+func (p *Pass) checkFactType(fact Fact) {
+	want := factTypeName(fact)
+	for _, f := range p.Analyzer.FactTypes {
+		if factTypeName(f) == want {
+			return
+		}
+	}
+	panic(fmt.Sprintf("analyzer %q used fact type %s without declaring it in FactTypes", p.Analyzer.Name, want))
+}
+
+// ExportObjectFact attaches fact to obj for importing packages to see.
+// The object must be keyable (see objectKey); it may belong to this
+// package or to a dependency — exporting onto a dependency's object is
+// how reachability-style analyses extend a property across a package
+// boundary (the fact is then visible to packages that import *this*
+// package, which is also where the claim was proven).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.checkFactType(fact)
+	key, ok := objectKey(obj)
+	if !ok {
+		panic(fmt.Sprintf("analyzer %q: ExportObjectFact on unkeyable object %v", p.Analyzer.Name, obj))
+	}
+	p.facts.put(obj.Pkg().Path(), p.Analyzer.Name, key, fact)
+}
+
+// ImportObjectFact copies the fact of fact's type attached to obj into
+// fact and reports whether one exists. Unkeyable objects have no facts.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	p.checkFactType(fact)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key, ok := objectKey(obj)
+	if !ok {
+		return false
+	}
+	return p.facts.get(obj.Pkg().Path(), p.Analyzer.Name, key, fact)
+}
+
+// ExportPackageFact attaches fact to the package being analyzed.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.checkFactType(fact)
+	p.facts.put(p.Pkg.Path(), p.Analyzer.Name, "", fact)
+}
+
+// ImportPackageFact copies pkg's package-level fact of fact's type into
+// fact and reports whether one exists.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	p.checkFactType(fact)
+	return p.facts.get(pkg.Path(), p.Analyzer.Name, "", fact)
+}

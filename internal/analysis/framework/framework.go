@@ -30,17 +30,27 @@ import (
 // An Analyzer describes one invariant check. Name must be a valid
 // identifier (it is what ignore directives and -list print); Doc's first
 // line is the one-line summary.
+//
+// FactTypes declares the Fact types the analyzer exports or imports —
+// each element a pointer to the zero value, e.g. `[]Fact{new(FooFact)}`.
+// An analyzer with a non-empty FactTypes runs even in fact-only passes
+// (unitchecker VetxOnly) so its facts reach dependent packages.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	FactTypes []Fact
 }
 
-// A Diagnostic is one finding at a source position.
+// A Diagnostic is one finding at a source position. Ignored marks a
+// finding suppressed by a //satlint:ignore directive: drivers keep it
+// out of text output and exit codes, but -json reports it so tooling
+// can audit what the directives are hiding.
 type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	Ignored  bool
 }
 
 // A Pass presents one package (one analysis unit: a package together
@@ -54,6 +64,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
+	facts *FactStore
 }
 
 // Reportf records a finding at pos.
@@ -80,10 +91,18 @@ func BasePath(path string) string {
 	return path
 }
 
-// RunAnalyzers runs every analyzer over the unit, filters findings
-// through the unit's //satlint:ignore directives, appends diagnostics
-// for malformed directives, and returns the result sorted by position.
-func RunAnalyzers(unit *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+// RunAnalyzers runs every analyzer over the unit, applies the unit's
+// //satlint:ignore directives (suppressed findings are returned with
+// Ignored set, not dropped), appends diagnostics for malformed and
+// unused directives, and returns the result sorted by position.
+//
+// facts is the store analyzers export to and import from; it must
+// already hold the facts of the unit's dependencies (drivers arrange
+// this). Pass nil when no analyzer in the run uses facts.
+func RunAnalyzers(unit *Unit, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFactStore()
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -93,21 +112,26 @@ func RunAnalyzers(unit *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       unit.Pkg,
 			TypesInfo: unit.Info,
 			diags:     &diags,
+			facts:     facts,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %v", a.Name, unit.Pkg.Path(), err)
 		}
 	}
 	ign := ParseIgnores(unit.Fset, unit.Files)
-	kept := diags[:0]
-	for _, d := range diags {
-		if !ign.Suppressed(unit.Fset, d) {
-			kept = append(kept, d)
+	for i := range diags {
+		if ign.Suppressed(unit.Fset, diags[i]) {
+			diags[i].Ignored = true
 		}
 	}
-	kept = append(kept, ign.Malformed...)
-	sortDiagnostics(unit.Fset, kept)
-	return kept, nil
+	diags = append(diags, ign.Malformed...)
+	active := map[string]bool{}
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	diags = append(diags, ign.Unused(active)...)
+	sortDiagnostics(unit.Fset, diags)
+	return diags, nil
 }
 
 // sortDiagnostics orders by file, line, column, then analyzer name, so

@@ -3,14 +3,17 @@ package framework
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
 // ignoreDirective is one parsed //satlint:ignore comment.
 type ignoreDirective struct {
+	pos       token.Pos
 	file      string
 	line      int
 	analyzers map[string]bool
+	used      bool
 }
 
 // IgnoreSet is every //satlint:ignore directive of one analysis unit.
@@ -65,6 +68,7 @@ func (s *IgnoreSet) parse(fset *token.FileSet, c *ast.Comment) {
 		return
 	}
 	d := ignoreDirective{
+		pos:       c.Pos(),
 		file:      fset.Position(c.Pos()).Filename,
 		line:      fset.Position(c.Pos()).Line,
 		analyzers: map[string]bool{},
@@ -75,15 +79,52 @@ func (s *IgnoreSet) parse(fset *token.FileSet, c *ast.Comment) {
 	s.directives = append(s.directives, d)
 }
 
-// Suppressed reports whether diagnostic d is covered by a directive.
+// Suppressed reports whether diagnostic d is covered by a directive,
+// marking every covering directive as used.
 func (s *IgnoreSet) Suppressed(fset *token.FileSet, d Diagnostic) bool {
 	pos := fset.Position(d.Pos)
-	for _, dir := range s.directives {
+	hit := false
+	for i := range s.directives {
+		dir := &s.directives[i]
 		if dir.file == pos.Filename &&
 			(dir.line == pos.Line || dir.line == pos.Line-1) &&
 			dir.analyzers[d.Analyzer] {
-			return true
+			dir.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// Unused returns one diagnostic (analyzer "satlint") per directive that
+// suppressed nothing. A directive is only reported when every analyzer
+// it names is in the active run set: a single-analyzer run (tests,
+// filtered passes) cannot tell whether the other analyzers it names
+// would have matched, so it stays silent about such directives.
+func (s *IgnoreSet) Unused(active map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for i := range s.directives {
+		dir := &s.directives[i]
+		if dir.used {
+			continue
+		}
+		allActive := true
+		names := make([]string, 0, len(dir.analyzers))
+		for n := range dir.analyzers {
+			names = append(names, n)
+			if !active[n] {
+				allActive = false
+			}
+		}
+		if !allActive {
+			continue
+		}
+		sort.Strings(names)
+		out = append(out, Diagnostic{
+			Pos:      dir.pos,
+			Analyzer: "satlint",
+			Message:  "unused //satlint:ignore directive: no " + strings.Join(names, ", ") + " finding here to suppress",
+		})
+	}
+	return out
 }

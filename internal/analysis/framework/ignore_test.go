@@ -94,3 +94,44 @@ func g() {}
 		t.Error("reasonless directive must not suppress")
 	}
 }
+
+func TestUnusedDirectivesReported(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//satlint:ignore nondet this one earns its keep
+func used() {}
+
+//satlint:ignore nondet nothing here to suppress
+func stale() {}
+
+//satlint:ignore maporder run set below never includes maporder
+func foreign() {}
+`)
+	ign := ParseIgnores(fset, files)
+	file := fset.File(files[0].Pos())
+	// Line 4's finding marks the first directive used.
+	if !ign.Suppressed(fset, Diagnostic{Pos: file.LineStart(4), Analyzer: "nondet"}) {
+		t.Fatal("setup: the first directive should suppress a nondet finding on line 4")
+	}
+
+	active := map[string]bool{"nondet": true}
+	unused := ign.Unused(active)
+	if len(unused) != 1 {
+		t.Fatalf("got %d unused-directive findings, want 1:\n%+v", len(unused), unused)
+	}
+	d := unused[0]
+	if got := fset.Position(d.Pos).Line; got != 6 {
+		t.Errorf("unused finding at line %d, want 6 (the stale nondet directive)", got)
+	}
+	if d.Analyzer != "satlint" {
+		t.Errorf("unused finding attributed to %q, want satlint", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "unused //satlint:ignore") || !strings.Contains(d.Message, "nondet") {
+		t.Errorf("unexpected unused message %q", d.Message)
+	}
+	// With maporder also active the third directive becomes reportable.
+	active["maporder"] = true
+	if got := len(ign.Unused(active)); got != 2 {
+		t.Errorf("with maporder active, got %d unused findings, want 2", got)
+	}
+}

@@ -3,6 +3,7 @@ package framework
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -36,7 +37,7 @@ type Loader struct {
 	root    string // module root directory (holds go.mod)
 	modpath string
 	extra   map[string]string // additional importPath -> dir (test fixtures)
-	pure    map[string]*types.Package
+	pure    map[string]*Unit  // test-free units, cached by Import
 	loading map[string]bool
 	std     types.Importer
 }
@@ -53,7 +54,7 @@ func NewLoader(root string) (*Loader, error) {
 		root:    root,
 		modpath: modpath,
 		extra:   map[string]string{},
-		pure:    map[string]*types.Package{},
+		pure:    map[string]*Unit{},
 		loading: map[string]bool{},
 		std:     importer.ForCompiler(fset, "source", nil),
 	}, nil
@@ -114,17 +115,45 @@ func (l *Loader) dirFor(path string) (string, bool) {
 
 // Import implements types.Importer: module-internal packages are
 // type-checked from source (without test files), everything else comes
-// from the standard library source importer.
+// from the standard library source importer. The checked unit — syntax
+// and type info included — is cached so the standalone Driver can run
+// fact-exporting analyzers over dependencies without re-checking them.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	dir, ok := l.dirFor(path)
-	if !ok {
+	if !l.Local(path) {
 		return l.std.Import(path)
 	}
-	if pkg, ok := l.pure[path]; ok {
-		return pkg, nil
+	u, err := l.PureUnit(path)
+	if err != nil {
+		return nil, err
+	}
+	return u.Pkg, nil
+}
+
+// Local reports whether path resolves inside this loader's module (or
+// its registered extra fixture paths) rather than to the standard
+// library.
+func (l *Loader) Local(path string) bool {
+	_, ok := l.dirFor(path)
+	return ok
+}
+
+// PureUnit loads and caches the test-free unit for a module-local
+// import path. It returns (nil, nil) for "unsafe" and for paths outside
+// the module: callers that need such packages go through Import, which
+// delegates them to the standard library importer.
+func (l *Loader) PureUnit(path string) (*Unit, error) {
+	if path == "unsafe" {
+		return nil, nil
+	}
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, nil
+	}
+	if u, ok := l.pure[path]; ok {
+		return u, nil
 	}
 	if l.loading[path] {
 		return nil, fmt.Errorf("import cycle through %q", path)
@@ -141,16 +170,21 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no Go files in %s for %q", dir, path)
 	}
-	pkg, err := l.check(path, files, nil)
+	info := newInfo()
+	pkg, err := l.check(path, files, info)
 	if err != nil {
 		return nil, err
 	}
-	l.pure[path] = pkg
-	return pkg, nil
+	u := &Unit{ImportPath: path, Dir: dir, Fset: l.Fset, Files: files, Pkg: pkg, Info: info}
+	l.pure[path] = u
+	return u, nil
 }
 
 // parseDir parses the .go files of dir selected by keep, in name order,
-// with comments.
+// with comments. Files excluded by build constraints — //go:build lines
+// or GOOS/GOARCH filename suffixes — are skipped for the host platform,
+// exactly as the go tool would skip them, so paired files like
+// mmap_linux.go / mmap_other.go don't collide.
 func (l *Loader) parseDir(dir string, keep func(name string) bool) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -158,7 +192,14 @@ func (l *Loader) parseDir(dir string, keep func(name string) bool) ([]*ast.File,
 	}
 	var names []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && keep(e.Name()) {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || !keep(e.Name()) {
+			continue
+		}
+		match, err := build.Default.MatchFile(dir, e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("reading build constraints of %s: %v", filepath.Join(dir, e.Name()), err)
+		}
+		if match {
 			names = append(names, e.Name())
 		}
 	}

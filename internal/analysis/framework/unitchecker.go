@@ -11,6 +11,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 )
 
 // vetConfig mirrors the JSON configuration file the go command hands a
@@ -39,8 +40,13 @@ type vetConfig struct {
 // w in file:line:col form. The returned code is the process exit status
 // the protocol expects: 0 clean, 1 driver failure, 2 findings.
 //
-// satlint keeps no cross-package facts, so the mandatory "vetx" facts
-// output is always an empty file and dependency facts are never read.
+// Cross-package facts ride the same protocol the go command built for
+// them: the fact files of every dependency (cfg.PackageVetx) are decoded
+// into the run's store before analysis, and the store — dependency facts
+// plus this unit's exports — is serialized to cfg.VetxOutput afterwards,
+// so facts accumulate transitively exactly like export data. A VetxOnly
+// unit (a dependency the go command only needs facts from) runs just the
+// fact-declaring analyzers and reports nothing.
 func RunVet(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -53,15 +59,49 @@ func RunVet(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
 		return 1
 	}
 	// The go command requires the facts file to exist even when a unit
-	// fails, so write it before doing anything that can error out.
+	// fails, so write an empty one before doing anything that can error
+	// out; it is rewritten with the real store on success.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 			fmt.Fprintf(w, "satlint: writing facts: %v\n", err)
 			return 1
 		}
 	}
+
+	run := analyzers
 	if cfg.VetxOnly {
-		return 0
+		run = nil
+		for _, a := range analyzers {
+			if len(a.FactTypes) > 0 {
+				run = append(run, a)
+			}
+		}
+		if len(run) == 0 {
+			return 0
+		}
+	}
+
+	facts := NewFactStore()
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for _, vetx := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, vetx)
+	}
+	sort.Strings(vetxPaths)
+	for _, vetx := range vetxPaths {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			// A dependency outside the analyzed pattern may have no fact
+			// file; treat absence as no facts.
+			if os.IsNotExist(err) {
+				continue
+			}
+			fmt.Fprintf(w, "satlint: reading dependency facts %s: %v\n", vetx, err)
+			return 1
+		}
+		if err := DecodeFacts(data, analyzers, facts); err != nil {
+			fmt.Fprintf(w, "satlint: %s: %v\n", vetx, err)
+			return 1
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -114,15 +154,36 @@ func RunVet(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
 		ImportPath: cfg.ImportPath, Dir: cfg.Dir, Fset: fset,
 		Files: files, Pkg: pkg, Info: info,
 	}
-	diags, err := RunAnalyzers(unit, analyzers)
+	diags, err := RunAnalyzers(unit, run, facts)
 	if err != nil {
 		fmt.Fprintf(w, "satlint: %v\n", err)
 		return 1
 	}
-	for _, d := range diags {
-		fmt.Fprintf(w, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+
+	if cfg.VetxOutput != "" {
+		blob, err := facts.Encode()
+		if err != nil {
+			fmt.Fprintf(w, "satlint: encoding facts: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, blob, 0o666); err != nil {
+			fmt.Fprintf(w, "satlint: writing facts: %v\n", err)
+			return 1
+		}
 	}
-	if len(diags) > 0 {
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	bad := 0
+	for _, d := range diags {
+		if d.Ignored {
+			continue
+		}
+		fmt.Fprintf(w, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		bad++
+	}
+	if bad > 0 {
 		return 2
 	}
 	return 0

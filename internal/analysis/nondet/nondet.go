@@ -44,6 +44,15 @@ var globalRand = []string{
 	"Read", "Seed",
 }
 
+// WallClockFuncs returns the package time functions this analyzer bans.
+// The detflow analyzer seeds its taint analysis from the same list, so
+// the two stay in lockstep by construction.
+func WallClockFuncs() []string { return append([]string(nil), wallClock...) }
+
+// GlobalRandFuncs returns the banned package-level math/rand functions,
+// shared with detflow for the same reason as WallClockFuncs.
+func GlobalRandFuncs() []string { return append([]string(nil), globalRand...) }
+
 func run(pass *framework.Pass) error {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {

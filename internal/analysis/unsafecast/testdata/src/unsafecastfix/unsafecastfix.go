@@ -1,0 +1,108 @@
+// Package unsafecastfix exercises the unsafecast analyzer: pointer
+// reinterpretation casts with and without bounds/alignment guards,
+// unsafe.Slice length provenance, and slice escapes.
+package unsafecastfix
+
+import "unsafe"
+
+// endian puns a local scalar: &x of a plain identifier is exempt from
+// both guard requirements.
+func endian() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// unguarded casts indexed memory with no checks at all: both guards
+// are reported.
+func unguarded(b []byte) uint32 {
+	return *(*uint32)(unsafe.Pointer(&b[0])) // want `without a preceding bounds check` `without a preceding alignment check`
+}
+
+// boundsOnly asserts the length but never the alignment.
+func boundsOnly(b []byte) uint32 {
+	_ = b[3]
+	return *(*uint32)(unsafe.Pointer(&b[0])) // want `without a preceding alignment check`
+}
+
+// alignOnly checks alignment but never the bound.
+func alignOnly(b []byte) uint32 {
+	if uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(uint32(0)) != 0 {
+		return 0
+	}
+	return *(*uint32)(unsafe.Pointer(&b[0])) // want `without a preceding bounds check`
+}
+
+// guarded does both checks first: clean.
+func guarded(b []byte) uint32 {
+	if len(b) < 4 {
+		return 0
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(uint32(0)) != 0 {
+		return 0
+	}
+	return *(*uint32)(unsafe.Pointer(&b[0]))
+}
+
+// assertGuarded uses the compile-to-one-check bounds assertion form.
+func assertGuarded(b []byte) uint32 {
+	_ = b[3]
+	if uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(uint32(0)) != 0 {
+		return 0
+	}
+	return *(*uint32)(unsafe.Pointer(&b[0]))
+}
+
+// byteCast targets a single byte: any address is aligned for it, so
+// only the bound is required.
+func byteCast(b []byte) byte {
+	if len(b) == 0 {
+		return 0
+	}
+	return *(*byte)(unsafe.Pointer(&b[0]))
+}
+
+// sliceFromSizes derives the unsafe.Slice length from len and Sizeof:
+// clean. The source pointer indexes nothing, so no bounds guard is
+// demanded for the element cast either.
+func sliceFromSizes(s []uint64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), uintptr(len(s))*unsafe.Sizeof(uint64(0)))
+}
+
+// sliceTrusted takes the element count straight from a parameter — on
+// the real format that is the untrusted section directory.
+func sliceTrusted(p *uint64, n int) []uint64 {
+	return unsafe.Slice(p, n) // want `unsafe\.Slice length is not derived from len/unsafe\.Sizeof`
+}
+
+// sliceChecked validates the count against the backing length first.
+func sliceChecked(b []byte, n int) []uint64 {
+	if n < 0 || uintptr(n) > uintptr(len(b))/unsafe.Sizeof(uint64(0)) {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(unsafe.SliceData(b)))%unsafe.Alignof(uint64(0)) != 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(b))), n)
+}
+
+// leaked holds a cast slice beyond any mapping's lifetime.
+var leaked []byte
+
+func escape(p *uint64) {
+	leaked = unsafe.Slice((*byte)(unsafe.Pointer(p)), int(unsafe.Sizeof(uint64(0)))) // want `stored in package-level leaked outlives the mapping`
+}
+
+// scoped keeps the cast slice local: no escape.
+func scoped(arr *[4]uint64) uint64 {
+	s := unsafe.Slice(&arr[0], len(arr))
+	return s[0]
+}
+
+// ignored shows the directive contract applies here too.
+func ignoredCast(b []byte) uint32 {
+	//satlint:ignore unsafecast caller guarantees a 4-byte aligned prefix
+	return *(*uint32)(unsafe.Pointer(&b[0]))
+}

@@ -1,0 +1,346 @@
+// Package unsafecast defines a satlint analyzer for the unsafe
+// reinterpretation casts the imagestore mmap format depends on. Every
+// in-place cast over mapped bytes is a latent fault or silent-corruption
+// site unless the code first proves two things about the memory it is
+// about to reinterpret: the region is long enough (a bounds check) and
+// the base address satisfies the target type's alignment (an alignment
+// check). The on-disk directory is untrusted input, so neither property
+// may be assumed. The analyzer also flags unsafe-cast slices escaping
+// into package-level storage, where they can outlive the mapping that
+// backs them.
+package unsafecast
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer flags unguarded unsafe.Pointer/unsafe.Slice reinterpretation.
+var Analyzer = &framework.Analyzer{
+	Name: "unsafecast",
+	Doc: `require bounds and alignment checks before unsafe reinterpretation casts
+
+A pointer-type conversion of an unsafe.Pointer — the in-place cast
+pattern the imagestore format uses over mmap'd bytes — must be preceded,
+in the same function, by (a) a bounds check (an if condition using len()
+or %, or a "_ = b[k]" bounds assertion) whenever the pointed-at address
+is derived from indexing, and (b) an alignment check (an if condition
+using unsafe.Alignof) unless the target element is a single byte. An
+unsafe.Slice length must mention len, unsafe.Sizeof, or unsafe.Offsetof,
+or follow a bounds check. Taking the address of a plain local
+("&x") is exempt: the compiler guarantees its size and alignment.
+Assigning an unsafe.Slice result to a package-level variable is flagged
+unconditionally — a package-level slice outlives the mapping backing it.`,
+	Run: run,
+}
+
+// guards records, per function body, the source positions of the bounds
+// and alignment checks seen so far; a cast site is satisfied by any
+// guard positioned before it in the same function.
+type guards struct {
+	bounds []token.Pos
+	align  []token.Pos
+}
+
+func (g *guards) boundsBefore(pos token.Pos) bool { return anyBefore(g.bounds, pos) }
+func (g *guards) alignBefore(pos token.Pos) bool  { return anyBefore(g.align, pos) }
+
+func anyBefore(ps []token.Pos, pos token.Pos) bool {
+	for _, p := range ps {
+		if p < pos {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	checkEscapes(pass)
+	return nil
+}
+
+// checkFunc collects the function's guard positions, then audits its
+// cast sites against them.
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	g := collectGuards(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isUnsafeSliceCall(pass, call) {
+			checkSliceLen(pass, g, call)
+			return true
+		}
+		checkPointerCast(pass, g, call)
+		return true
+	})
+}
+
+// collectGuards walks body recording every bounds check (if-condition
+// mentioning len() or the % operator, or a `_ = b[k]` assertion
+// statement) and every alignment check (if-condition mentioning
+// unsafe.Alignof).
+func collectGuards(pass *framework.Pass, body *ast.BlockStmt) *guards {
+	g := &guards{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if mentionsBound(pass, n.Cond) {
+				g.bounds = append(g.bounds, n.Pos())
+			}
+			if mentionsAlignof(pass, n.Cond) {
+				g.align = append(g.align, n.Pos())
+			}
+		case *ast.AssignStmt:
+			// The idiomatic compile-to-one-check bounds assertion:
+			//	_ = b[3]
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					if _, ok := ast.Unparen(n.Rhs[0]).(*ast.IndexExpr); ok {
+						g.bounds = append(g.bounds, n.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+	return g
+}
+
+// mentionsBound reports whether cond contains a len(...) call or a %
+// remainder — the two shapes every length/divisibility check here
+// takes. A remainder whose subtree mentions unsafe.Alignof is an
+// alignment check, not a bounds check, and does not count.
+func mentionsBound(pass *framework.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "len") {
+				found = true
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.REM && !mentionsAlignof(pass, n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsAlignof reports whether cond contains an unsafe.Alignof call.
+func mentionsAlignof(pass *framework.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isUnsafeFunc(pass, call.Fun, "Alignof") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkPointerCast audits `(*T)(p)` where p has type unsafe.Pointer.
+func checkPointerCast(pass *framework.Pass, g *guards, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	ptr, ok := tv.Type.Underlying().(*types.Pointer)
+	if !ok {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	if !isUnsafePointerExpr(pass, arg) {
+		return
+	}
+	if addrOfPlainLocal(arg) {
+		return // &x of a plain identifier: size and alignment are the compiler's problem
+	}
+	if exprIndexes(arg) && !g.boundsBefore(call.Pos()) {
+		pass.Reportf(call.Pos(),
+			"unsafe cast to %s from indexed memory without a preceding bounds check (guard with len() or a `_ = b[k]` assertion first)",
+			types.TypeString(ptr, types.RelativeTo(pass.Pkg)))
+	}
+	if !byteSized(ptr.Elem()) && !g.alignBefore(call.Pos()) {
+		pass.Reportf(call.Pos(),
+			"unsafe cast to %s without a preceding alignment check (guard the base address with unsafe.Alignof first)",
+			types.TypeString(ptr, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// checkSliceLen audits the length argument of unsafe.Slice(ptr, n).
+func checkSliceLen(pass *framework.Pass, g *guards, call *ast.CallExpr) {
+	if len(call.Args) != 2 {
+		return
+	}
+	if lenFromSize(pass, call.Args[1]) || g.boundsBefore(call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"unsafe.Slice length is not derived from len/unsafe.Sizeof and no bounds check precedes it (an oversized length turns every element access into a fault)")
+}
+
+// lenFromSize reports whether the length expression mentions len(),
+// unsafe.Sizeof, or unsafe.Offsetof — lengths computed from real
+// measured sizes rather than trusted input.
+func lenFromSize(pass *framework.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBuiltin(pass, call.Fun, "len") ||
+			isUnsafeFunc(pass, call.Fun, "Sizeof") ||
+			isUnsafeFunc(pass, call.Fun, "Offsetof") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkEscapes flags unsafe.Slice results assigned to package-level
+// variables in non-test files.
+func checkEscapes(pass *framework.Pass) {
+	framework.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		if pass.IsTestFile(n.Pos()) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) && isUnsafeSliceExpr(pass, rhs) {
+					reportEscape(pass, n.Pos(), n.Lhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range n.Values {
+				if i < len(n.Names) && isUnsafeSliceExpr(pass, rhs) {
+					reportEscape(pass, n.Pos(), n.Names[i])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isUnsafeSliceExpr reports whether e is an unsafe.Slice call.
+func isUnsafeSliceExpr(pass *framework.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && isUnsafeSliceCall(pass, call)
+}
+
+// reportEscape flags lhs when it names a package-level variable.
+func reportEscape(pass *framework.Pass, pos token.Pos, lhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj != nil && obj.Parent() == pass.Pkg.Scope() {
+		pass.Reportf(pos,
+			"unsafe.Slice result stored in package-level %s outlives the mapping that backs it; keep cast slices scoped to the mapped image's lifetime",
+			id.Name)
+	}
+}
+
+// --- expression classification helpers ---
+
+// isUnsafePointerExpr reports whether e's static type is unsafe.Pointer.
+func isUnsafePointerExpr(pass *framework.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UnsafePointer
+}
+
+// addrOfPlainLocal reports whether e is (possibly an unsafe.Pointer
+// conversion of) `&x` with x a plain identifier.
+func addrOfPlainLocal(e ast.Expr) bool {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && len(call.Args) == 1 {
+		e = ast.Unparen(call.Args[0])
+	}
+	un, ok := e.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return false
+	}
+	_, ok = ast.Unparen(un.X).(*ast.Ident)
+	return ok
+}
+
+// exprIndexes reports whether e contains an index or slice expression —
+// the address being cast was derived from positioned memory, so its
+// validity depends on a bound.
+func exprIndexes(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.IndexExpr, *ast.SliceExpr:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// byteSized reports whether the cast target element occupies one byte,
+// making any address trivially aligned for it.
+func byteSized(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Bool, types.Int8, types.Uint8:
+		return true
+	}
+	return false
+}
+
+// isBuiltin reports whether fun names the given builtin.
+func isBuiltin(pass *framework.Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isUnsafeFunc reports whether fun is unsafe.<name>, resolving the
+// package through the import (alias-proof).
+func isUnsafeFunc(pass *framework.Pass, fun ast.Expr, name string) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "unsafe"
+}
+
+// isUnsafeSliceCall reports whether call is unsafe.Slice(...).
+func isUnsafeSliceCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	return isUnsafeFunc(pass, call.Fun, "Slice")
+}

@@ -1,0 +1,12 @@
+package unsafecast_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/unsafecast"
+)
+
+func TestUnsafecast(t *testing.T) {
+	analysistest.Run(t, unsafecast.Analyzer, "unsafecastfix")
+}

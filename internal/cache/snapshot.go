@@ -11,6 +11,8 @@ package cache
 import "fmt"
 
 // MRUSnapshot is the serializable form of one set's MRU register.
+//
+//satlint:frozen stored MRU arrays are cast in place over the mapped image file
 type MRUSnapshot struct {
 	Tag, Tag2 uint32
 	Way, Way2 int32

@@ -37,6 +37,8 @@ import (
 // Image is an immutable snapshot of a booted machine. Create with
 // Capture; mint runnable machines with Fork. The image's own machine is
 // never exposed to callers, so nothing can mutate it.
+//
+//satlint:frozen captured boot state is shared copy-on-write by every fork
 type Image struct {
 	proto *android.System
 }

@@ -80,8 +80,14 @@ func hostIsLittleEndian() bool {
 
 // hostPutUint32 stores v in the platform's native byte order — how the
 // endianness tag is written, so a cross-endian reader sees it reversed.
+// Callers pass offsets into a heap-allocated header buffer; the
+// alignment guard turns a miscomputed offset into a loud panic instead
+// of a silently-working-on-x86, faulting-on-arm store.
 func hostPutUint32(b []byte, v uint32) {
 	_ = b[3]
+	if uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(v) != 0 {
+		panic("imagestore: unaligned native uint32 store")
+	}
 	*(*uint32)(unsafe.Pointer(&b[0])) = v
 }
 
@@ -149,7 +155,13 @@ func parseHeader(data []byte) (dir [numSections]sectionRange, err error) {
 		return dir, fmt.Errorf("imagestore: format version %d, want %d", v, FormatVersion)
 	}
 	// The tag was written natively; reading it with the host's order must
-	// give it back, so a cross-endian file mismatches.
+	// give it back, so a cross-endian file mismatches. The mapping base
+	// is page-aligned in practice, but data may also be a plain read
+	// fallback buffer, so prove the 4-byte alignment before the native
+	// read rather than assume it.
+	if uintptr(unsafe.Pointer(&data[12]))%unsafe.Alignof(endianTag) != 0 {
+		return dir, fmt.Errorf("imagestore: header base misaligned for native tag read")
+	}
 	if tag := *(*uint32)(unsafe.Pointer(&data[12])); tag != endianTag {
 		return dir, fmt.Errorf("imagestore: endianness tag %#x, want %#x", tag, endianTag)
 	}

@@ -12,6 +12,8 @@ import (
 // is invalid), so simulated-kernel PTP sharing — two slots of two
 // address spaces naming the same table — survives a round trip exactly
 // like CloneShared's identity map preserves it across a fork.
+//
+//satlint:frozen stored slot arrays are cast in place over the mapped image file
 type SlotSnapshot struct {
 	Table    int32
 	Domain   uint8
