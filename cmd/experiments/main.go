@@ -8,7 +8,7 @@
 //	experiments [-quick] [-arch armv7|sv39] [-parallel N] [-launch-runs N]
 //	            [-app-runs N] [-binder-iters N] [-only LIST] [-list] [-json]
 //	            [-nocheckpoint] [-imagestore DIR] [-cpuprofile FILE]
-//	            [-memprofile FILE]
+//	            [-memprofile FILE] [-blockprofile FILE] [-mutexprofile FILE]
 //
 // -only selects a comma-separated subset, e.g. -only table4,figure7; an
 // unknown name is an error. -arch selects the simulated MMU architecture
@@ -26,8 +26,8 @@
 // re-simulating the boot prefix; -imagestore "" disables persistence.
 // Stored images are fingerprint-verified on load, so results are
 // byte-identical across cold-store, warm-store and -nocheckpoint runs.
-// -cpuprofile and -memprofile write pprof captures of the run (see
-// README "Profiling").
+// -cpuprofile, -memprofile, -blockprofile and -mutexprofile write pprof
+// captures of the run (see README "Profiling").
 package main
 
 import (
@@ -67,6 +67,8 @@ func run(argv []string, out *os.File) (err error) {
 	storeDir := fs.String("imagestore", imagestore.DefaultDir(), "persist checkpoint images in this directory so later runs warm-start; empty disables the store (output is byte-identical either way)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile after the run to this file")
+	blockProfile := fs.String("blockprofile", "", "write a pprof blocking profile of the run to this file")
+	mutexProfile := fs.String("mutexprofile", "", "write a pprof mutex-contention profile of the run to this file")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -135,7 +137,7 @@ func run(argv []string, out *os.File) (err error) {
 		}
 	}
 
-	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	stopProf, err := prof.Start(prof.Options{CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile})
 	if err != nil {
 		return err
 	}

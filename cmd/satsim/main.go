@@ -10,6 +10,7 @@
 //	       [-arch armv7|sv39] [-app NAME|all] [-runs N] [-parallel N]
 //	       [-json] [-list] [-nocheckpoint] [-imagestore DIR]
 //	       [-cpuprofile FILE] [-memprofile FILE]
+//	       [-blockprofile FILE] [-mutexprofile FILE]
 //
 // -arch selects the simulated MMU architecture by registry name (default
 // armv7); an unknown name is an error listing the registered
@@ -35,8 +36,8 @@
 // in the booted machine (kernel, per-CPU TLBs and L1 caches, shared L2).
 // Like the text output it is byte-identical for every -parallel setting.
 //
-// -cpuprofile and -memprofile write pprof captures of the scenario (see
-// README "Profiling").
+// -cpuprofile, -memprofile, -blockprofile and -mutexprofile write pprof
+// captures of the scenario (see README "Profiling").
 package main
 
 import (
@@ -75,6 +76,8 @@ func main() {
 	list := flag.Bool("list", false, "list the application suite and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the scenario to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the scenario to this file")
+	blockProfile := flag.String("blockprofile", "", "write a pprof blocking profile of the scenario to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile of the scenario to this file")
 	flag.Parse()
 
 	if *list {
@@ -85,7 +88,7 @@ func main() {
 		return
 	}
 	err := runProfiled(os.Stdout, *kernel, *layout, *archName, *app, *runs, *parallel, *jsonOut, *noCheckpoint,
-		*storeDir, *cpuProfile, *memProfile)
+		*storeDir, prof.Options{CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "satsim:", err)
 		os.Exit(1)
@@ -96,11 +99,11 @@ func main() {
 // first, so a bad flag never leaves behind a truncated profile of
 // nothing; once profiling starts, teardown is deferred, so the capture
 // is written on every return path — early errors included.
-func runProfiled(w io.Writer, kernelName, layoutName, archName, appName string, runs, parallel int, jsonOut, noCheckpoint bool, storeDir, cpuProfile, memProfile string) (err error) {
+func runProfiled(w io.Writer, kernelName, layoutName, archName, appName string, runs, parallel int, jsonOut, noCheckpoint bool, storeDir string, po prof.Options) (err error) {
 	if err := validate(kernelName, layoutName, archName, appName, runs, parallel); err != nil {
 		return err
 	}
-	stopProf, err := prof.Start(cpuProfile, memProfile)
+	stopProf, err := prof.Start(po)
 	if err != nil {
 		return err
 	}

@@ -125,7 +125,10 @@ func (sys *System) LaunchApp(profile *workload.Profile, runSeed int64) (*App, La
 			app.launchPages = append(app.launchPages, sys.CodePageVA(pg))
 		}
 
-		// Map and touch the application-specific launch files.
+		// Map and touch the application-specific launch files. Each
+		// mapping's touches are one strided fetch run, issued before the
+		// next file is mapped, exactly as the per-reference loop did.
+		pageStride := arch.VirtAddr(arch.PageSize)
 		touched := 0
 		for i := 0; i < launchMapVMAs; i++ {
 			vma, err := app.mapFile(fmt.Sprintf("%s/launch%d", profile.Spec.Name, i),
@@ -133,42 +136,33 @@ func (sys *System) LaunchApp(profile *workload.Profile, runSeed int64) (*App, La
 			if err != nil {
 				return err
 			}
-			for pg := 0; pg < launchMapPages && touched < launchPrivateTouches; pg += 3 {
-				va := vma.Start + arch.VirtAddr(pg*arch.PageSize)
-				if err := k.CPU.FetchBlock(va, 16); err != nil {
-					return err
-				}
-				touched++
+			cnt := (launchMapPages + 2) / 3
+			if rest := launchPrivateTouches - touched; cnt > rest {
+				cnt = rest
 			}
-		}
-
-		// Framework initialization writes.
-		for pg := 0; pg < launchHeapWrites; pg++ {
-			if err := k.CPU.Write(heapBase + arch.VirtAddr(pg*arch.PageSize)); err != nil {
+			touch := [1]arch.RefRun{{VA: vma.Start, Stride: 3 * pageStride, Count: cnt, Kind: arch.AccessFetch, Block: 16}}
+			if err := k.CPU.AccessBatch(touch[:]); err != nil {
 				return err
 			}
+			touched += cnt
 		}
+
+		// Framework initialization writes: heap, library data segments,
+		// boot-image data, and the stack (top-down), as one stream.
+		var rs arch.RefStream
+		rs.AddRun(arch.RefRun{VA: heapBase, Stride: pageStride, Count: launchHeapWrites, Kind: arch.AccessWrite})
 		libs := profile.UsedLibs
 		for i := 0; i < launchDataWriteLibs && i < len(libs); i++ {
 			n := launchDataWritePgs
 			if d := sys.Universe.Libs[libs[i]].DataPages; n > d {
 				n = d
 			}
-			for pg := 0; pg < n; pg++ {
-				if err := k.CPU.Write(sys.LibDataVA(libs[i], pg)); err != nil {
-					return err
-				}
-			}
+			rs.AddRun(arch.RefRun{VA: sys.LibDataVA(libs[i], 0), Stride: pageStride, Count: n, Kind: arch.AccessWrite})
 		}
-		for pg := 0; pg < launchJavaDataPgs; pg++ {
-			if err := k.CPU.Write(sys.javaData + arch.VirtAddr(pg*arch.PageSize)); err != nil {
-				return err
-			}
-		}
-		for i := 0; i < launchStackWrites; i++ {
-			if err := k.CPU.Write(sys.StackTouchVA(i)); err != nil {
-				return err
-			}
+		rs.AddRun(arch.RefRun{VA: sys.javaData, Stride: pageStride, Count: launchJavaDataPgs, Kind: arch.AccessWrite})
+		rs.AddRun(arch.RefRun{VA: sys.StackTouchVA(0), Stride: -pageStride, Count: launchStackWrites, Kind: arch.AccessWrite})
+		if err := k.CPU.AccessBatch(rs.Runs()); err != nil {
+			return err
 		}
 
 		// The compute-dominated remainder of the launch: a hot loop over
@@ -327,50 +321,55 @@ func (a *App) Run() (RunStats, error) {
 
 	err := k.Run(a.Proc, func() error {
 		// Coverage pass: execute every instruction page of the footprint.
-		for i, va := range preloaded {
-			if err := k.CPU.FetchBlock(va, runVisitLen); err != nil {
-				return err
-			}
-			pages[preloadedCat[i]]++
-			fetches[preloadedCat[i]]++
+		// The page visits are one reference stream — the library and
+		// private-code regions coalesce into long page-stride runs — and
+		// the per-category bookkeeping, which touches no simulated state,
+		// follows it.
+		var rs arch.RefStream
+		for _, va := range preloaded {
+			rs.Add(va, arch.AccessFetch, runVisitLen)
 		}
 		for _, va := range a.otherLibPages {
-			if err := k.CPU.FetchBlock(va, runVisitLen); err != nil {
-				return err
-			}
-			pages[vm.CatOtherDynLib]++
-			fetches[vm.CatOtherDynLib]++
+			rs.Add(va, arch.AccessFetch, runVisitLen)
 		}
 		for _, va := range a.privatePages {
-			if err := k.CPU.FetchBlock(va, runVisitLen); err != nil {
-				return err
-			}
-			pages[vm.CatPrivateCode]++
-			fetches[vm.CatPrivateCode]++
+			rs.Add(va, arch.AccessFetch, runVisitLen)
 		}
-		// Data working set: app files read, anon memory written, library
-		// globals updated.
+		if err := k.CPU.AccessBatch(rs.Runs()); err != nil {
+			return err
+		}
+		for _, cat := range preloadedCat {
+			pages[cat]++
+			fetches[cat]++
+		}
+		pages[vm.CatOtherDynLib] += len(a.otherLibPages)
+		fetches[vm.CatOtherDynLib] += uint64(len(a.otherLibPages))
+		pages[vm.CatPrivateCode] += len(a.privatePages)
+		fetches[vm.CatPrivateCode] += uint64(len(a.privatePages))
+		// Data working set: app files read, anon memory written (heap
+		// sweeps that wrap the 16MB region), library globals updated.
+		rs.Reset()
+		pageStride := arch.VirtAddr(arch.PageSize)
 		for _, va := range a.appFilePages {
-			if err := k.CPU.Read(va); err != nil {
-				return err
-			}
+			rs.Add(va, arch.AccessRead, 0)
 		}
-		anon := a.Profile.Spec.AnonPages
-		for pg := 0; pg < anon; pg++ {
-			if err := k.CPU.Write(heapBase + arch.VirtAddr((pg%heapPages)*arch.PageSize)); err != nil {
-				return err
+		for anon := a.Profile.Spec.AnonPages; anon > 0; {
+			cnt := anon
+			if cnt > heapPages {
+				cnt = heapPages
 			}
+			rs.AddRun(arch.RefRun{VA: heapBase, Stride: pageStride, Count: cnt, Kind: arch.AccessWrite})
+			anon -= cnt
 		}
 		for _, li := range p.DataWriteLibs {
 			n := sys.Universe.Libs[li].DataPages
 			if n > 3 {
 				n = 3
 			}
-			for pg := 0; pg < n; pg++ {
-				if err := k.CPU.Write(sys.LibDataVA(li, pg)); err != nil {
-					return err
-				}
-			}
+			rs.AddRun(arch.RefRun{VA: sys.LibDataVA(li, 0), Stride: pageStride, Count: n, Kind: arch.AccessWrite})
+		}
+		if err := k.CPU.AccessBatch(rs.Runs()); err != nil {
+			return err
 		}
 
 		// Steady-state fetch loop: pick the category per Figure 3's

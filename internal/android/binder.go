@@ -85,17 +85,12 @@ func (sys *System) RunBinder(iterations int, useASID bool) (BinderResult, error)
 	// measured loop sees steady-state TLB behavior, not cold faults.
 	warm := func(p *core.Process, priv []arch.VirtAddr) error {
 		return k.Run(p, func() error {
-			for _, va := range shared {
-				if err := k.CPU.FetchBlock(va, binderVisitLen); err != nil {
-					return err
-				}
-			}
-			for _, va := range priv {
-				if err := k.CPU.FetchBlock(va, binderVisitLen); err != nil {
-					return err
-				}
-			}
-			return nil
+			// Both regions are contiguous page runs; the whole warm-up is
+			// a two-run reference stream.
+			return k.CPU.AccessBatch([]arch.RefRun{
+				{VA: shared[0], Stride: arch.VirtAddr(arch.PageSize), Count: len(shared), Kind: arch.AccessFetch, Block: binderVisitLen},
+				{VA: priv[0], Stride: arch.VirtAddr(arch.PageSize), Count: len(priv), Kind: arch.AccessFetch, Block: binderVisitLen},
+			})
 		})
 	}
 	if err := warm(server, serverPriv); err != nil {

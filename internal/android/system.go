@@ -300,49 +300,29 @@ func (sys *System) StackTouchVA(i int) arch.VirtAddr {
 func (sys *System) runZygoteInit() error {
 	k, z, u := sys.Kernel, sys.Zygote, sys.Universe
 	return k.Run(z, func() error {
-		// Execute the boot-time hot code.
+		// The whole initialization is one reference stream: the boot-time
+		// hot code page visits, then the constant-stride write sweeps.
+		var rs arch.RefStream
 		for _, pg := range u.ZygoteSet() {
-			if err := k.CPU.FetchBlock(sys.CodePageVA(pg), 16); err != nil {
-				return err
-			}
+			rs.Add(sys.CodePageVA(pg), arch.AccessFetch, 16)
 		}
 		// Library initializers write the leading part of each data
 		// segment (GOT relocation, static constructors).
+		pageStride := arch.VirtAddr(arch.PageSize)
 		for li, lib := range u.Libs {
 			n := int(float64(lib.DataPages)*libDataInitFrac + 0.5)
 			if n < 1 {
 				n = 1
 			}
-			for pg := 0; pg < n; pg++ {
-				if err := k.CPU.Write(sys.LibDataVA(li, pg)); err != nil {
-					return err
-				}
-			}
+			rs.AddRun(arch.RefRun{VA: sys.LibDataVA(li, 0), Stride: pageStride, Count: n, Kind: arch.AccessWrite})
 		}
-		// Boot-image data (class tables, dex caches).
-		for pg := 0; pg < zygoteJavaData; pg++ {
-			if err := k.CPU.Write(sys.javaData + arch.VirtAddr(pg*arch.PageSize)); err != nil {
-				return err
-			}
-		}
-		// Heap and arenas.
-		for pg := 0; pg < zygoteHeapTouched; pg++ {
-			if err := k.CPU.Write(heapBase + arch.VirtAddr(pg*arch.PageSize)); err != nil {
-				return err
-			}
-		}
-		for pg := 0; pg < zygoteArenaTouched; pg++ {
-			if err := k.CPU.Write(arenaBase + arch.VirtAddr(pg*arch.PageSize)); err != nil {
-				return err
-			}
-		}
-		// Stack.
-		for i := 0; i < zygoteStackTouched; i++ {
-			if err := k.CPU.Write(sys.StackTouchVA(i)); err != nil {
-				return err
-			}
-		}
-		return nil
+		// Boot-image data (class tables, dex caches), heap, arenas, and
+		// the stack (touched top-down, a descending run).
+		rs.AddRun(arch.RefRun{VA: sys.javaData, Stride: pageStride, Count: zygoteJavaData, Kind: arch.AccessWrite})
+		rs.AddRun(arch.RefRun{VA: heapBase, Stride: pageStride, Count: zygoteHeapTouched, Kind: arch.AccessWrite})
+		rs.AddRun(arch.RefRun{VA: arenaBase, Stride: pageStride, Count: zygoteArenaTouched, Kind: arch.AccessWrite})
+		rs.AddRun(arch.RefRun{VA: sys.StackTouchVA(0), Stride: -pageStride, Count: zygoteStackTouched, Kind: arch.AccessWrite})
+		return k.CPU.AccessBatch(rs.Runs())
 	})
 }
 

@@ -63,6 +63,26 @@ type mruReg struct {
 	way2 int32
 }
 
+// Adaptive MRU promotion. A cycle over three or more tags in one set
+// defeats both register slots, and every access then pays a pointless
+// 16-byte rotate on top of the scan; after mruSkipThreshold consecutive
+// register misses the register is invalidated and probe hits stop
+// rotating into it. Deadness must not be permanent, though: a set whose
+// reference pattern turns register-friendly again (the two-tag
+// alternation of resident kernel text, most importantly) would otherwise
+// scan forever, since only a fill — which resident lines never cause —
+// also revives the register. So a dead register retries promotion every
+// mruRetryPeriod probe hits; one retried rotate re-enters the steady
+// register-hit path within a couple of visits when the pattern fits,
+// and costs one rotate per period when it does not. Register hits and
+// fills reset the streak. The register and the streak counter are pure
+// acceleration state — recency, victims, and counters never depend on
+// them — so none of this changes any observable behaviour.
+const (
+	mruSkipThreshold = 8
+	mruRetryPeriod   = 8
+)
+
 // Cache is one level of a physically indexed, physically tagged cache
 // with LRU replacement within each set.
 //
@@ -115,6 +135,23 @@ type Cache struct {
 	// MRU way's row is already full — so the word is only touched when
 	// recency actually changes.
 	age []uint64
+	// skip counts each set's consecutive MRU-register misses, saturating
+	// at mruSkipThreshold, where the register goes dead (see the const).
+	// Not serialized: like the register contents it is transparent
+	// acceleration state, and a restored machine starting from a zero
+	// streak is behaviour-identical to the captured one.
+	skip []uint8
+	// dirty is the fused-run memo bitmap: while runN != 0, a clear bit si
+	// asserts that set si is at the fixed point of the run described by
+	// (runTag0, runN) — re-running its lines would mutate nothing (see
+	// accessRunFused). Every mutation of per-set state funnels through
+	// probe or hit2 (a first-slot register hit touches nothing), each of
+	// which sets the bit; the fused engine re-verifies dirty sets and
+	// clears the bits that check out. Like skip, this is transparent
+	// acceleration state and is not serialized.
+	dirty   []uint64
+	runTag0 uint32
+	runN    uint32
 	// colsAll masks the valid columns (low assoc bits) of every byte of
 	// an age word, so the victim search compares ways only against the
 	// ways that exist.
@@ -164,6 +201,8 @@ func New(cfg Config, next *Cache, memLatency int) *Cache {
 		assoc:      cfg.Assoc,
 		mru:        mru,
 		age:        make([]uint64, nSets),
+		skip:       make([]uint8, nSets),
+		dirty:      make([]uint64, (nSets+63)/64),
 		colsAll:    (uint64(1)<<uint(cfg.Assoc) - 1) * colOnes,
 		hitLat:     cfg.HitLatency,
 		setShift:   uint(bits.TrailingZeros(uint(cfg.LineSize))),
@@ -222,20 +261,51 @@ func (c *Cache) Access(pa arch.PhysAddr) int {
 }
 
 // probe scans the ways of set si after both register slots have missed:
-// a hit touches the way's age row and rotates the register, a miss
-// falls through to fill. Callers have already counted the access.
+// a hit touches the way's age row and — while the set's register-miss
+// streak is below mruSkipThreshold — rotates the register, a miss falls
+// through to fill. Callers have already counted the access.
 func (c *Cache) probe(pa arch.PhysAddr, tag, si uint32, m *mruReg) int {
+	// Invalidate the fused-run memo for this set. While runN == 0 no memo
+	// exists to protect — the first AccessRun rebuilds the bitmap all-dirty
+	// — so pure-scalar paths skip the bookkeeping entirely.
+	if c.runN != 0 {
+		c.dirty[si>>6] |= 1 << (si & 63)
+	}
 	base := int(si) * c.assoc
 	set := c.tags[base : base+c.assoc]
 	for i, tg := range set {
 		if tg == tag {
 			c.touch(si, uint(i))
 			c.stats.Hits++
-			*m = mruReg{tag: tag, way: int32(i), tag2: m.tag, way2: m.way}
+			c.promote(si, tag, int32(i), m)
 			return c.hitLat
 		}
 	}
 	return c.fill(pa, tag, si, base, set, m)
+}
+
+// promote applies the adaptive MRU-promotion policy to a probe hit:
+// rotate the hit into the register while the set's consecutive
+// register-miss streak is short, invalidate the register when the streak
+// reaches mruSkipThreshold (an access cycle wider than two tags is
+// defeating both slots), skip the rotate while dead, and retry promotion
+// every mruRetryPeriod hits so a pattern that turns register-friendly
+// again recovers the fast paths.
+func (c *Cache) promote(si, tag uint32, way int32, m *mruReg) {
+	s := &c.skip[si]
+	switch {
+	case *s < mruSkipThreshold-1: // live: rotate, lengthen the streak
+		*s++
+		*m = mruReg{tag: tag, way: way, tag2: m.tag, way2: m.way}
+	case *s == mruSkipThreshold-1: // streak reached the threshold: go dead
+		*s++
+		m.tag, m.tag2 = tagInvalid, tagInvalid
+	case *s < mruSkipThreshold+mruRetryPeriod-1: // dead: skip the rotate
+		*s++
+	default: // retry promotion with this hit
+		*s = 0
+		*m = mruReg{tag: tag, way: way, tag2: m.tag, way2: m.way}
+	}
 }
 
 // touch records a use of way w in set si's age matrix: way w becomes
@@ -253,9 +323,15 @@ func (c *Cache) touch(si uint32, w uint) {
 // AccessRun's per-line loop, which matters because two-tag alternation
 // is the dominant pattern of sequential fetch over loops of code.
 func (c *Cache) hit2(tag, si uint32, m *mruReg) int {
+	if c.runN != 0 { // see probe: no memo to protect before the first run
+		c.dirty[si>>6] |= 1 << (si & 63)
+	}
 	c.touch(si, uint(m.way2))
 	c.stats.Hits++
 	*m = mruReg{tag: tag, way: m.way2, tag2: m.tag, way2: m.way}
+	if c.skip[si] != 0 {
+		c.skip[si] = 0
+	}
 	return c.hitLat
 }
 
@@ -296,6 +372,9 @@ func (c *Cache) fill(pa arch.PhysAddr, tag, si uint32, base int, set []uint32, m
 	}
 	set[victim] = tag
 	c.touch(si, uint(victim))
+	// A fill always revives the register — the just-installed line is the
+	// best possible first slot — and resets the adaptive miss streak.
+	c.skip[si] = 0
 	*m = mruReg{tag: tag, way: int32(victim), tag2: m.tag, way2: m.way}
 	// The eviction may have displaced the tag now sitting in the second
 	// MRU slot (the old MRU itself when assoc is 1); drop it so the
@@ -316,7 +395,29 @@ func (c *Cache) fill(pa arch.PhysAddr, tag, si uint32, base int, set []uint32, m
 // simulator's sequential-fetch loops (straight-line blocks, kernel fault
 // paths), where it keeps the per-line work inside one frame instead of
 // re-entering Access per line.
+//
+// Long wrapping runs go through accessRunFused, which proves whole sets
+// are already in their post-run state and skips them without a single
+// store (see its comment); the in-order row loop handles short runs and
+// remains the reference — and the fallback — whenever the fused engine's
+// set-by-set order could be observed (accessRunReorderSafe).
 func (c *Cache) AccessRun(pa arch.PhysAddr, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	// The fused engine's per-set fast path needs sets to see two lines of
+	// the run — it only pays off when the run wraps the set index space.
+	// Short runs — the overwhelmingly common straight-line block of a few
+	// lines — run the plain row loop.
+	if n > int(c.setMask)+1 && c.accessRunReorderSafe(n) {
+		return c.accessRunFused(pa, n)
+	}
+	return c.accessRunScalar(pa, n)
+}
+
+// accessRunScalar is the in-order reference loop: one register probe per
+// line, counters on the shared struct, events in stream order.
+func (c *Cache) accessRunScalar(pa arch.PhysAddr, n int) int {
 	tag := uint32(pa) >> c.setShift
 	lineSize := arch.PhysAddr(1) << c.setShift
 	stall := 0
@@ -339,6 +440,162 @@ func (c *Cache) AccessRun(pa arch.PhysAddr, n int) int {
 		}
 		tag++
 		pa += lineSize
+	}
+	return stall
+}
+
+// accessRunReorderSafe reports whether a run of n consecutive lines may
+// be processed set-by-set instead of in stream order. Within one set the
+// fused loop preserves stream order, so the only reordering is across
+// sets, and that is unobservable exactly when (a) no subscriber wants
+// fill or evict events at this or the next level (event order is the one
+// externally visible sequence), and (b) the n lines land in n distinct
+// sets of the next level, so no cross-set pair ever meets in a
+// lower-level set (consecutive lines guarantee this while n does not
+// exceed the next level's set count and line sizes match). Misses past
+// the next level are a flat memory latency with no state at all.
+func (c *Cache) accessRunReorderSafe(n int) bool {
+	if c.bus.Wants(obs.EvCacheFill) || c.bus.Wants(obs.EvCacheEvict) {
+		return false
+	}
+	nx := c.next
+	if nx == nil {
+		return true
+	}
+	if nx.setShift != c.setShift || nx.next != nil || n > int(nx.setMask)+1 {
+		return false
+	}
+	return !nx.bus.Wants(obs.EvCacheFill) && !nx.bus.Wants(obs.EvCacheEvict)
+}
+
+// accessRunFused executes a wrapping run set-by-set with a zero-store
+// fast path for sets that are already in their post-run state.
+//
+// The engine exploits a fixed-point property of the run's effect on one
+// set. A set receiving lines A then B (k = 2) that both hit through the
+// MRU register ends with register {B, A}, its adaptive streak at zero,
+// and its age word equal to touch(touch(age, wayA), wayB). The touch
+// sequence is idempotent — a second application passes the untouched
+// rows through unchanged and rewrites rows/columns A and B to the same
+// values — so if the set is ALREADY in exactly that end state, re-running
+// its lines changes nothing: A hits the second register slot, B hits the
+// second slot again, both reset an already-zero streak, the age word
+// maps to itself, and the register returns to {B, A}. The register
+// residency invariant (a valid register tag is resident at its recorded
+// way) guarantees both lines still hit, so the set's whole contribution
+// reduces to counters: k accesses, k hits, k*(hitLat-1) stall cycles.
+//
+// The fixed-point check is cheap — the expected register tags are
+// derived from (pa, n), the streak must read zero, and the age fixed
+// point is recomputed in a handful of ALU ops — but the dominant caller
+// replays one identical run hundreds of thousands of times, and even
+// the check is too much work to repeat per set per run. The dirty
+// bitmap amortizes it: after a full pass has verified (or repaired,
+// via the scalar per-line path) every set, a clear bit si vouches that
+// set si is still at the run's fixed point, because every mutation of
+// per-set state — probe hits, second-slot hits, fills, whether from
+// scalar accesses or other runs — sets the bit. A repeat of the
+// memoized run therefore touches only the sets dirtied since the last
+// one, skipping clean sets 64 at a time at the bitmap word level, and
+// re-verifies each dirty set after repairing it, clearing bits that
+// check out. Changing the run shape (a different tag0 or n) discards
+// the memo and forces a full verification pass, since a fixed point of
+// one run says nothing about another.
+//
+// A set receiving one line (k = 1) is at its fixed point when the line
+// holds the first register slot — a first-slot hit mutates nothing. A
+// set receiving three or more lines is never at a fixed point: its
+// first line cannot sit in the two-slot register at the end of a run,
+// so its bit stays set and it runs scalar every time.
+func (c *Cache) accessRunFused(pa arch.PhysAddr, n int) int {
+	tag0 := uint32(pa) >> c.setShift
+	un := uint32(n)
+	nSets := uint32(c.setMask) + 1
+	if c.runTag0 != tag0 || c.runN != un {
+		// New run shape: every set must be verified once before the
+		// bitmap can vouch for it. Mark only real sets — for a cache
+		// smaller than one bitmap word, stray high bits would alias
+		// valid sets through the index mask.
+		c.runTag0, c.runN = tag0, un
+		for i := range c.dirty {
+			c.dirty[i] = ^uint64(0)
+		}
+		if nSets < 64 {
+			c.dirty[0] = 1<<nSets - 1
+		}
+	}
+	lineSize := arch.PhysAddr(1) << c.setShift
+	// Lines per set: sets at run offset j < rem see full+1 lines. The
+	// AccessRun gate guarantees n > nSets, so every set sees at least one.
+	full := un / nSets
+	rem := un % nSets
+	hitLat := c.hitLat
+	stall := 0
+	var dirtyLines uint64
+	setStride := arch.PhysAddr(nSets) * lineSize
+	for w := range c.dirty {
+		word := c.dirty[w]
+		if word == 0 {
+			continue
+		}
+		for word != 0 {
+			b := uint32(bits.TrailingZeros64(word))
+			word &^= 1 << b
+			si := uint32(w)<<6 + b
+			j := (si - tag0) & c.setMask
+			k := full
+			if j < rem {
+				k++
+			}
+			dirtyLines += uint64(k)
+			tagA := tag0 + j
+			m := &c.mru[si]
+			lpa := pa + arch.PhysAddr(j)*lineSize
+			for tag := tagA; tag-tag0 < un; tag += nSets {
+				var lat int
+				if m.tag == tag {
+					c.stats.Accesses++
+					c.stats.Hits++
+					lat = hitLat
+				} else if m.tag2 == tag {
+					c.stats.Accesses++
+					lat = c.hit2(tag, si, m)
+				} else {
+					c.stats.Accesses++
+					lat = c.probe(lpa, tag, si, m)
+				}
+				if lat > 1 {
+					stall += lat - 1
+				}
+				lpa += setStride
+			}
+			// Re-verify: is the set now at this run's fixed point? The
+			// per-line path above re-marked it dirty; clear the bit when
+			// the end state checks out so the next identical run skips it.
+			clean := false
+			if k == 2 {
+				if m.tag == tagA+nSets && m.tag2 == tagA && c.skip[si] == 0 {
+					wA := uint(m.way2) & 7
+					wB := uint(m.way) & 7
+					la := c.age[si]
+					t := (la | 0xFF<<(8*wA)) &^ (colOnes << wA)
+					t = (t | 0xFF<<(8*wB)) &^ (colOnes << wB)
+					clean = t == la
+				}
+			} else if k == 1 {
+				clean = m.tag == tagA
+			}
+			if clean {
+				c.dirty[w] &^= 1 << b
+			}
+		}
+	}
+	// Clean sets contribute only counters: every line hits.
+	cleanLines := uint64(n) - dirtyLines
+	c.stats.Accesses += cleanLines
+	c.stats.Hits += cleanLines
+	if hitLat > 1 {
+		stall += int(cleanLines) * (hitLat - 1)
 	}
 	return stall
 }
@@ -370,6 +627,10 @@ func (c *Cache) FlushAll() {
 	for i := range c.age {
 		c.age[i] = 0
 	}
+	for i := range c.skip {
+		c.skip[i] = 0
+	}
+	c.runN = 0 // every fused-run fixed point is gone with the lines
 }
 
 // Occupancy returns the number of valid lines.
@@ -399,6 +660,8 @@ func (c *Cache) Clone(next *Cache, bus *obs.Bus, a *alloc.Arena[Cache]) *Cache {
 	d.tags = append([]uint32(nil), c.tags...)
 	d.mru = append([]mruReg(nil), c.mru...)
 	d.age = append([]uint64(nil), c.age...)
+	d.skip = append([]uint8(nil), c.skip...)
+	d.dirty = append([]uint64(nil), c.dirty...)
 	d.next = next
 	d.bus = bus
 	return d

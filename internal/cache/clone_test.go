@@ -37,7 +37,9 @@ func TestCloneAllocationBounded(t *testing.T) {
 		sink = a.Clone(nil, nil, nil)
 	})
 	_ = sink
-	if max := 4.0; allocs > max {
+	// Header, tags, mru, age, skip, dirty: six flat allocations regardless
+	// of line count.
+	if max := 6.0; allocs > max {
 		t.Errorf("Clone() = %.0f allocs for a 32768-line cache, want <= %.0f", allocs, max)
 	}
 }

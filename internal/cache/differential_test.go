@@ -178,6 +178,73 @@ func TestHierarchyMatchesReference(t *testing.T) {
 	}
 }
 
+// TestAccessRunMatchesAccess drives one hierarchy with AccessRun and a
+// twin with the equivalent individual Access calls, over randomized runs
+// long enough to wrap the L1 set-index space (exercising the fused
+// set-local engine and its cross-set reordering), and demands identical
+// stall totals and identical complete state — tags, age matrices, MRU
+// registers, adaptive skip streaks, and counters at both levels. This is
+// the pin for the claim that the fused path is bit-exact against the
+// scalar path, including the transparent acceleration state.
+func TestAccessRunMatchesAccess(t *testing.T) {
+	l2cfg := Config{Name: "L2", Size: 64 << 10, LineSize: 32, Assoc: 8, HitLatency: 10}
+	l1cfg := Config{Name: "L1I", Size: 4 << 10, LineSize: 32, Assoc: 4, HitLatency: 1}
+	got := New(l1cfg, New(l2cfg, nil, 50), 0)
+	want := New(l1cfg, New(l2cfg, nil, 50), 0)
+	nSets := int(got.setMask) + 1
+	rng := rand.New(rand.NewSource(23))
+	check := func(i int) {
+		t.Helper()
+		if got.stats != want.stats {
+			t.Fatalf("op %d: L1 stats %+v, scalar %+v", i, got.stats, want.stats)
+		}
+		if got.next.stats != want.next.stats {
+			t.Fatalf("op %d: L2 stats %+v, scalar %+v", i, got.next.stats, want.next.stats)
+		}
+		for _, pair := range [][2]*Cache{{got, want}, {got.next, want.next}} {
+			g, w := pair[0], pair[1]
+			for si := range g.age {
+				if g.age[si] != w.age[si] || g.mru[si] != w.mru[si] || g.skip[si] != w.skip[si] {
+					t.Fatalf("op %d: %s set %d diverged: age %x/%x mru %+v/%+v skip %d/%d",
+						i, g.cfg.Name, si, g.age[si], w.age[si], g.mru[si], w.mru[si], g.skip[si], w.skip[si])
+				}
+			}
+			for j := range g.tags {
+				if g.tags[j] != w.tags[j] {
+					t.Fatalf("op %d: %s tags[%d] = %#x, scalar %#x", i, g.cfg.Name, j, g.tags[j], w.tags[j])
+				}
+			}
+		}
+	}
+	for i := 0; i < 4000; i++ {
+		pa := arch.PhysAddr(rng.Intn(48<<10)) &^ 31
+		switch rng.Intn(3) {
+		case 0: // single accesses, including re-references
+			gl, wl := got.Access(pa), want.Access(pa)
+			if gl != wl {
+				t.Fatalf("op %d: Access(%#x) latency %d, scalar %d", i, pa, gl, wl)
+			}
+		default: // runs: short, set-spanning, and multi-wrap lengths
+			n := 1 + rng.Intn(3*nSets)
+			stall := got.AccessRun(pa, n)
+			ref := 0
+			for k := 0; k < n; k++ {
+				if lat := want.Access(pa + arch.PhysAddr(k*32)); lat > 1 {
+					ref += lat - 1
+				}
+			}
+			if stall != ref {
+				t.Fatalf("op %d: AccessRun(%#x, %d) stall %d, scalar %d", i, pa, n, stall, ref)
+			}
+		}
+		check(i)
+	}
+	if got.AccessRun(0x1000, 0) != 0 || got.AccessRun(0x1000, -3) != 0 {
+		t.Fatal("AccessRun with a zero or negative count must be a no-op")
+	}
+	check(-1)
+}
+
 // BenchmarkReferenceAccess mirrors BenchmarkCacheAccess over the stamped
 // reference, so the "before" column of BENCH_hotpath.json can be
 // re-measured on the same machine as the "after" column.

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/pagetable"
 	"repro/internal/tlb"
 )
@@ -172,6 +173,12 @@ type CPU struct {
 	now          uint64
 	sinceSample  int
 	lastFetchVA  arch.VirtAddr
+	// bus is the machine's event bus, observed (never published to) by
+	// the batched execution path: when a subscriber wants any event kind
+	// the fast path could reorder or suppress, AccessBatch falls back to
+	// the scalar reference loop so traced runs stay event-exact. Wired by
+	// AttachBus alongside the TLBs and caches.
+	bus *obs.Bus
 }
 
 // Sampler receives rate-based program-counter samples: the sampled
@@ -300,6 +307,30 @@ func (c *CPU) FetchBlock(va arch.VirtAddr, n int) error {
 	ctx := c.cur
 	if ctx == nil {
 		return fmt.Errorf("cpu: fetch block at %#x with no context", va)
+	}
+	// Fast path: when the page already translates in the micro-TLB and no
+	// sampler needs per-instruction attribution, the whole visit fuses —
+	// the scalar path's two Lookup hits (the first instruction's access
+	// and the block's explicit re-translation below) commit as one
+	// weight-2 update, the cache references issue exactly as the scalar
+	// path would issue them, and all costs are charged in one update.
+	// Any other outcome (micro miss, fault, sampling) takes the scalar
+	// path below, which remains the reference.
+	if n > 1 && c.SampleEvery <= 0 {
+		if e, slot, r := c.MicroI.Peek(va, ctx.ASID, ctx.DACR, arch.AccessFetch); r == tlb.Hit {
+			c.MicroI.CommitRunHits(slot, 2, va, ctx.ASID, ctx.DACR)
+			c.lastFetchVA = va
+			ctx.Stats.Instructions += uint64(n)
+			pa := c.physAddr(e.Frame(), e.Flags(), va)
+			firstLine := int(va&arch.PageMask) / lineSize
+			lastLine := (int(va&arch.PageMask) + n*instrSize - 1) / lineSize
+			// One cache run covers every line of the block, the first
+			// included: AccessRun at pa starts with pa's own line.
+			stall := c.Caches.FetchRun(pa, lastLine-firstLine+1)
+			ctx.Stats.ICacheStallCycles += uint64(stall)
+			c.charge(n*c.Costs.BaseInstr + stall)
+			return nil
+		}
 	}
 	// First instruction takes the full translation path (and handles any
 	// fault); the rest of the block reuses the translation.

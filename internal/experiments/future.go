@@ -210,12 +210,10 @@ func (s *Session) SchedulerGrouping() (*SchedulerGroupingResult, error) {
 					return nil
 				}
 				base := p.MM.VMAs()[0].Start
-				for i := 0; i < 16; i++ {
-					if err := k.CPU.FetchBlock(base+arch.VirtAddr((i%64)*arch.PageSize), 16); err != nil {
-						return err
-					}
-				}
-				return nil
+				return k.CPU.AccessBatch([]arch.RefRun{{
+					VA: base, Stride: arch.VirtAddr(arch.PageSize), Count: 16,
+					Kind: arch.AccessFetch, Block: 16,
+				}})
 			}
 			if err := k.Run(p, quantum); err != nil {
 				return 0, 0, err

@@ -378,12 +378,13 @@ func (s *Session) ChromeFamily() (*ChromeFamilyResult, error) {
 			return 0, 0, err
 		}
 		err = k.Run(helper, func() error {
+			// The inherited library pages are contiguous within each
+			// mapping; the stream encoder folds them into a few runs.
+			var rs arch.RefStream
 			for _, va := range pages {
-				if err := k.CPU.FetchBlock(va, 16); err != nil {
-					return err
-				}
+				rs.Add(va, arch.AccessFetch, 16)
 			}
-			return nil
+			return k.CPU.AccessBatch(rs.Runs())
 		})
 		if err != nil {
 			return 0, 0, err

@@ -3,13 +3,15 @@ package prof
 import (
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 )
 
 func TestStartDisabled(t *testing.T) {
-	stop, err := Start("", "")
+	stop, err := Start(Options{})
 	if err != nil {
-		t.Fatalf("Start(\"\", \"\") error: %v", err)
+		t.Fatalf("Start(Options{}) error: %v", err)
 	}
 	if stop == nil {
 		t.Fatal("Start returned nil stop")
@@ -21,23 +23,42 @@ func TestStartDisabled(t *testing.T) {
 
 func TestStartWritesProfiles(t *testing.T) {
 	dir := t.TempDir()
-	cpu := filepath.Join(dir, "cpu.pprof")
-	mem := filepath.Join(dir, "mem.pprof")
-	stop, err := Start(cpu, mem)
+	o := Options{
+		CPU:   filepath.Join(dir, "cpu.pprof"),
+		Mem:   filepath.Join(dir, "mem.pprof"),
+		Block: filepath.Join(dir, "block.pprof"),
+		Mutex: filepath.Join(dir, "mutex.pprof"),
+	}
+	stop, err := Start(o)
 	if err != nil {
 		t.Fatalf("Start error: %v", err)
 	}
-	// Burn a little CPU and allocate so both profiles have something
-	// to sample; the assertion is only that valid files appear.
+	// Burn a little CPU, allocate, and contend a mutex across goroutines
+	// so every profile has something to sample; the assertion is only
+	// that valid files appear.
 	sink := make([][]byte, 0, 64)
 	for i := 0; i < 64; i++ {
 		sink = append(sink, make([]byte, 1<<12))
 	}
 	_ = sink
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				mu.Lock()
+				runtime.Gosched()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
 	if err := stop(); err != nil {
 		t.Fatalf("stop error: %v", err)
 	}
-	for _, p := range []string{cpu, mem} {
+	for _, p := range []string{o.CPU, o.Mem, o.Block, o.Mutex} {
 		fi, err := os.Stat(p)
 		if err != nil {
 			t.Fatalf("profile %s not written: %v", p, err)
@@ -48,8 +69,28 @@ func TestStartWritesProfiles(t *testing.T) {
 	}
 }
 
+func TestStartRestoresRates(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := Start(Options{
+		Block: filepath.Join(dir, "block.pprof"),
+		Mutex: filepath.Join(dir, "mutex.pprof"),
+	})
+	if err != nil {
+		t.Fatalf("Start error: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop error: %v", err)
+	}
+	// stop must switch mutex sampling back off; a leaked fraction would
+	// tax every later lock operation of the process.
+	if got := runtime.SetMutexProfileFraction(0); got != 0 {
+		t.Errorf("mutex profile fraction after stop = %d, want 0", got)
+	}
+}
+
 func TestStartBadPath(t *testing.T) {
-	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"), ""); err == nil {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")
+	if _, err := Start(Options{CPU: bad}); err == nil {
 		t.Fatal("Start with uncreatable path: want error, got nil")
 	}
 }
